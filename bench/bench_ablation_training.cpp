@@ -1,0 +1,80 @@
+// Ablation — the value of each stage of the NFC training recipe.
+//
+//   1. SCG vs plain gradient descent (the standard NFC trainer [9]) on the
+//      identical cross-entropy objective: loss reached per iteration
+//      budget. This backs the paper's choice of Moller's algorithm [11][12].
+//   2. Statistics initialization alone vs full SCG refinement: NDR on
+//      training set 2 at the ARR >= 97% constraint.
+#include "bench/common.hpp"
+#include "nfc/objective.hpp"
+#include "nfc/train.hpp"
+#include "opt/gd.hpp"
+#include "opt/scg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hbrp;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto splits = bench::load_splits(args);
+
+  // One fixed random projection: the comparison is about the NFC trainer.
+  math::Rng rng(1234);
+  const rp::BeatProjector projector(rp::make_achlioptas(8, 50, rng), 4);
+  const auto d1 = core::project_dataset(splits.training1, projector);
+  const auto d2 = core::project_dataset(splits.training2, projector);
+
+  bench::print_header(
+      "Ablation — SCG vs gradient descent on the NFC cross-entropy");
+  std::printf("%-14s %12s %12s %12s\n", "budget (iters)", "SCG loss",
+              "GD loss", "init loss");
+  for (const int budget : {10, 30, 100, 300}) {
+    // SCG.
+    nfc::NeuroFuzzyClassifier scg_nfc(8);
+    nfc::init_from_statistics(scg_nfc, d1.u, d1.labels);
+    const double init_loss = nfc::cross_entropy(scg_nfc, d1.u, d1.labels);
+    {
+      nfc::TrainingObjective obj(scg_nfc, d1.u, d1.labels, 0.0, {});
+      auto params = scg_nfc.to_params();
+      opt::ScgOptions o;
+      o.max_iterations = budget;
+      opt::minimize_scg(obj, params, o);
+      scg_nfc.from_params(params);
+    }
+    // GD on the identical objective and start point.
+    nfc::NeuroFuzzyClassifier gd_nfc(8);
+    nfc::init_from_statistics(gd_nfc, d1.u, d1.labels);
+    {
+      nfc::TrainingObjective obj(gd_nfc, d1.u, d1.labels, 0.0, {});
+      auto params = gd_nfc.to_params();
+      opt::GdOptions o;
+      o.max_iterations = budget;
+      opt::minimize_gd(obj, params, o);
+      gd_nfc.from_params(params);
+    }
+    std::printf("%-14d %12.5f %12.5f %12.5f\n", budget,
+                nfc::cross_entropy(scg_nfc, d1.u, d1.labels),
+                nfc::cross_entropy(gd_nfc, d1.u, d1.labels), init_loss);
+  }
+
+  bench::print_header(
+      "Ablation — statistics init alone vs SCG refinement (on ts2)");
+  auto score = [&](const nfc::NeuroFuzzyClassifier& classifier) {
+    const auto cm = bench::at_min_arr(
+        [&](double alpha) { return core::evaluate(classifier, d2, alpha); },
+        0.97);
+    return cm;
+  };
+  nfc::NeuroFuzzyClassifier init_only(8);
+  nfc::init_from_statistics(init_only, d1.u, d1.labels);
+  const auto cm_init = score(init_only);
+
+  nfc::NeuroFuzzyClassifier refined(8);
+  nfc::train(refined, d1.u, d1.labels);
+  const auto cm_scg = score(refined);
+
+  std::printf("%-22s %10s %10s\n", "NFC variant", "NDR (%)", "ARR (%)");
+  std::printf("%-22s %10.2f %10.2f\n", "statistics init only",
+              100.0 * cm_init.ndr(), 100.0 * cm_init.arr());
+  std::printf("%-22s %10.2f %10.2f\n", "init + SCG",
+              100.0 * cm_scg.ndr(), 100.0 * cm_scg.arr());
+  return 0;
+}

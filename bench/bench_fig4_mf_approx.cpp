@@ -1,0 +1,60 @@
+// Figure 4 reproduction: linear approximation of the Gaussian membership
+// function versus the simpler triangular interpolation.
+//
+// Prints the three curves over [-4.7 sigma, +4.7 sigma] (= [-2S, 2S] with
+// S = 2.35 sigma, the range plotted in the paper) plus approximation-error
+// summaries, including the property the paper calls out: the linearized MF
+// stays positive out to 4S, so fuzzy products rarely collapse to zero.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "embedded/linear_mf.hpp"
+
+int main(int, char**) {
+  using namespace hbrp;
+  bench::print_header(
+      "Figure 4 — Gaussian vs linearized vs triangular MF shapes");
+
+  // A representative trained MF: centre 0, sigma chosen so the integer grid
+  // is fine (the comparison is shape-level, sigma only sets the x-scale).
+  const double sigma = 100.0;
+  const auto lin = embedded::LinearizedMF::from_gaussian(0.0, sigma);
+  const auto tri = embedded::TriangularMF::from_gaussian(0.0, sigma);
+
+  std::printf("%10s %12s %12s %12s\n", "x/sigma", "gaussian", "linearized",
+              "triangular");
+  double lin_max_err = 0.0, lin_mean_err = 0.0;
+  double tri_max_err = 0.0, tri_mean_err = 0.0;
+  std::size_t samples = 0;
+  for (double z = -4.7; z <= 4.7 + 1e-9; z += 0.235) {
+    const double x = z * sigma;
+    const double gauss = std::exp(-0.5 * z * z);
+    const double l =
+        static_cast<double>(lin.eval(static_cast<std::int32_t>(x))) / 65535.0;
+    const double t =
+        static_cast<double>(tri.eval(static_cast<std::int32_t>(x))) / 65535.0;
+    std::printf("%10.2f %12.5f %12.5f %12.5f\n", z, gauss, l, t);
+    lin_max_err = std::max(lin_max_err, std::abs(l - gauss));
+    tri_max_err = std::max(tri_max_err, std::abs(t - gauss));
+    lin_mean_err += std::abs(l - gauss);
+    tri_mean_err += std::abs(t - gauss);
+    ++samples;
+  }
+  lin_mean_err /= static_cast<double>(samples);
+  tri_mean_err /= static_cast<double>(samples);
+
+  std::printf("\napproximation error vs the Gaussian over [-4.7s, 4.7s]:\n");
+  std::printf("  linearized: mean %.4f  max %.4f\n", lin_mean_err,
+              lin_max_err);
+  std::printf("  triangular: mean %.4f  max %.4f\n", tri_mean_err,
+              tri_max_err);
+
+  // The "positive in a large range" property.
+  const auto s = static_cast<std::int32_t>(2.35 * sigma);
+  std::printf("\nsupport: linearized positive out to |x - c| < 4S "
+              "(grade at 3S = %u), triangular zero beyond 2S "
+              "(grade at 3S = %u)\n",
+              lin.eval(3 * s), tri.eval(3 * s));
+  return 0;
+}

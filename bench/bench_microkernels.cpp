@@ -1,0 +1,149 @@
+// Kernel micro-benchmarks (google-benchmark): throughput of every stage of
+// the embedded chain on the host, plus the packed-vs-dense projection and
+// naive-vs-deque morphology ablations. These do not reproduce a paper
+// table; they document the computational profile of this implementation.
+#include <benchmark/benchmark.h>
+
+#include "core/trainer.hpp"
+#include "delineation/mmd.hpp"
+#include "dsp/morphology.hpp"
+#include "dsp/peak_detect.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/wavelet.hpp"
+#include "ecg/synth.hpp"
+#include "embedded/int_classifier.hpp"
+#include "rp/packed_matrix.hpp"
+
+namespace {
+
+using namespace hbrp;
+
+ecg::Record bench_record(double seconds) {
+  ecg::SynthConfig cfg;
+  cfg.duration_s = seconds;
+  cfg.num_leads = 1;
+  cfg.profile = ecg::RecordProfile::PvcOccasional;
+  cfg.seed = 99;
+  return ecg::generate_record(cfg);
+}
+
+const dsp::Signal& conditioned_30s() {
+  static const dsp::Signal sig =
+      dsp::condition_ecg(bench_record(30.0).leads[0]);
+  return sig;
+}
+
+void BM_ConditionEcg(benchmark::State& state) {
+  const auto rec = bench_record(30.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dsp::condition_ecg(rec.leads[0]));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rec.leads[0].size()));
+}
+BENCHMARK(BM_ConditionEcg)->Unit(benchmark::kMillisecond);
+
+void BM_WaveletDecompose(benchmark::State& state) {
+  const auto& sig = conditioned_30s();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dsp::wavelet_decompose(sig));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sig.size()));
+}
+BENCHMARK(BM_WaveletDecompose)->Unit(benchmark::kMillisecond);
+
+void BM_PeakDetect(benchmark::State& state) {
+  const auto& sig = conditioned_30s();
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::detect_r_peaks(sig));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sig.size()));
+}
+BENCHMARK(BM_PeakDetect)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectionPacked(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(1);
+  const rp::TernaryMatrix p = rp::make_achlioptas(k, 50, rng);
+  const rp::PackedTernaryMatrix packed(p);
+  dsp::Signal v(50);
+  for (auto& x : v) x = static_cast<int>(rng.uniform_int(-1024, 1023));
+  for (auto _ : state) benchmark::DoNotOptimize(packed.apply(v));
+}
+BENCHMARK(BM_ProjectionPacked)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ProjectionDense(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(1);
+  const rp::TernaryMatrix p = rp::make_achlioptas(k, 50, rng);
+  dsp::Signal v(50);
+  for (auto& x : v) x = static_cast<int>(rng.uniform_int(-1024, 1023));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(p.apply(std::span<const dsp::Sample>(v)));
+}
+BENCHMARK(BM_ProjectionDense)->Arg(8)->Arg(16)->Arg(32);
+
+embedded::IntClassifier bench_classifier(std::size_t k,
+                                         embedded::MfShape shape) {
+  nfc::NeuroFuzzyClassifier nfc(k);
+  math::Rng rng(2);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t l = 0; l < 3; ++l)
+      nfc.mf(i, l) = {rng.normal(0.0, 300.0), rng.uniform(20.0, 200.0)};
+  return embedded::IntClassifier::from_float(nfc, shape);
+}
+
+void BM_IntClassify(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto cls = bench_classifier(k, embedded::MfShape::Linearized);
+  math::Rng rng(3);
+  std::vector<std::int32_t> u(k);
+  for (auto& x : u) x = static_cast<std::int32_t>(rng.normal(0.0, 300.0));
+  for (auto _ : state) benchmark::DoNotOptimize(cls.classify(u, 6554));
+}
+BENCHMARK(BM_IntClassify)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MorphologyDeque(benchmark::State& state) {
+  const auto& sig = conditioned_30s();
+  const auto len = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::erode(sig, len));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sig.size()));
+}
+BENCHMARK(BM_MorphologyDeque)->Arg(71)->Arg(151)->Unit(benchmark::kMillisecond);
+
+void BM_DelineateBeat(benchmark::State& state) {
+  const auto rec = bench_record(30.0);
+  std::vector<dsp::Signal> leads;
+  for (const auto& lead : rec.leads) leads.push_back(dsp::condition_ecg(lead));
+  const std::size_t peak = rec.beats[rec.beats.size() / 2].sample;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        delineation::delineate_beat_multilead(leads, peak));
+}
+BENCHMARK(BM_DelineateBeat)->Unit(benchmark::kMicrosecond);
+
+void BM_DownsampleWindow(benchmark::State& state) {
+  dsp::Signal window(200);
+  math::Rng rng(4);
+  for (auto& x : window) x = static_cast<int>(rng.uniform_int(-1024, 1023));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dsp::downsample_avg(window, 4));
+}
+BENCHMARK(BM_DownsampleWindow);
+
+void BM_SynthRecord(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ecg::SynthConfig cfg;
+    cfg.duration_s = 10.0;
+    cfg.num_leads = 1;
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(ecg::generate_record(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          3600);
+}
+BENCHMARK(BM_SynthRecord)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary accepts:
+//   --quick        scale the GA and test set down for a fast smoke run
+//   --scale=X      test-set scale factor in (0, 1] (overrides --quick's)
+// and prints the paper's reported numbers next to the measured ones so the
+// output is self-contained (see EXPERIMENTS.md for the recorded runs).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "ecg/dataset.hpp"
+
+namespace hbrp::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  double test_scale = 1.0;
+  std::size_t ga_population = 20;  // paper defaults (Section III-A)
+  std::size_t ga_generations = 30;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+        args.test_scale = 0.1;
+        args.ga_population = 6;
+        args.ga_generations = 4;
+      } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+        args.test_scale = std::stod(argv[i] + 8);
+      }
+    }
+    return args;
+  }
+};
+
+/// The three Table-I splits, built once and cached on disk.
+inline ecg::PaperSplits load_splits(const BenchArgs& args) {
+  std::printf("# loading datasets (test scale %.2f; cached in %s)\n",
+              args.test_scale,
+              ecg::default_cache_dir().string().c_str());
+  return ecg::load_paper_splits(args.test_scale);
+}
+
+inline core::TwoStepConfig trainer_config(const BenchArgs& args,
+                                          std::size_t coefficients) {
+  core::TwoStepConfig cfg;
+  cfg.coefficients = coefficients;
+  cfg.downsample = 4;
+  cfg.min_arr = 0.97;
+  cfg.ga.population = args.ga_population;
+  cfg.ga.generations = args.ga_generations;
+  cfg.seed = 0xDA7E2013;
+  return cfg;
+}
+
+/// Smallest alpha_test at which `eval(alpha)` reaches `min_arr` on its
+/// dataset, by bisection over the (monotone) ARR-vs-alpha curve; returns the
+/// confusion matrix at that operating point. `Eval` maps alpha -> matrix.
+template <typename Eval>
+core::ConfusionMatrix at_min_arr(const Eval& eval, double min_arr,
+                                 double* alpha_out = nullptr) {
+  double lo = 0.0, hi = 1.0;
+  core::ConfusionMatrix at_lo = eval(0.0);
+  if (at_lo.arr() >= min_arr) {
+    if (alpha_out != nullptr) *alpha_out = 0.0;
+    return at_lo;
+  }
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (eval(mid).arr() >= min_arr)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  if (alpha_out != nullptr) *alpha_out = hi;
+  return eval(hi);
+}
+
+inline void print_header(const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hbrp::bench

@@ -1,0 +1,69 @@
+// Train the full two-step framework and export the deployable firmware
+// artefact: a self-contained C header with the 2-bit packed projection
+// matrix, quantized MF tables and the Q16 decision threshold.
+//
+// Usage: train_and_export [output.h] [--full]
+//   output.h   defaults to hbrp_classifier.h in the working directory
+//   --full     paper-scale GA (20 x 30) and Table-I-sized splits
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/trainer.hpp"
+#include "ecg/dataset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hbrp;
+  const char* out_path = "hbrp_classifier.h";
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0)
+      full = true;
+    else
+      out_path = argv[i];
+  }
+
+  ecg::BeatDataset ts1, ts2;
+  if (full) {
+    std::cout << "Loading paper-scale splits (cached)...\n";
+    const auto splits = ecg::load_paper_splits(0.25);
+    ts1 = splits.training1;
+    ts2 = splits.training2;
+  } else {
+    std::cout << "Building reduced training splits...\n";
+    ecg::DatasetBuilderConfig cfg;
+    cfg.record_duration_s = 180.0;
+    cfg.max_per_record_per_class = 20;
+    cfg.seed = 77;
+    ts1 = ecg::build_dataset({150, 150, 150}, cfg);
+    cfg.max_per_record_per_class = 100;
+    cfg.seed = 78;
+    ts2 = ecg::build_dataset({2500, 220, 280}, cfg);
+  }
+
+  core::TwoStepConfig cfg;
+  cfg.coefficients = 8;
+  cfg.ga.population = full ? 20 : 8;
+  cfg.ga.generations = full ? 30 : 6;
+  cfg.seed = 2013;
+  std::cout << "Running two-step training (GA " << cfg.ga.population << " x "
+            << cfg.ga.generations << ")...\n";
+  const core::TwoStepTrainer trainer(ts1, ts2, cfg);
+  const auto trained = trainer.run();
+  std::cout << "GA fitness history:";
+  for (const double f : trainer.last_history()) std::cout << ' ' << f;
+  std::cout << "\nalpha_train = " << trained.alpha_train << "\n";
+
+  const auto bundle = trained.quantize();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bundle.export_c_header(out, "HBRP");
+  std::cout << "Wrote " << out_path << " (" << bundle.memory_bytes()
+            << " bytes of parameter tables: projection "
+            << bundle.projector().packed().memory_bytes() << " + MFs "
+            << bundle.classifier().memory_bytes() << ")\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "math/check.hpp"
+
+namespace hbrp::core {
+
+void ConfusionMatrix::add(ecg::BeatClass truth, ecg::BeatClass predicted) {
+  HBRP_REQUIRE(truth != ecg::BeatClass::Unknown,
+               "ConfusionMatrix: ground truth cannot be Unknown");
+  ++counts_[static_cast<std::size_t>(truth)]
+           [static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::count(ecg::BeatClass truth,
+                                   ecg::BeatClass predicted) const {
+  HBRP_REQUIRE(truth != ecg::BeatClass::Unknown,
+               "ConfusionMatrix: ground truth cannot be Unknown");
+  return counts_[static_cast<std::size_t>(truth)]
+                [static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t acc = 0;
+  for (const auto& row : counts_)
+    for (const std::size_t c : row) acc += c;
+  return acc;
+}
+
+std::size_t ConfusionMatrix::total_normal() const {
+  std::size_t acc = 0;
+  for (const std::size_t c : counts_[0]) acc += c;
+  return acc;
+}
+
+std::size_t ConfusionMatrix::total_abnormal() const {
+  return total() - total_normal();
+}
+
+double ConfusionMatrix::ndr() const {
+  const std::size_t n = total_normal();
+  if (n == 0) return 0.0;
+  return static_cast<double>(
+             counts_[0][static_cast<std::size_t>(ecg::BeatClass::N)]) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::arr() const {
+  const std::size_t a = total_abnormal();
+  if (a == 0) return 0.0;
+  std::size_t recognized = 0;
+  for (std::size_t truth = 1; truth < ecg::kNumClasses; ++truth)
+    for (std::size_t pred = 0; pred < 4; ++pred)
+      if (ecg::is_pathological(static_cast<ecg::BeatClass>(pred)))
+        recognized += counts_[truth][pred];
+  return static_cast<double>(recognized) / static_cast<double>(a);
+}
+
+double ConfusionMatrix::flagged_fraction() const {
+  const std::size_t all = total();
+  if (all == 0) return 0.0;
+  std::size_t flagged = 0;
+  for (std::size_t truth = 0; truth < ecg::kNumClasses; ++truth)
+    for (std::size_t pred = 0; pred < 4; ++pred)
+      if (ecg::is_pathological(static_cast<ecg::BeatClass>(pred)))
+        flagged += counts_[truth][pred];
+  return static_cast<double>(flagged) / static_cast<double>(all);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t all = total();
+  if (all == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < ecg::kNumClasses; ++c) correct += counts_[c][c];
+  return static_cast<double>(correct) / static_cast<double>(all);
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  for (std::size_t t = 0; t < ecg::kNumClasses; ++t)
+    for (std::size_t p = 0; p < 4; ++p) counts_[t][p] += other.counts_[t][p];
+}
+
+std::vector<OperatingPoint> pareto_front(std::vector<OperatingPoint> points) {
+  // Sort by descending ARR; walk keeping points whose NDR exceeds the best
+  // seen so far. Result reversed into ascending-ARR order.
+  std::sort(points.begin(), points.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              if (a.arr != b.arr) return a.arr > b.arr;
+              return a.ndr > b.ndr;
+            });
+  std::vector<OperatingPoint> front;
+  double best_ndr = -1.0;
+  for (const OperatingPoint& p : points) {
+    if (p.ndr > best_ndr) {
+      front.push_back(p);
+      best_ndr = p.ndr;
+    }
+  }
+  std::reverse(front.begin(), front.end());
+  return front;
+}
+
+}  // namespace hbrp::core

@@ -1,0 +1,58 @@
+// Classification figures of merit used throughout the evaluation.
+//
+// The paper's two headline metrics (Section IV-A):
+//   NDR — Normal Discard Rate: fraction of truly normal beats classified N
+//         (and therefore not transmitted / not delineated);
+//   ARR — Abnormal Recognition Rate: fraction of truly abnormal (V or L)
+//         beats classified V, L or Unknown, i.e. correctly routed to the
+//         detailed analysis.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "ecg/types.hpp"
+
+namespace hbrp::core {
+
+class ConfusionMatrix {
+ public:
+  /// Records one beat: ground truth in {N, V, L}, prediction in
+  /// {N, V, L, Unknown}.
+  void add(ecg::BeatClass truth, ecg::BeatClass predicted);
+
+  std::size_t count(ecg::BeatClass truth, ecg::BeatClass predicted) const;
+  std::size_t total() const;
+  std::size_t total_normal() const;
+  std::size_t total_abnormal() const;
+
+  /// Normal Discard Rate (see file comment). 0 if no normal beats seen.
+  double ndr() const;
+  /// Abnormal Recognition Rate. 0 if no abnormal beats seen.
+  double arr() const;
+  /// Fraction of all beats flagged pathological (drives gated-system duty
+  /// cycle and radio payload).
+  double flagged_fraction() const;
+  /// Plain multi-class accuracy over assigned classes (U counts as wrong).
+  double accuracy() const;
+
+  void merge(const ConfusionMatrix& other);
+
+ private:
+  // counts_[truth 0..2][predicted 0..3]
+  std::array<std::array<std::size_t, 4>, ecg::kNumClasses> counts_{};
+};
+
+/// One operating point of the NDR/ARR trade-off (Fig. 5).
+struct OperatingPoint {
+  double alpha = 0.0;
+  double ndr = 0.0;
+  double arr = 0.0;
+};
+
+/// Filters a set of operating points down to the Pareto front
+/// (maximal NDR for any given ARR), sorted by ascending ARR.
+std::vector<OperatingPoint> pareto_front(std::vector<OperatingPoint> points);
+
+}  // namespace hbrp::core

@@ -1,0 +1,92 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+
+#include "math/check.hpp"
+
+namespace hbrp::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'B', 'R', 'P', 'M', 'D', '0', '1'};
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  HBRP_REQUIRE(in.good(), "model_io: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_model(const TrainedClassifier& model,
+                const std::filesystem::path& path) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  HBRP_REQUIRE(out.good(), "model_io: cannot open for write: " + path.string());
+  out.write(kMagic, sizeof(kMagic));
+
+  const rp::TernaryMatrix& p = model.projector.matrix();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(p.rows()));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(p.cols()));
+  put<std::uint32_t>(out,
+                     static_cast<std::uint32_t>(
+                         model.projector.downsample_factor()));
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    for (std::size_t c = 0; c < p.cols(); ++c)
+      put<std::int8_t>(out, p.at(r, c));
+
+  const std::size_t k = model.nfc.coefficients();
+  HBRP_REQUIRE(k == p.rows(), "model_io: inconsistent model");
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+      const nfc::GaussianMF& m = model.nfc.mf(i, l);
+      put<double>(out, m.center);
+      put<double>(out, m.sigma);
+    }
+  put<double>(out, model.alpha_train);
+  HBRP_REQUIRE(out.good(), "model_io: write failure: " + path.string());
+}
+
+TrainedClassifier load_model(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  HBRP_REQUIRE(in.good(), "model_io: cannot open: " + path.string());
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  HBRP_REQUIRE(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
+               "model_io: bad magic in " + path.string());
+
+  const auto rows = get<std::uint32_t>(in);
+  const auto cols = get<std::uint32_t>(in);
+  const auto downsample = get<std::uint32_t>(in);
+  HBRP_REQUIRE(rows >= 1 && cols >= 1 && downsample >= 1,
+               "model_io: malformed header");
+  rp::TernaryMatrix p(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      p.set(r, c, get<std::int8_t>(in));  // set() validates {-1, 0, 1}
+
+  nfc::NeuroFuzzyClassifier classifier(rows);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+      nfc::GaussianMF m;
+      m.center = get<double>(in);
+      m.sigma = get<double>(in);
+      HBRP_REQUIRE(m.sigma > 0.0, "model_io: non-positive sigma");
+      classifier.mf(i, l) = m;
+    }
+  const double alpha = get<double>(in);
+  HBRP_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "model_io: alpha out of range");
+
+  return TrainedClassifier{rp::BeatProjector(std::move(p), downsample),
+                           std::move(classifier), alpha};
+}
+
+}  // namespace hbrp::core

@@ -1,0 +1,38 @@
+// Binary (de)serialization of trained classifiers.
+//
+// A trained model is the product of an expensive offline phase (SCG + GA on
+// a PC, Fig. 2 top); persisting it decouples training from deployment and
+// lets every evaluation harness share one artefact. The format stores the
+// dense ternary projection matrix, the downsampling factor, the Gaussian MF
+// parameters and alpha_train; everything derived (packed matrix, integer MF
+// tables) is rebuilt on load, so a file is valid for both the float and the
+// embedded execution paths.
+#pragma once
+
+#include <filesystem>
+
+#include "core/trainer.hpp"
+
+namespace hbrp::core {
+
+/// Writes `model` to `path` (parent directories are created).
+/// Throws hbrp::Error on I/O failure.
+void save_model(const TrainedClassifier& model,
+                const std::filesystem::path& path);
+
+/// Reads a model previously written by save_model().
+/// Throws hbrp::Error on I/O failure, bad magic or malformed content.
+TrainedClassifier load_model(const std::filesystem::path& path);
+
+/// Loads `path` if it exists, otherwise invokes `train` (a callable
+/// returning TrainedClassifier), saves and returns its result.
+template <typename TrainFn>
+TrainedClassifier load_or_train(const std::filesystem::path& path,
+                                const TrainFn& train) {
+  if (std::filesystem::exists(path)) return load_model(path);
+  TrainedClassifier model = train();
+  save_model(model, path);
+  return model;
+}
+
+}  // namespace hbrp::core

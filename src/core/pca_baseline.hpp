@@ -1,0 +1,45 @@
+// PCA dimensionality-reduction baseline (Table II, row "PCA-PC").
+//
+// The comparison point of Ceylan & Ozbay 2007: instead of a random
+// projection, beats are projected onto the top-k principal components of
+// the training data. Everything downstream (NFC, SCG training, alpha
+// calibration) is identical to the RP path, so the table isolates the
+// effect of the dimensionality-reduction choice. PCA requires k x d
+// floating-point multiplies per beat — the computational cost the paper
+// argues a WBSN cannot afford, which is why this baseline exists only on
+// the "PC" side.
+#pragma once
+
+#include "core/trainer.hpp"
+#include "math/pca.hpp"
+
+namespace hbrp::core {
+
+/// Downsamples every window and stacks them as rows (the input format of
+/// the PCA fit and transform).
+math::Mat dataset_matrix(const ecg::BeatDataset& ds, std::size_t downsample);
+
+struct PcaClassifier {
+  math::Pca pca;
+  nfc::NeuroFuzzyClassifier nfc;
+  double alpha_train = 0.0;
+  std::size_t downsample = 4;
+};
+
+struct PcaBaselineConfig {
+  std::size_t coefficients = 8;
+  std::size_t downsample = 4;
+  double min_arr = 0.97;
+  nfc::TrainOptions nfc_train;
+};
+
+/// Fits PCA on ts1, trains the NFC on ts1 scores, calibrates alpha on ts2.
+PcaClassifier train_pca_baseline(const ecg::BeatDataset& ts1,
+                                 const ecg::BeatDataset& ts2,
+                                 const PcaBaselineConfig& cfg = {});
+
+/// Projects a dataset through the fitted PCA (labels carried over).
+ProjectedDataset project_dataset(const ecg::BeatDataset& ds,
+                                 const PcaClassifier& cls);
+
+}  // namespace hbrp::core

@@ -1,0 +1,99 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+
+#include "dsp/resample.hpp"
+#include "math/check.hpp"
+
+namespace hbrp::core {
+
+StreamingBeatMonitor::StreamingBeatMonitor(
+    embedded::EmbeddedClassifier classifier, MonitorConfig cfg)
+    : classifier_(std::move(classifier)),
+      cfg_(std::move(cfg)),
+      conditioner_(cfg_.filter) {
+  HBRP_REQUIRE(cfg_.window_before + cfg_.window_after ==
+                   classifier_.projector().expected_window(),
+               "StreamingBeatMonitor: window geometry does not match the "
+               "classifier");
+  chunk_samples_ =
+      static_cast<std::size_t>(cfg_.chunk_s * cfg_.peak.fs_hz);
+  overlap_samples_ =
+      static_cast<std::size_t>(cfg_.overlap_s * cfg_.peak.fs_hz);
+  const std::size_t min_overlap =
+      cfg_.window_before + cfg_.window_after +
+      static_cast<std::size_t>(cfg_.peak.refractory_s * cfg_.peak.fs_hz);
+  HBRP_REQUIRE(overlap_samples_ >= min_overlap,
+               "StreamingBeatMonitor: overlap shorter than one beat window "
+               "plus the refractory period");
+  HBRP_REQUIRE(chunk_samples_ > 2 * overlap_samples_,
+               "StreamingBeatMonitor: chunk must exceed twice the overlap");
+}
+
+std::vector<MonitorBeat> StreamingBeatMonitor::push(dsp::Sample x) {
+  if (const auto y = conditioner_.push(x)) buffer_.push_back(*y);
+  if (buffer_.size() < chunk_samples_) return {};
+  return scan(/*final_pass=*/false);
+}
+
+std::vector<MonitorBeat> StreamingBeatMonitor::scan(bool final_pass) {
+  dsp::PeakDetectorConfig det_cfg = cfg_.peak;
+  const std::vector<std::size_t> peaks =
+      dsp::detect_r_peaks(buffer_, det_cfg);
+
+  // A beat is finalized once its full window fits safely inside the chunk:
+  // keep a guard of window_after plus half an overlap from the right edge
+  // (unless this is the final pass, where everything remaining finalizes).
+  const std::size_t guard = cfg_.window_after + overlap_samples_ / 2;
+  const std::size_t limit =
+      final_pass || buffer_.size() < guard ? buffer_.size()
+                                           : buffer_.size() - guard;
+
+  std::vector<MonitorBeat> out;
+  for (const std::size_t local_peak : peaks) {
+    if (local_peak >= limit) continue;
+    if (local_peak < cfg_.window_before ||
+        local_peak + cfg_.window_after >= buffer_.size())
+      continue;
+    const std::size_t absolute = buffer_base_ + local_peak;
+    if (absolute < emitted_up_to_) continue;  // already reported last chunk
+    const dsp::Signal window = dsp::extract_window(
+        buffer_, local_peak, cfg_.window_before, cfg_.window_after);
+    out.push_back({absolute, classifier_.classify_window(window)});
+    emitted_up_to_ = absolute + 1;
+  }
+
+  if (!final_pass) {
+    // Slide: keep the overlap region (plus window headroom) for the next
+    // scan so boundary beats are seen with full context.
+    const std::size_t keep = overlap_samples_ + cfg_.window_before;
+    if (buffer_.size() > keep) {
+      const std::size_t drop = buffer_.size() - keep;
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
+      buffer_base_ += drop;
+    }
+  }
+  return out;
+}
+
+std::vector<MonitorBeat> StreamingBeatMonitor::flush() {
+  const std::vector<dsp::Sample> tail = conditioner_.flush();
+  buffer_.insert(buffer_.end(), tail.begin(), tail.end());
+  std::vector<MonitorBeat> out = scan(/*final_pass=*/true);
+  buffer_.clear();
+  buffer_base_ = 0;
+  emitted_up_to_ = 0;
+  return out;
+}
+
+std::size_t StreamingBeatMonitor::memory_samples() const {
+  // Buffer high-water mark is one full chunk; conditioner state on top.
+  return chunk_samples_ + conditioner_.memory_samples();
+}
+
+std::size_t StreamingBeatMonitor::latency() const {
+  return conditioner_.delay() + chunk_samples_;
+}
+
+}  // namespace hbrp::core

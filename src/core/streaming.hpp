@@ -1,0 +1,83 @@
+// Firmware-shaped streaming beat monitor.
+//
+// RealTimePipeline (core/pipeline.hpp) emulates the WBSN application over a
+// whole recorded lead at once; this class is the push-one-ADC-sample-at-a-
+// time equivalent with bounded memory, which is what actually runs on the
+// node: a streaming conditioner feeds a rolling analysis buffer of a few
+// seconds; whenever the buffer fills, the wavelet peak detector scans it,
+// beats far enough from the buffer's right edge are finalized, classified by
+// the embedded integer classifier and reported; the buffer then slides,
+// keeping one overlap region so no beat is lost at a chunk boundary.
+//
+// The monitor covers the classification sub-system (1) of the paper's
+// Fig. 6 — the decision *whether* a beat needs the detailed multi-lead
+// analysis; the delineation stage itself consumes these flags downstream.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dsp/peak_detect.hpp"
+#include "dsp/streaming.hpp"
+#include "embedded/bundle.hpp"
+
+namespace hbrp::core {
+
+/// One finalized beat from the streaming monitor.
+struct MonitorBeat {
+  /// R-peak index on the conditioned-signal timeline (aligned with the raw
+  /// input timeline; availability lags by StreamingBeatMonitor::latency()).
+  std::size_t r_peak = 0;
+  ecg::BeatClass predicted = ecg::BeatClass::N;
+};
+
+struct MonitorConfig {
+  std::size_t window_before = 100;
+  std::size_t window_after = 100;
+  dsp::FilterConfig filter = dsp::FilterConfig::for_rate(dsp::kMitBihFs);
+  dsp::PeakDetectorConfig peak;
+  /// Rolling analysis buffer (s). Must hold several beats for the adaptive
+  /// threshold to make sense.
+  double chunk_s = 8.0;
+  /// Overlap carried between consecutive scans (s); must exceed one beat
+  /// window plus the detector refractory so boundary beats are not lost.
+  double overlap_s = 2.0;
+};
+
+class StreamingBeatMonitor {
+ public:
+  StreamingBeatMonitor(embedded::EmbeddedClassifier classifier,
+                       MonitorConfig cfg = {});
+
+  /// Feeds one raw ADC sample; returns beats finalized by this sample
+  /// (usually empty, occasionally a handful when a chunk completes).
+  std::vector<MonitorBeat> push(dsp::Sample x);
+
+  /// Finalizes everything still buffered and resets the monitor.
+  std::vector<MonitorBeat> flush();
+
+  /// Worst-case number of samples held across all internal state.
+  std::size_t memory_samples() const;
+
+  /// Input-to-report latency bound, in samples (conditioner delay plus one
+  /// full analysis chunk).
+  std::size_t latency() const;
+
+  const embedded::EmbeddedClassifier& classifier() const {
+    return classifier_;
+  }
+
+ private:
+  std::vector<MonitorBeat> scan(bool final_pass);
+
+  embedded::EmbeddedClassifier classifier_;
+  MonitorConfig cfg_;
+  dsp::StreamingConditioner conditioner_;
+  dsp::Signal buffer_;           // rolling conditioned samples
+  std::size_t buffer_base_ = 0;  // absolute index of buffer_[0]
+  std::size_t emitted_up_to_ = 0;  // absolute index: peaks below are reported
+  std::size_t chunk_samples_ = 0;
+  std::size_t overlap_samples_ = 0;
+};
+
+}  // namespace hbrp::core

@@ -1,0 +1,135 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+#include "math/fixed.hpp"
+
+namespace hbrp::core {
+
+ProjectedDataset project_dataset(const ecg::BeatDataset& ds,
+                                 const rp::BeatProjector& projector) {
+  HBRP_REQUIRE(!ds.beats.empty(), "project_dataset(): empty dataset");
+  HBRP_REQUIRE(ds.window_size() == projector.expected_window(),
+               "project_dataset(): window/projector size mismatch");
+  ProjectedDataset out;
+  out.u = math::Mat(ds.beats.size(), projector.coefficients());
+  out.labels.reserve(ds.beats.size());
+  for (std::size_t i = 0; i < ds.beats.size(); ++i) {
+    const math::Vec u = projector.project(ds.beats[i].samples);
+    for (std::size_t k = 0; k < u.size(); ++k) out.u.at(i, k) = u[k];
+    out.labels.push_back(ds.beats[i].label);
+  }
+  return out;
+}
+
+ConfusionMatrix evaluate(const nfc::NeuroFuzzyClassifier& nfc,
+                         const ProjectedDataset& data, double alpha) {
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < data.u.rows(); ++i)
+    cm.add(data.labels[i], nfc.classify(data.u.row(i), alpha));
+  return cm;
+}
+
+ConfusionMatrix evaluate_embedded(const embedded::EmbeddedClassifier& cls,
+                                  const ecg::BeatDataset& ds) {
+  ConfusionMatrix cm;
+  for (const ecg::BeatWindow& b : ds.beats)
+    cm.add(b.label, cls.classify_window(b.samples));
+  return cm;
+}
+
+double calibrate_alpha(const nfc::NeuroFuzzyClassifier& nfc,
+                       const ProjectedDataset& data, double min_arr) {
+  HBRP_REQUIRE(min_arr > 0.0 && min_arr <= 1.0,
+               "calibrate_alpha(): min_arr must be in (0, 1]");
+  std::size_t abnormal_total = 0;
+  std::size_t recognized_at_zero = 0;
+  // Critical alphas of abnormal beats whose argmax is N: the beat flips to
+  // Unknown (recognized) once alpha exceeds its margin (M1 - M2) / S.
+  std::vector<double> critical;
+  for (std::size_t i = 0; i < data.u.rows(); ++i) {
+    if (data.labels[i] == ecg::BeatClass::N) continue;
+    ++abnormal_total;
+    const nfc::FuzzyValues f = nfc.fuzzy(data.u.row(i));
+    const ecg::BeatClass at_zero = nfc::defuzzify(f, 0.0);
+    if (ecg::is_pathological(at_zero)) {
+      ++recognized_at_zero;
+      continue;
+    }
+    double m1 = f[0], m2 = -1.0, sum = 0.0;
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < f.size(); ++l)
+      if (f[l] > f[best]) best = l;
+    m1 = f[best];
+    for (std::size_t l = 0; l < f.size(); ++l) {
+      sum += f[l];
+      if (l != best) m2 = std::max(m2, f[l]);
+    }
+    critical.push_back(sum > 0.0 ? (m1 - m2) / sum : 0.0);
+  }
+  HBRP_REQUIRE(abnormal_total > 0,
+               "calibrate_alpha(): dataset has no abnormal beats");
+
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(min_arr * static_cast<double>(abnormal_total)));
+  if (recognized_at_zero >= needed) return 0.0;
+  const std::size_t flip = needed - recognized_at_zero;
+  if (flip > critical.size()) return 1.0;  // unreachable even at alpha = 1
+
+  std::sort(critical.begin(), critical.end());
+  // Alpha just above the flip-th smallest margin converts exactly those
+  // beats to Unknown.
+  const double alpha = std::nextafter(critical[flip - 1], 2.0) + 1e-12;
+  return std::min(alpha, 1.0);
+}
+
+embedded::EmbeddedClassifier TrainedClassifier::quantize(
+    embedded::MfShape shape, double alpha_test) const {
+  const double alpha = alpha_test < 0.0 ? alpha_train : alpha_test;
+  return embedded::EmbeddedClassifier(
+      projector, embedded::IntClassifier::from_float(nfc, shape),
+      math::to_q16(alpha));
+}
+
+TwoStepTrainer::TwoStepTrainer(const ecg::BeatDataset& ts1,
+                               const ecg::BeatDataset& ts2, TwoStepConfig cfg)
+    : ts1_(ts1), ts2_(ts2), cfg_(std::move(cfg)) {
+  HBRP_REQUIRE(ts1.window_size() == ts2.window_size(),
+               "TwoStepTrainer: split window geometry mismatch");
+  HBRP_REQUIRE(ts1.window_size() % cfg_.downsample == 0,
+               "TwoStepTrainer: window not divisible by downsample factor");
+  HBRP_REQUIRE(cfg_.coefficients >= 1, "TwoStepTrainer: coefficients >= 1");
+}
+
+TrainedClassifier TwoStepTrainer::train_with_projection(
+    const rp::TernaryMatrix& p) const {
+  rp::BeatProjector projector(p, cfg_.downsample);
+  const ProjectedDataset d1 = project_dataset(ts1_, projector);
+  nfc::NeuroFuzzyClassifier classifier(cfg_.coefficients);
+  nfc::train(classifier, d1.u, d1.labels, cfg_.nfc_train);
+  const ProjectedDataset d2 = project_dataset(ts2_, projector);
+  const double alpha = calibrate_alpha(classifier, d2, cfg_.min_arr);
+  return TrainedClassifier{std::move(projector), std::move(classifier),
+                           alpha};
+}
+
+double TwoStepTrainer::fitness(const rp::TernaryMatrix& p) const {
+  const TrainedClassifier trained = train_with_projection(p);
+  const ProjectedDataset d2 = project_dataset(ts2_, trained.projector);
+  return evaluate(trained.nfc, d2, trained.alpha_train).ndr();
+}
+
+TrainedClassifier TwoStepTrainer::run() const {
+  const std::size_t d = ts1_.window_size() / cfg_.downsample;
+  opt::GaOptions ga = cfg_.ga;
+  ga.seed = cfg_.seed;
+  const opt::GaResult result = opt::optimize_projection(
+      cfg_.coefficients, d,
+      [this](const rp::TernaryMatrix& p) { return fitness(p); }, ga);
+  history_ = result.history;
+  return train_with_projection(result.best);
+}
+
+}  // namespace hbrp::core

@@ -1,0 +1,63 @@
+// Flat-structuring-element mathematical morphology on 1-D integer signals.
+//
+// These operators implement the ECG conditioning chain of Rincon et al.
+// (IEEE TITB 2011), which the paper adopts for its filtering stage:
+//   - baseline-wander removal: the signal's baseline is estimated by an
+//     opening (removes peaks) followed by a closing (removes pits) with
+//     structuring elements sized to span the QRS complex and the full beat
+//     respectively, and subtracted from the input;
+//   - impulsive-noise suppression: the average of open-close and close-open
+//     with a short element.
+// Erosion/dilation use the monotonic-wedge algorithm (van Herk style deque),
+// O(1) amortized per sample, matching what fits a 6 MHz WBSN budget.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/signal.hpp"
+
+namespace hbrp::dsp {
+
+/// Sliding-window minimum with a centred flat structuring element of
+/// `length` samples (length must be odd and >= 1). Borders replicate the
+/// edge samples.
+Signal erode(const Signal& x, std::size_t length);
+
+/// Sliding-window maximum, same conventions as erode().
+Signal dilate(const Signal& x, std::size_t length);
+
+/// Opening: dilate(erode(x)). Removes positive peaks narrower than the
+/// structuring element.
+Signal open(const Signal& x, std::size_t length);
+
+/// Closing: erode(dilate(x)). Removes negative pits narrower than the
+/// structuring element.
+Signal close(const Signal& x, std::size_t length);
+
+/// Parameters of the ECG conditioning chain, in samples.
+struct FilterConfig {
+  /// Structuring element spanning slightly more than the widest QRS
+  /// (default 0.2 s at 360 Hz, must be odd).
+  std::size_t baseline_open_len = 71;
+  /// Element spanning a whole beat for the closing step (default ~0.42 s).
+  std::size_t baseline_close_len = 151;
+  /// Short element for impulsive noise suppression (default ~8 ms).
+  std::size_t noise_len = 3;
+
+  /// Scales the defaults (tuned for 360 Hz) to another sampling rate.
+  static FilterConfig for_rate(int fs_hz);
+};
+
+/// Estimates the baseline wander of `x` (opening then closing).
+Signal baseline_estimate(const Signal& x, const FilterConfig& cfg = {});
+
+/// Removes baseline wander: x - baseline_estimate(x).
+Signal remove_baseline(const Signal& x, const FilterConfig& cfg = {});
+
+/// Suppresses impulsive noise: (open(close(x)) + close(open(x))) / 2.
+Signal suppress_noise(const Signal& x, const FilterConfig& cfg = {});
+
+/// Full conditioning chain: baseline removal followed by noise suppression.
+Signal condition_ecg(const Signal& x, const FilterConfig& cfg = {});
+
+}  // namespace hbrp::dsp

@@ -1,0 +1,31 @@
+// Integer-factor resampling and beat-window extraction.
+//
+// The paper's embedded classifier consumes beats downsampled 4x (360 Hz ->
+// 90 Hz, 200-sample window -> 50 samples), both to shrink the stored random
+// projection matrix and to cut per-beat arithmetic. Downsampling here
+// averages each group of `factor` samples (a box anti-alias filter that is
+// exact in integer arithmetic), with plain decimation also available since
+// dropping matrix columns — the paper's trick — is equivalent to decimating
+// the input.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/signal.hpp"
+
+namespace hbrp::dsp {
+
+/// Box-filtered downsampling: output[i] = round(mean(x[i*f .. i*f+f-1])).
+/// A trailing partial group is averaged over its actual length.
+Signal downsample_avg(const Signal& x, std::size_t factor);
+
+/// Plain decimation: output[i] = x[i * factor].
+Signal decimate(const Signal& x, std::size_t factor);
+
+/// Extracts a window of `before + after` samples centred on `peak`
+/// (samples [peak - before, peak + after)), replicating edge samples when
+/// the window overruns the signal boundary.
+Signal extract_window(const Signal& x, std::size_t peak, std::size_t before,
+                      std::size_t after);
+
+}  // namespace hbrp::dsp

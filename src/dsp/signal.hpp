@@ -1,0 +1,23 @@
+// Common signal types for the acquisition/processing chain.
+//
+// Samples are signed 32-bit integers throughout the embedded-facing DSP path:
+// the MIT-BIH-style ADC emits 11-bit codes, all filters here are exact in
+// integer arithmetic (morphology) or use power-of-two scaling (spline
+// wavelet), and the WBSN platform the paper targets has no FPU.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hbrp::dsp {
+
+using Sample = std::int32_t;
+using Signal = std::vector<Sample>;
+
+/// Sampling rate of the MIT-BIH Arrhythmia recordings (Hz).
+inline constexpr int kMitBihFs = 360;
+
+/// Embedded-side sampling rate after the paper's 4x downsampling (Hz).
+inline constexpr int kEmbeddedFs = 90;
+
+}  // namespace hbrp::dsp

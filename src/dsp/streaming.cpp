@@ -1,0 +1,194 @@
+#include "dsp/streaming.hpp"
+
+#include <array>
+#include <span>
+
+#include "math/check.hpp"
+
+namespace hbrp::dsp {
+
+namespace {
+
+using Chain = std::span<SlidingExtremum* const>;
+
+// Feeds one sample through a cascade of stages.
+std::optional<Sample> chain_push(Chain chain, Sample x) {
+  std::optional<Sample> value = x;
+  for (SlidingExtremum* stage : chain) {
+    if (!value) return std::nullopt;
+    value = stage->push(*value);
+  }
+  return value;
+}
+
+// Drains a cascade: each stage's right-border tail is propagated through
+// the remaining stages, then those stages flush in turn.
+std::vector<Sample> chain_flush(Chain chain) {
+  std::vector<Sample> pending;
+  for (SlidingExtremum* stage : chain) {
+    std::vector<Sample> next;
+    for (const Sample s : pending)
+      if (const auto y = stage->push(s)) next.push_back(*y);
+    const std::vector<Sample> tail = stage->flush();
+    next.insert(next.end(), tail.begin(), tail.end());
+    pending = std::move(next);
+  }
+  return pending;
+}
+
+}  // namespace
+
+SlidingExtremum::SlidingExtremum(Kind kind, std::size_t length)
+    : kind_(kind), half_(length / 2) {
+  HBRP_REQUIRE(length >= 1 && length % 2 == 1,
+               "SlidingExtremum: length must be odd and >= 1");
+}
+
+std::optional<Sample> SlidingExtremum::push(Sample x) {
+  auto better = [this](Sample candidate, Sample incumbent) {
+    return kind_ == Kind::Min ? candidate <= incumbent
+                              : candidate >= incumbent;
+  };
+  auto insert = [&](std::ptrdiff_t i, Sample v) {
+    while (!window_.empty() && better(v, window_.back().second))
+      window_.pop_back();
+    window_.emplace_back(i, v);
+  };
+
+  if (next_in_ == 0) {
+    // Left border: the batch operator replicates x[0] outside the signal.
+    for (std::ptrdiff_t i = -static_cast<std::ptrdiff_t>(half_); i < 0; ++i)
+      insert(i, x);
+  }
+  insert(next_in_, x);
+  last_ = x;
+  const std::ptrdiff_t center = next_in_ - static_cast<std::ptrdiff_t>(half_);
+  ++next_in_;
+  if (center < 0) return std::nullopt;
+  return emit_for_center(center);
+}
+
+std::optional<Sample> SlidingExtremum::emit_for_center(std::ptrdiff_t center) {
+  HBRP_ASSERT(center == next_out_);
+  const std::ptrdiff_t lower = center - static_cast<std::ptrdiff_t>(half_);
+  while (!window_.empty() && window_.front().first < lower)
+    window_.pop_front();
+  HBRP_ASSERT(!window_.empty());
+  ++next_out_;
+  return window_.front().second;
+}
+
+std::vector<Sample> SlidingExtremum::flush() {
+  std::vector<Sample> out;
+  // Right border: replicate the final sample for the last half_ outputs.
+  for (std::size_t k = 0; k < half_ && next_in_ > 0; ++k)
+    if (const auto y = push(last_)) out.push_back(*y);
+  window_.clear();
+  next_in_ = 0;
+  next_out_ = 0;
+  return out;
+}
+
+DelayLine::DelayLine(std::size_t delay) : delay_(delay) {}
+
+std::optional<Sample> DelayLine::push(Sample x) {
+  fifo_.push_back(x);
+  if (fifo_.size() <= delay_) return std::nullopt;
+  const Sample out = fifo_.front();
+  fifo_.pop_front();
+  return out;
+}
+
+std::vector<Sample> DelayLine::flush() {
+  std::vector<Sample> out(fifo_.begin(), fifo_.end());
+  fifo_.clear();
+  return out;
+}
+
+StreamingConditioner::StreamingConditioner(const FilterConfig& cfg)
+    : cfg_(cfg),
+      b_erode_(SlidingExtremum::Kind::Min, cfg.baseline_open_len),
+      b_dilate_(SlidingExtremum::Kind::Max, cfg.baseline_open_len),
+      b_dilate2_(SlidingExtremum::Kind::Max, cfg.baseline_close_len),
+      b_erode2_(SlidingExtremum::Kind::Min, cfg.baseline_close_len),
+      x_delay_((cfg.baseline_open_len - 1) + (cfg.baseline_close_len - 1)),
+      oc_dilate_(SlidingExtremum::Kind::Max, cfg.noise_len),
+      oc_erode_(SlidingExtremum::Kind::Min, cfg.noise_len),
+      oc_erode2_(SlidingExtremum::Kind::Min, cfg.noise_len),
+      oc_dilate2_(SlidingExtremum::Kind::Max, cfg.noise_len),
+      co_erode_(SlidingExtremum::Kind::Min, cfg.noise_len),
+      co_dilate_(SlidingExtremum::Kind::Max, cfg.noise_len),
+      co_dilate2_(SlidingExtremum::Kind::Max, cfg.noise_len),
+      co_erode2_(SlidingExtremum::Kind::Min, cfg.noise_len) {
+  HBRP_REQUIRE(cfg.baseline_open_len < cfg.baseline_close_len,
+               "StreamingConditioner: opening element must be shorter than "
+               "closing one");
+  total_delay_ = x_delay_.delay() + 2 * (cfg.noise_len - 1);
+}
+
+std::optional<Sample> StreamingConditioner::push(Sample x) {
+  // Baseline branch: open (erode, dilate) then close (dilate, erode), with
+  // the raw input running down a parallel delay line for the subtraction.
+  const std::array<SlidingExtremum*, 4> baseline = {&b_erode_, &b_dilate_,
+                                                    &b_dilate2_, &b_erode2_};
+  const std::optional<Sample> base = chain_push(baseline, x);
+  const std::optional<Sample> delayed = x_delay_.push(x);
+  HBRP_ASSERT(base.has_value() == delayed.has_value());
+  if (!base) return std::nullopt;
+  return push_baseline_removed(*delayed - *base);
+}
+
+std::optional<Sample> StreamingConditioner::push_baseline_removed(Sample z) {
+  // Noise suppression: open(close(z)) and close(open(z)) run in parallel at
+  // identical group delay, then average with round-to-nearest.
+  const std::array<SlidingExtremum*, 4> oc = {&oc_dilate_, &oc_erode_,
+                                              &oc_erode2_, &oc_dilate2_};
+  const std::array<SlidingExtremum*, 4> co = {&co_erode_, &co_dilate_,
+                                              &co_dilate2_, &co_erode2_};
+  const std::optional<Sample> a = chain_push(oc, z);
+  const std::optional<Sample> b = chain_push(co, z);
+  HBRP_ASSERT(a.has_value() == b.has_value());
+  if (!a) return std::nullopt;
+  return static_cast<Sample>((*a + *b + 1) >> 1);
+}
+
+std::vector<Sample> StreamingConditioner::flush() {
+  const std::array<SlidingExtremum*, 4> baseline = {&b_erode_, &b_dilate_,
+                                                    &b_dilate2_, &b_erode2_};
+  const std::array<SlidingExtremum*, 4> oc = {&oc_dilate_, &oc_erode_,
+                                              &oc_erode2_, &oc_dilate2_};
+  const std::array<SlidingExtremum*, 4> co = {&co_erode_, &co_dilate_,
+                                              &co_dilate2_, &co_erode2_};
+
+  // Remaining baseline estimates pair one-to-one with the raw samples still
+  // in the delay line.
+  const std::vector<Sample> base_tail = chain_flush(baseline);
+  const std::vector<Sample> x_tail = x_delay_.flush();
+  HBRP_REQUIRE(base_tail.size() == x_tail.size(),
+               "StreamingConditioner: branch desynchronization on flush");
+
+  std::vector<Sample> out;
+  for (std::size_t i = 0; i < x_tail.size(); ++i)
+    if (const auto y = push_baseline_removed(x_tail[i] - base_tail[i]))
+      out.push_back(*y);
+
+  const std::vector<Sample> oc_tail = chain_flush(oc);
+  const std::vector<Sample> co_tail = chain_flush(co);
+  HBRP_REQUIRE(oc_tail.size() == co_tail.size(),
+               "StreamingConditioner: noise branches desynchronized");
+  for (std::size_t i = 0; i < oc_tail.size(); ++i)
+    out.push_back(static_cast<Sample>((oc_tail[i] + co_tail[i] + 1) >> 1));
+  return out;
+}
+
+std::size_t StreamingConditioner::memory_samples() const {
+  std::size_t acc = x_delay_.delay();
+  const std::array<const SlidingExtremum*, 12> stages = {
+      &b_erode_,   &b_dilate_,  &b_dilate2_,  &b_erode2_,
+      &oc_dilate_, &oc_erode_,  &oc_erode2_,  &oc_dilate2_,
+      &co_erode_,  &co_dilate_, &co_dilate2_, &co_erode2_};
+  for (const SlidingExtremum* s : stages) acc += s->memory_samples();
+  return acc;
+}
+
+}  // namespace hbrp::dsp

@@ -1,0 +1,112 @@
+// Streaming (sample-by-sample) signal conditioning with bounded memory.
+//
+// The batch operators in dsp/morphology.hpp process whole records — fine for
+// offline evaluation, impossible on a WBSN that sees one ADC sample at a
+// time and owns 96 KB of RAM. This module provides the firmware-shaped
+// equivalents: push one sample, get conditioned samples out after a fixed
+// group delay, never holding more than a few structuring-element lengths of
+// history.
+//
+// Equivalence contract (tested): away from the record borders, the
+// streaming chain emits exactly the samples the batch chain produces; at
+// the left border both replicate the first sample, and flush() finishes the
+// tail with the batch right-border semantics.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "dsp/morphology.hpp"
+#include "dsp/signal.hpp"
+
+namespace hbrp::dsp {
+
+/// Sliding-window extremum over a centred window of odd `length`, one
+/// sample in, at most one out. Output lags input by length/2 samples.
+class SlidingExtremum {
+ public:
+  enum class Kind { Min, Max };
+
+  SlidingExtremum(Kind kind, std::size_t length);
+
+  /// Feeds one sample; returns the next output sample once the window has
+  /// warmed up (after length/2 pushes), else nullopt.
+  std::optional<Sample> push(Sample x);
+
+  /// Emits the remaining length/2 outputs (right border, replicating the
+  /// last input as the batch operator does). The filter is left in its
+  /// initial (empty) state.
+  std::vector<Sample> flush();
+
+  std::size_t delay() const { return half_; }
+  /// Upper bound on retained samples (the RAM the kernel needs).
+  std::size_t memory_samples() const { return 2 * half_ + 2; }
+
+ private:
+  std::optional<Sample> emit_for_center(std::ptrdiff_t center);
+
+  Kind kind_;
+  std::size_t half_;
+  std::deque<std::pair<std::ptrdiff_t, Sample>> window_;  // monotonic deque
+  std::ptrdiff_t next_in_ = 0;   // index of the next input sample
+  std::ptrdiff_t next_out_ = 0;  // centre index of the next output
+  Sample last_ = 0;
+};
+
+/// A fixed-delay FIFO used to align parallel branches of a filter graph.
+class DelayLine {
+ public:
+  explicit DelayLine(std::size_t delay);
+
+  /// Pushes a sample; returns the sample from `delay` pushes ago once
+  /// primed.
+  std::optional<Sample> push(Sample x);
+
+  /// Remaining buffered samples, oldest first. Resets the line.
+  std::vector<Sample> flush();
+
+  std::size_t delay() const { return delay_; }
+
+ private:
+  std::size_t delay_;
+  std::deque<Sample> fifo_;
+};
+
+/// The full ECG conditioning chain (baseline removal + impulsive-noise
+/// suppression) in streaming form. Group delay is fixed and queryable;
+/// outputs are bit-exact with dsp::condition_ecg() away from borders.
+class StreamingConditioner {
+ public:
+  explicit StreamingConditioner(const FilterConfig& cfg = {});
+
+  /// Feeds one raw sample; returns zero or one conditioned samples.
+  std::optional<Sample> push(Sample x);
+
+  /// Drains everything still in flight (right-border handling) and resets.
+  std::vector<Sample> flush();
+
+  /// Total input-to-output delay in samples.
+  std::size_t delay() const { return total_delay_; }
+
+  /// Worst-case retained samples across all internal state (the figure to
+  /// compare against the WBSN's RAM).
+  std::size_t memory_samples() const;
+
+ private:
+  std::optional<Sample> push_baseline_removed(Sample z);
+
+  FilterConfig cfg_;
+  // Baseline branch: open(x) then close(...), with the raw input delayed in
+  // parallel for the subtraction.
+  SlidingExtremum b_erode_, b_dilate_, b_dilate2_, b_erode2_;
+  DelayLine x_delay_;
+  // Noise-suppression stage on the baseline-free signal: open-close and
+  // close-open branches averaged.
+  SlidingExtremum oc_dilate_, oc_erode_, oc_erode2_, oc_dilate2_;
+  SlidingExtremum co_erode_, co_dilate_, co_dilate2_, co_erode2_;
+  std::size_t total_delay_ = 0;
+};
+
+}  // namespace hbrp::dsp

@@ -1,0 +1,77 @@
+#include "dsp/wavelet.hpp"
+
+#include <algorithm>
+
+#include "math/check.hpp"
+
+namespace hbrp::dsp {
+
+namespace {
+
+// Clamped (edge-replicating) access.
+inline Sample at(const Signal& x, std::ptrdiff_t i) {
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  return x[static_cast<std::size_t>(std::clamp(i, std::ptrdiff_t{0}, n - 1))];
+}
+
+// Causal quadratic-spline lowpass at tap spacing `s`:
+//   y[n] = (x[n] + 3 x[n-s] + 3 x[n-2s] + x[n-3s] + 4) / 8
+// Group delay: 1.5 s samples.
+Signal lowpass(const Signal& x, std::ptrdiff_t s) {
+  Signal y(x.size());
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(x.size()); ++n) {
+    const std::int64_t acc = static_cast<std::int64_t>(at(x, n)) +
+                             3LL * at(x, n - s) + 3LL * at(x, n - 2 * s) +
+                             at(x, n - 3 * s);
+    y[static_cast<std::size_t>(n)] =
+        static_cast<Sample>((acc + 4) >> 3);  // round-to-nearest /8
+  }
+  return y;
+}
+
+// Causal quadratic-spline highpass (first difference scaled by 2) at tap
+// spacing `s`: y[n] = 2 (x[n] - x[n-s]). Group delay: s/2 samples.
+Signal highpass(const Signal& x, std::ptrdiff_t s) {
+  Signal y(x.size());
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(x.size()); ++n)
+    y[static_cast<std::size_t>(n)] =
+        2 * (at(x, n) - at(x, n - s));
+  return y;
+}
+
+// Shifts a signal left by `delay` samples (compensating a causal filter's
+// group delay), replicating the final sample at the tail.
+Signal advance(Signal y, std::ptrdiff_t delay) {
+  if (delay <= 0 || y.empty()) return y;
+  const auto n = static_cast<std::ptrdiff_t>(y.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    y[static_cast<std::size_t>(i)] = at(y, i + delay);
+  return y;
+}
+
+}  // namespace
+
+WaveletDecomposition wavelet_decompose(const Signal& x, std::size_t scales) {
+  HBRP_REQUIRE(scales >= 1 && scales <= kWaveletScales,
+               "wavelet_decompose(): scales must be in [1, 4]");
+  WaveletDecomposition out;
+  Signal approx = x;
+  double approx_delay = 0.0;  // cumulative group delay of `approx`
+  for (std::size_t j = 1; j <= scales; ++j) {
+    const auto s = static_cast<std::ptrdiff_t>(1) << (j - 1);
+    const double detail_delay =
+        approx_delay + static_cast<double>(s) / 2.0;
+    Signal detail = highpass(approx, s);
+    out.detail[j - 1] =
+        advance(std::move(detail),
+                static_cast<std::ptrdiff_t>(detail_delay + 0.5));
+
+    approx = lowpass(approx, s);
+    approx_delay += 1.5 * static_cast<double>(s);
+  }
+  out.approx =
+      advance(std::move(approx), static_cast<std::ptrdiff_t>(approx_delay + 0.5));
+  return out;
+}
+
+}  // namespace hbrp::dsp

@@ -1,0 +1,40 @@
+// À-trous dyadic wavelet transform with the quadratic-spline wavelet.
+//
+// This is the transform behind the paper's peak detector (Rincon et al. 2011,
+// after Li et al. / Mallat): the ECG is decomposed into four dyadic scales
+// 2^1..2^4 without subsampling; QRS complexes appear as modulus-maximum pairs
+// of opposite sign across scales, and the R peak is the zero-crossing between
+// them on the finest scale.
+//
+// Filters (Mallat's quadratic spline, integer-friendly):
+//   lowpass  h = (1/8) [1 3 3 1]
+//   highpass g = 2 [1 -1]
+// At level j the taps are spaced 2^(j-1) samples apart ("holes"). Each output
+// is phase-compensated for its group delay so that wavelet extrema align with
+// the temporal location of the generating slope in the input signal.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace hbrp::dsp {
+
+/// Maximum decomposition depth supported (the detector uses all four).
+inline constexpr std::size_t kWaveletScales = 4;
+
+struct WaveletDecomposition {
+  /// detail[j] is W_{2^(j+1)} x, aligned to the input timeline.
+  std::array<Signal, kWaveletScales> detail;
+  /// Final smooth approximation S_{2^4} x.
+  Signal approx;
+};
+
+/// Decomposes `x` into `scales` dyadic detail signals (1..kWaveletScales).
+/// All outputs have the same length as the input.
+WaveletDecomposition wavelet_decompose(const Signal& x,
+                                       std::size_t scales = kWaveletScales);
+
+}  // namespace hbrp::dsp

@@ -1,0 +1,278 @@
+#include "ecg/dataset.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "dsp/morphology.hpp"
+#include "dsp/resample.hpp"
+#include "math/check.hpp"
+#include "math/rng.hpp"
+
+namespace hbrp::ecg {
+
+namespace {
+
+// Matches detected peaks to annotations (both sorted). Returns, per
+// annotation, the index of its matched detection or npos.
+std::vector<std::size_t> match_annotations(
+    const std::vector<std::size_t>& detected,
+    const std::vector<BeatAnnotation>& annotations, std::size_t tolerance) {
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> match(annotations.size(), npos);
+  std::size_t di = 0;
+  for (std::size_t ai = 0; ai < annotations.size(); ++ai) {
+    const std::size_t ref = annotations[ai].sample;
+    while (di < detected.size() && detected[di] + tolerance < ref) ++di;
+    // Choose the closest detection within tolerance.
+    std::size_t best = npos;
+    std::size_t best_dist = tolerance + 1;
+    for (std::size_t j = di; j < detected.size(); ++j) {
+      if (detected[j] > ref + tolerance) break;
+      const std::size_t dist =
+          detected[j] > ref ? detected[j] - ref : ref - detected[j];
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    match[ai] = best;
+  }
+  return match;
+}
+
+RecordProfile pick_profile(const DatasetSpec& remaining, std::size_t round) {
+  if (remaining.l > 0) return RecordProfile::Lbbb;
+  if (remaining.v > 0)
+    // Alternate PVC densities for rhythm variety.
+    return round % 2 == 0 ? RecordProfile::PvcBigeminy
+                          : RecordProfile::PvcOccasional;
+  return RecordProfile::NormalSinus;
+}
+
+constexpr char kMagic[8] = {'H', 'B', 'R', 'P', 'D', 'S', '0', '2'};
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  HBRP_REQUIRE(in.good(), "dataset: truncated file");
+  return value;
+}
+
+}  // namespace
+
+DatasetSpec BeatDataset::counts() const {
+  DatasetSpec c;
+  for (const BeatWindow& b : beats) {
+    switch (b.label) {
+      case BeatClass::N: ++c.n; break;
+      case BeatClass::V: ++c.v; break;
+      case BeatClass::L: ++c.l; break;
+      case BeatClass::Unknown: break;
+    }
+  }
+  return c;
+}
+
+BeatDataset build_dataset(const DatasetSpec& spec,
+                          const DatasetBuilderConfig& cfg) {
+  HBRP_REQUIRE(spec.total() > 0, "build_dataset(): empty spec");
+  HBRP_REQUIRE(cfg.num_leads >= 1 && cfg.num_leads <= 3,
+               "build_dataset(): 1..3 leads supported");
+  BeatDataset ds;
+  ds.window_before = cfg.window_before;
+  ds.window_after = cfg.window_after;
+  ds.num_leads = cfg.num_leads;
+  ds.beats.reserve(spec.total());
+
+  DatasetSpec remaining = spec;
+  math::Rng rng(cfg.seed);
+  const auto filter_cfg = dsp::FilterConfig::for_rate(dsp::kMitBihFs);
+  const dsp::PeakDetectorConfig det_cfg;
+
+  // Beats too close to the record edge would have heavily clamped windows.
+  const std::size_t edge_guard =
+      std::max(cfg.window_before, cfg.window_after) + dsp::kMitBihFs / 2;
+
+  std::size_t round = 0;
+  const std::size_t max_records = 4000;
+  for (; remaining.total() > 0; ++round) {
+    HBRP_REQUIRE(round < max_records,
+                 "build_dataset(): could not fill quotas — generator mix "
+                 "cannot reach the requested class counts");
+    SynthConfig sc;
+    sc.profile = pick_profile(remaining, round);
+    sc.duration_s = cfg.record_duration_s;
+    sc.num_leads = static_cast<int>(cfg.num_leads);
+    sc.seed = rng.next();
+    const Record rec = generate_record(sc);
+
+    // Lead 0 is the reference for peak detection; all leads contribute
+    // window samples.
+    std::vector<dsp::Signal> conditioned_leads;
+    conditioned_leads.reserve(rec.leads.size());
+    for (const dsp::Signal& lead : rec.leads)
+      conditioned_leads.push_back(dsp::condition_ecg(lead, filter_cfg));
+    const dsp::Signal& conditioned = conditioned_leads[0];
+    std::vector<std::size_t> peaks;
+    if (cfg.use_detected_peaks) {
+      peaks = dsp::detect_r_peaks(conditioned, det_cfg);
+    } else {
+      peaks.reserve(rec.beats.size());
+      for (const BeatAnnotation& ann : rec.beats) peaks.push_back(ann.sample);
+    }
+    const std::vector<std::size_t> match =
+        match_annotations(peaks, rec.beats, cfg.match_tolerance);
+
+    std::array<std::size_t, kNumClasses> taken_this_record{};
+    for (std::size_t ai = 0; ai < rec.beats.size(); ++ai) {
+      if (match[ai] == static_cast<std::size_t>(-1)) continue;
+      const std::size_t peak = peaks[match[ai]];
+      if (peak < edge_guard || peak + edge_guard >= conditioned.size())
+        continue;
+      std::size_t* quota = nullptr;
+      switch (rec.beats[ai].cls) {
+        case BeatClass::N: quota = &remaining.n; break;
+        case BeatClass::V: quota = &remaining.v; break;
+        case BeatClass::L: quota = &remaining.l; break;
+        case BeatClass::Unknown: break;
+      }
+      if (quota == nullptr || *quota == 0) continue;
+      auto& taken = taken_this_record[static_cast<std::size_t>(
+          rec.beats[ai].cls)];
+      if (taken >= cfg.max_per_record_per_class) continue;
+      ++taken;
+      --*quota;
+      BeatWindow bw;
+      bw.label = rec.beats[ai].cls;
+      bw.samples.reserve(ds.window_size());
+      for (const dsp::Signal& lead : conditioned_leads) {
+        const dsp::Signal w = dsp::extract_window(
+            lead, peak, cfg.window_before, cfg.window_after);
+        bw.samples.insert(bw.samples.end(), w.begin(), w.end());
+      }
+      ds.beats.push_back(std::move(bw));
+    }
+  }
+  return ds;
+}
+
+void save_dataset(const BeatDataset& ds, const std::filesystem::path& path) {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  HBRP_REQUIRE(out.good(), "dataset: cannot open for write: " + path.string());
+  out.write(kMagic, sizeof(kMagic));
+  put<std::int32_t>(out, ds.fs_hz);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(ds.window_before));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(ds.window_after));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(ds.num_leads));
+  put<std::uint64_t>(out, ds.beats.size());
+  for (const BeatWindow& b : ds.beats) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(b.label));
+    HBRP_REQUIRE(b.samples.size() == ds.window_size(),
+                 "dataset: inconsistent window size");
+    out.write(reinterpret_cast<const char*>(b.samples.data()),
+              static_cast<std::streamsize>(b.samples.size() *
+                                           sizeof(dsp::Sample)));
+  }
+  HBRP_REQUIRE(out.good(), "dataset: write failure: " + path.string());
+}
+
+BeatDataset load_dataset(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  HBRP_REQUIRE(in.good(), "dataset: cannot open: " + path.string());
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  HBRP_REQUIRE(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
+               "dataset: bad magic in " + path.string());
+  BeatDataset ds;
+  ds.fs_hz = get<std::int32_t>(in);
+  ds.window_before = get<std::uint32_t>(in);
+  ds.window_after = get<std::uint32_t>(in);
+  ds.num_leads = get<std::uint32_t>(in);
+  HBRP_REQUIRE(ds.num_leads >= 1, "dataset: invalid lead count");
+  const auto count = get<std::uint64_t>(in);
+  ds.beats.resize(count);
+  for (BeatWindow& b : ds.beats) {
+    const auto label = get<std::uint8_t>(in);
+    HBRP_REQUIRE(label <= 2, "dataset: invalid label");
+    b.label = static_cast<BeatClass>(label);
+    b.samples.resize(ds.window_size());
+    in.read(reinterpret_cast<char*>(b.samples.data()),
+            static_cast<std::streamsize>(b.samples.size() *
+                                         sizeof(dsp::Sample)));
+    HBRP_REQUIRE(in.good(), "dataset: truncated beats in " + path.string());
+  }
+  return ds;
+}
+
+BeatDataset load_or_build(const std::filesystem::path& path,
+                          const DatasetSpec& spec,
+                          const DatasetBuilderConfig& cfg) {
+  if (std::filesystem::exists(path)) {
+    try {
+      BeatDataset ds = load_dataset(path);
+      const DatasetSpec c = ds.counts();
+      if (c.n == spec.n && c.v == spec.v && c.l == spec.l &&
+          ds.num_leads == cfg.num_leads)
+        return ds;
+      // Stale cache (different spec): rebuild below.
+    } catch (const Error&) {
+      // Corrupt or old-format cache: rebuild below.
+    }
+  }
+  BeatDataset ds = build_dataset(spec, cfg);
+  save_dataset(ds, path);
+  return ds;
+}
+
+std::filesystem::path default_cache_dir() {
+  if (const char* env = std::getenv("HBRP_CACHE_DIR")) return env;
+  return "/tmp/hbrp-cache";
+}
+
+PaperSplits load_paper_splits(double test_scale) {
+  HBRP_REQUIRE(test_scale > 0.0 && test_scale <= 1.0,
+               "load_paper_splits(): test_scale must be in (0, 1]");
+  auto scaled = [test_scale](const DatasetSpec& s) {
+    if (test_scale == 1.0) return s;
+    auto f = [test_scale](std::size_t x) {
+      return std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(x) * test_scale));
+    };
+    return DatasetSpec{f(s.n), f(s.v), f(s.l)};
+  };
+  const auto dir = default_cache_dir();
+  auto name = [&dir](const char* tag, const DatasetSpec& s,
+                     std::uint64_t seed) {
+    return dir / ("ds_" + std::string(tag) + "_" + std::to_string(s.n) + "_" +
+                  std::to_string(s.v) + "_" + std::to_string(s.l) + "_" +
+                  std::to_string(seed) + ".bin");
+  };
+
+  PaperSplits splits;
+  DatasetBuilderConfig cfg;
+  // Small splits must still span many "patients" (see
+  // DatasetBuilderConfig::max_per_record_per_class).
+  cfg.seed = 101;
+  cfg.max_per_record_per_class = 30;
+  splits.training1 =
+      load_or_build(name("ts1", kTrainingSet1, cfg.seed), kTrainingSet1, cfg);
+  cfg.seed = 202;
+  cfg.max_per_record_per_class = 150;
+  splits.training2 =
+      load_or_build(name("ts2", kTrainingSet2, cfg.seed), kTrainingSet2, cfg);
+  cfg.seed = 303;
+  cfg.max_per_record_per_class = 400;
+  const DatasetSpec test_spec = scaled(kTestSet);
+  splits.test = load_or_build(name("test", test_spec, cfg.seed), test_spec, cfg);
+  return splits;
+}
+
+}  // namespace hbrp::ecg

@@ -1,0 +1,55 @@
+// MIT-BIH (PhysioBank WFDB) on-disk format support.
+//
+// The paper evaluates on the MIT-BIH Arrhythmia Database. That data cannot
+// ship with this repository, but the on-disk formats can be fully supported:
+// synthetic records are written in genuine WFDB form (.hea header, format
+// 212 or 16 signal file, .atr annotation file) and read back through the
+// same parser the real database would use. This keeps the ingestion path of
+// a downstream user — point the library at WFDB files — fully exercised.
+//
+// Supported subset:
+//   - header: record line (name, #signals, fs, #samples) + signal lines
+//     (file, format, gain, ADC resolution, ADC zero);
+//   - signal formats: 212 (two 12-bit samples packed in 3 bytes, exactly the
+//     Arrhythmia DB layout) and 16 (interleaved little-endian int16, used
+//     for three-lead records);
+//   - annotations: MIT .atr coding (6-bit type + 10-bit time increment,
+//     SKIP escape for long gaps) with beat codes NORMAL=1, LBBB=3, PVC=5.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "ecg/types.hpp"
+
+namespace hbrp::ecg::mitdb {
+
+/// PhysioNet annotation codes for the beat classes this library handles.
+enum AnnotationCode : int {
+  kCodeNormal = 1,
+  kCodeLbbb = 3,
+  kCodePvc = 5,
+};
+
+/// Maps a PhysioNet beat code to a BeatClass (nullopt for unsupported codes).
+std::optional<BeatClass> beat_class_from_code(int code);
+int code_from_beat_class(BeatClass cls);
+
+struct WriteOptions {
+  /// 212 requires exactly two signals; 16 supports any count.
+  int signal_format = 212;
+};
+
+/// Writes `record` as <dir>/<record.name>.hea / .dat / .atr.
+/// Throws hbrp::Error on I/O failure or unsupported configuration
+/// (e.g. format 212 with a lead count other than two).
+void write_record(const Record& record, const std::filesystem::path& dir,
+                  const WriteOptions& options = {});
+
+/// Reads a record previously written by write_record() (or any WFDB record
+/// within the supported subset). `name` is the record name without
+/// extension. Fiducial ground truth is not part of WFDB and reads back
+/// empty.
+Record read_record(const std::filesystem::path& dir, const std::string& name);
+
+}  // namespace hbrp::ecg::mitdb

@@ -1,0 +1,165 @@
+#include "ecg/morphology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+
+namespace hbrp::ecg {
+
+namespace {
+constexpr double kWaveExtentSigmas = 2.5;
+}
+
+BeatMorphology::BeatMorphology(std::vector<WaveParams> waves)
+    : waves_(std::move(waves)) {
+  HBRP_REQUIRE(!waves_.empty(), "BeatMorphology needs at least one wave");
+  support_begin_ = waves_.front().center_s;
+  support_end_ = waves_.front().center_s;
+  for (const WaveParams& w : waves_) {
+    HBRP_REQUIRE(w.width_s > 0.0, "wave width must be positive");
+    support_begin_ =
+        std::min(support_begin_, w.center_s - kWaveExtentSigmas * w.width_s);
+    support_end_ =
+        std::max(support_end_, w.center_s + kWaveExtentSigmas * w.width_s);
+  }
+}
+
+double BeatMorphology::value_at(double t) const {
+  double acc = 0.0;
+  for (const WaveParams& w : waves_) {
+    const double z = (t - w.center_s) / w.width_s;
+    if (std::abs(z) > 5.0) continue;  // negligible tail
+    acc += w.amp_mv * std::exp(-0.5 * z * z);
+  }
+  return acc;
+}
+
+RelativeFiducials BeatMorphology::fiducials() const {
+  RelativeFiducials f;
+  bool qrs_seen = false;
+  for (const WaveParams& w : waves_) {
+    const double lo = w.center_s - kWaveExtentSigmas * w.width_s;
+    const double hi = w.center_s + kWaveExtentSigmas * w.width_s;
+    switch (w.role) {
+      case WaveRole::P:
+        f.has_p = true;
+        f.p_onset = lo;
+        f.p_peak = w.center_s;
+        f.p_end = hi;
+        break;
+      case WaveRole::T:
+        f.has_t = true;
+        f.t_onset = lo;
+        f.t_peak = w.center_s;
+        f.t_end = hi;
+        break;
+      default:  // QRS-role waves
+        if (!qrs_seen) {
+          f.qrs_onset = lo;
+          f.qrs_end = hi;
+          qrs_seen = true;
+        } else {
+          f.qrs_onset = std::min(f.qrs_onset, lo);
+          f.qrs_end = std::max(f.qrs_end, hi);
+        }
+        break;
+    }
+  }
+  return f;
+}
+
+MorphologyVariation record_variation() {
+  return {0.26, 0.20, 0.015, 0.0, 1.0};
+}
+MorphologyVariation beat_variation() {
+  // ~10% of beats are aberrant, with QRS width scaled toward the opposing
+  // class (wide-ish normals, narrow-ish ectopics).
+  return {0.08, 0.07, 0.005, 0.16, 1.45};
+}
+
+namespace {
+
+// Base class templates (lead-II-like amplitudes in mV, times in seconds
+// relative to the R peak).
+std::vector<WaveParams> base_waves(BeatClass cls) {
+  using enum WaveRole;
+  switch (cls) {
+    case BeatClass::N:
+      return {
+          {P, 0.15, -0.180, 0.025},
+          {Q, -0.10, -0.022, 0.010},
+          {R, 1.00, 0.000, 0.012},
+          {S, -0.25, 0.026, 0.012},
+          {T, 0.35, 0.300, 0.060},
+      };
+    case BeatClass::L:
+      // LBBB: preserved P, broad slurred/notched R (QRS ~140 ms), absent Q,
+      // discordant T.
+      return {
+          {P, 0.12, -0.200, 0.025},
+          {R, 0.85, -0.012, 0.030},
+          {R2, 0.55, 0.052, 0.034},
+          {S, -0.15, 0.110, 0.022},
+          {T, -0.28, 0.340, 0.070},
+      };
+    case BeatClass::V:
+      // PVC: no P wave, wide bizarre high-amplitude QRS, large discordant T.
+      return {
+          {R, 1.35, 0.000, 0.042},
+          {S, -0.80, 0.075, 0.048},
+          {T, -0.50, 0.360, 0.085},
+      };
+    case BeatClass::Unknown:
+      break;
+  }
+  HBRP_REQUIRE(false, "no morphology template for Unknown class");
+}
+
+std::vector<WaveParams> perturb(const std::vector<WaveParams>& waves,
+                                math::Rng& rng,
+                                const MorphologyVariation& var) {
+  // Aberrant conduction: QRS widths pushed toward the opposing class
+  // (widened or narrowed with equal probability), amplitude compensated to
+  // keep the deflection area roughly constant.
+  // Widening dominates (aberrantly-conducted supraventricular beats are the
+  // common case clinically); it also stresses NDR — wide normals drift
+  // toward the V/L morphologies — which is where real MIT-BIH classifiers
+  // lose their few NDR points.
+  double qrs_width_factor = 1.0;
+  if (var.aberrant_prob > 0.0 && rng.bernoulli(var.aberrant_prob))
+    qrs_width_factor = rng.bernoulli(0.75) ? var.aberrant_width_factor
+                                           : 1.0 / var.aberrant_width_factor;
+
+  std::vector<WaveParams> out;
+  out.reserve(waves.size());
+  for (const WaveParams& w : waves) {
+    WaveParams p = w;
+    p.amp_mv *= 1.0 + var.amp_frac * rng.normal();
+    p.width_s *= std::max(0.4, 1.0 + var.width_frac * rng.normal());
+    if (qrs_width_factor != 1.0 && is_qrs_role(p.role)) {
+      p.width_s *= qrs_width_factor;
+      p.amp_mv /= std::sqrt(qrs_width_factor);
+    }
+    // The R apex anchors the beat: never shift the wave that defines t = 0,
+    // otherwise annotations would drift off the actual peak.
+    if (!(p.role == WaveRole::R && w.center_s == 0.0))
+      p.center_s += var.center_jitter_s * rng.normal();
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+BeatMorphology make_template(BeatClass cls, math::Rng& rng,
+                             const MorphologyVariation& var) {
+  return BeatMorphology(perturb(base_waves(cls), rng, var));
+}
+
+BeatMorphology jitter_morphology(const BeatMorphology& base, math::Rng& rng,
+                                 const MorphologyVariation& var) {
+  return BeatMorphology(perturb(base.waves(), rng, var));
+}
+
+}  // namespace hbrp::ecg

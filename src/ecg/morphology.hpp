@@ -1,0 +1,99 @@
+// Analytic beat-morphology model for the synthetic ECG generator.
+//
+// Each heartbeat is a sum of Gaussian waves (the classic ECGSYN approach of
+// McSharry et al.), parameterized per class to reproduce the morphological
+// distinctions the paper's classifier exploits:
+//   N — normal sinus: P wave, narrow QRS (Q/R/S), upright T;
+//   L — left bundle branch block: P wave preserved, wide slurred/notched QRS
+//       (~140 ms), discordant (inverted) T;
+//   V — premature ventricular contraction: no P wave, wide bizarre
+//       high-amplitude QRS, large discordant T, premature timing followed by
+//       a compensatory pause (timing handled by the rhythm model in synth).
+// The model also yields analytic ground-truth fiducial points, which the
+// delineation experiments score against.
+#pragma once
+
+#include <vector>
+
+#include "ecg/types.hpp"
+#include "math/rng.hpp"
+
+namespace hbrp::ecg {
+
+/// Role of one Gaussian component inside a beat.
+enum class WaveRole : std::uint8_t { P = 0, Q, R, R2, S, T };
+inline constexpr std::size_t kNumWaveRoles = 6;
+
+struct WaveParams {
+  WaveRole role = WaveRole::R;
+  double amp_mv = 0.0;    ///< signed peak amplitude
+  double center_s = 0.0;  ///< centre relative to the R peak (seconds)
+  double width_s = 0.0;   ///< Gaussian sigma (seconds)
+};
+
+constexpr bool is_qrs_role(WaveRole r) {
+  return r == WaveRole::Q || r == WaveRole::R || r == WaveRole::R2 ||
+         r == WaveRole::S;
+}
+
+/// Fiducial points relative to the R peak (seconds). NaN-free: absent waves
+/// are flagged with `has_p` / `has_t`.
+struct RelativeFiducials {
+  bool has_p = false;
+  bool has_t = false;
+  double p_onset = 0.0, p_peak = 0.0, p_end = 0.0;
+  double qrs_onset = 0.0, qrs_end = 0.0;
+  double t_onset = 0.0, t_peak = 0.0, t_end = 0.0;
+};
+
+class BeatMorphology {
+ public:
+  explicit BeatMorphology(std::vector<WaveParams> waves);
+
+  /// Membrane potential contribution at time `t` seconds from the R peak.
+  double value_at(double t) const;
+
+  /// Analytic fiducials: each wave's extent is taken as +-2.5 sigma around
+  /// its centre; QRS onset/end aggregate all QRS-role components.
+  RelativeFiducials fiducials() const;
+
+  /// Earliest/latest time at which the beat contributes meaningful signal.
+  double support_begin_s() const { return support_begin_; }
+  double support_end_s() const { return support_end_; }
+
+  const std::vector<WaveParams>& waves() const { return waves_; }
+
+ private:
+  std::vector<WaveParams> waves_;
+  double support_begin_ = 0.0;
+  double support_end_ = 0.0;
+};
+
+/// Per-record morphology individuality: each synthetic "patient" draws a
+/// template once per record; per-beat jitter is applied on top.
+struct MorphologyVariation {
+  double amp_frac = 0.0;      ///< relative amplitude perturbation (1 sigma)
+  double width_frac = 0.0;    ///< relative width perturbation (1 sigma)
+  double center_jitter_s = 0.0;  ///< absolute centre jitter (1 sigma)
+  /// Probability that a beat is "aberrant": its QRS widths are additionally
+  /// scaled by aberrant_width_factor. Aberrantly-conducted normal beats and
+  /// narrow fusion-like PVCs are what make real MIT-BIH classification hard;
+  /// without them every class is trivially separable by QRS width.
+  double aberrant_prob = 0.0;
+  double aberrant_width_factor = 1.0;
+};
+
+/// Default inter-patient variation (drawn once per record).
+MorphologyVariation record_variation();
+/// Default beat-to-beat variation (drawn per beat).
+MorphologyVariation beat_variation();
+
+/// Creates a class template with inter-patient variation applied.
+BeatMorphology make_template(BeatClass cls, math::Rng& rng,
+                             const MorphologyVariation& var = record_variation());
+
+/// Applies beat-to-beat jitter to a template.
+BeatMorphology jitter_morphology(const BeatMorphology& base, math::Rng& rng,
+                                 const MorphologyVariation& var = beat_variation());
+
+}  // namespace hbrp::ecg

@@ -1,0 +1,245 @@
+#include "ecg/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "math/check.hpp"
+
+namespace hbrp::ecg {
+
+namespace {
+
+// Per-lead gain applied to each wave role, emulating three electrode
+// placements viewing the same cardiac activity. Lead 0 is the reference
+// (lead-II-like); lead 2 is V1-like with reduced R and accentuated
+// negative deflections.
+constexpr double kLeadGain[3][kNumWaveRoles] = {
+    //  P      Q      R      R2     S      T
+    {1.00, 1.00, 1.00, 1.00, 1.00, 1.00},
+    {0.70, 0.80, 0.85, 0.80, 0.90, 0.75},
+    {0.50, 1.20, 0.45, 0.55, 1.60, -0.60},
+};
+
+struct PlannedBeat {
+  double center_s = 0.0;
+  BeatClass cls = BeatClass::N;
+};
+
+// Plans the beat sequence: classes per the profile, RR intervals with
+// respiratory modulation and jitter, PVC prematurity + compensatory pause.
+std::vector<PlannedBeat> plan_rhythm(const SynthConfig& cfg,
+                                     math::Rng& rng) {
+  const double hr = cfg.heart_rate_bpm > 0.0 ? cfg.heart_rate_bpm
+                                             : rng.uniform(55.0, 95.0);
+  const double rr_base = 60.0 / hr;
+  const double resp_freq = rng.uniform(0.15, 0.35);   // breathing rate (Hz)
+  const double resp_depth = rng.uniform(0.01, 0.04);  // RR modulation depth
+  const double resp_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  std::vector<PlannedBeat> beats;
+  double t = 0.6;  // leave room for the first beat's P wave
+  bool in_bigeminy_run = false;
+  std::size_t run_left = 0;
+  bool prev_was_pvc = false;
+
+  const double margin = 0.7;  // keep last beat's T wave inside the record
+  while (t < cfg.duration_s - margin) {
+    BeatClass cls = BeatClass::N;
+    switch (cfg.profile) {
+      case RecordProfile::NormalSinus:
+        cls = (!prev_was_pvc && rng.bernoulli(0.008)) ? BeatClass::V
+                                                      : BeatClass::N;
+        break;
+      case RecordProfile::PvcOccasional:
+        cls = (!prev_was_pvc && rng.bernoulli(0.07)) ? BeatClass::V
+                                                     : BeatClass::N;
+        break;
+      case RecordProfile::PvcBigeminy:
+        if (!in_bigeminy_run && rng.bernoulli(0.02)) {
+          in_bigeminy_run = true;
+          run_left = static_cast<std::size_t>(rng.uniform_int(6, 20));
+        }
+        if (in_bigeminy_run) {
+          cls = prev_was_pvc ? BeatClass::N : BeatClass::V;
+          if (run_left-- == 0) in_bigeminy_run = false;
+        } else {
+          cls = (!prev_was_pvc && rng.bernoulli(0.01)) ? BeatClass::V
+                                                       : BeatClass::N;
+        }
+        break;
+      case RecordProfile::Lbbb:
+        cls = (!prev_was_pvc && rng.bernoulli(0.02)) ? BeatClass::V
+                                                     : BeatClass::L;
+        break;
+    }
+
+    beats.push_back({t, cls});
+
+    // Next RR interval.
+    const double resp = 1.0 + resp_depth * std::sin(2.0 * std::numbers::pi *
+                                                        resp_freq * t +
+                                                    resp_phase);
+    const double jitter = 1.0 + 0.025 * rng.normal();
+    double rr = rr_base * resp * std::clamp(jitter, 0.8, 1.2);
+    if (cls == BeatClass::V) {
+      // This beat was premature: shorten the interval *into* it by moving it
+      // earlier, and lengthen the interval out of it (compensatory pause).
+      const double prematurity = rng.uniform(0.25, 0.40);
+      beats.back().center_s -= prematurity * rr_base;
+      if (beats.size() >= 2 &&
+          beats.back().center_s - beats[beats.size() - 2].center_s < 0.3)
+        beats.back().center_s = beats[beats.size() - 2].center_s + 0.3;
+      rr += prematurity * rr_base;  // pause restores the underlying rhythm
+    }
+    t += rr;
+    prev_was_pvc = (cls == BeatClass::V);
+  }
+  return beats;
+}
+
+std::size_t to_sample(double t_s, int fs, std::size_t n) {
+  const auto idx = static_cast<std::ptrdiff_t>(std::lround(t_s * fs));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(n) - 1));
+}
+
+Fiducials absolute_fiducials(const RelativeFiducials& rel, double center_s,
+                             int fs, std::size_t n) {
+  Fiducials f;
+  f.r_peak = to_sample(center_s, fs, n);
+  f.qrs_onset = to_sample(center_s + rel.qrs_onset, fs, n);
+  f.qrs_end = to_sample(center_s + rel.qrs_end, fs, n);
+  if (rel.has_p) {
+    f.p_onset = to_sample(center_s + rel.p_onset, fs, n);
+    f.p_peak = to_sample(center_s + rel.p_peak, fs, n);
+    f.p_end = to_sample(center_s + rel.p_end, fs, n);
+  }
+  if (rel.has_t) {
+    f.t_onset = to_sample(center_s + rel.t_onset, fs, n);
+    f.t_peak = to_sample(center_s + rel.t_peak, fs, n);
+    f.t_end = to_sample(center_s + rel.t_end, fs, n);
+  }
+  return f;
+}
+
+}  // namespace
+
+Record generate_record(const SynthConfig& cfg) {
+  HBRP_REQUIRE(cfg.fs_hz > 0, "generate_record(): fs must be positive");
+  HBRP_REQUIRE(cfg.num_leads >= 1 && cfg.num_leads <= 3,
+               "generate_record(): 1..3 leads supported");
+  HBRP_REQUIRE(cfg.duration_s >= 2.0,
+               "generate_record(): duration must be >= 2 s");
+
+  math::Rng rng(cfg.seed);
+  const auto n =
+      static_cast<std::size_t>(cfg.duration_s * cfg.fs_hz);
+
+  // Per-record ("per-patient") class templates.
+  math::Rng morph_rng = rng.split();
+  const BeatMorphology tmpl_n = make_template(BeatClass::N, morph_rng);
+  const BeatMorphology tmpl_v = make_template(BeatClass::V, morph_rng);
+  const BeatMorphology tmpl_l = make_template(BeatClass::L, morph_rng);
+  const double patient_gain = rng.uniform(0.8, 1.25);
+
+  math::Rng rhythm_rng = rng.split();
+  const std::vector<PlannedBeat> planned = plan_rhythm(cfg, rhythm_rng);
+
+  // Accumulate the clean signal in mV per lead.
+  std::vector<std::vector<double>> mv(
+      static_cast<std::size_t>(cfg.num_leads), std::vector<double>(n, 0.0));
+
+  Record rec;
+  rec.fs_hz = cfg.fs_hz;
+  rec.beats.reserve(planned.size());
+
+  math::Rng beat_rng = rng.split();
+  for (const PlannedBeat& pb : planned) {
+    const BeatMorphology& tmpl = pb.cls == BeatClass::N   ? tmpl_n
+                                 : pb.cls == BeatClass::V ? tmpl_v
+                                                          : tmpl_l;
+    const BeatMorphology beat = jitter_morphology(tmpl, beat_rng);
+
+    const double lo_s = pb.center_s + beat.support_begin_s();
+    const double hi_s = pb.center_s + beat.support_end_s();
+    const auto lo = static_cast<std::size_t>(
+        std::max(0.0, std::floor(lo_s * cfg.fs_hz)));
+    const auto hi = std::min(
+        n, static_cast<std::size_t>(std::max(0.0, std::ceil(hi_s * cfg.fs_hz))));
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double t = static_cast<double>(i) / cfg.fs_hz - pb.center_s;
+      // Evaluate each wave once, then fan out through the lead gains.
+      for (const WaveParams& w : beat.waves()) {
+        const double z = (t - w.center_s) / w.width_s;
+        if (std::abs(z) > 5.0) continue;
+        const double g = patient_gain * w.amp_mv * std::exp(-0.5 * z * z);
+        for (int lead = 0; lead < cfg.num_leads; ++lead)
+          mv[static_cast<std::size_t>(lead)][i] +=
+              g * kLeadGain[lead][static_cast<std::size_t>(w.role)];
+      }
+    }
+
+    BeatAnnotation ann;
+    ann.sample = to_sample(pb.center_s, cfg.fs_hz, n);
+    ann.cls = pb.cls;
+    ann.fiducials =
+        absolute_fiducials(beat.fiducials(), pb.center_s, cfg.fs_hz, n);
+    rec.beats.push_back(ann);
+  }
+
+  // Additive noise, independently drawn per lead.
+  if (cfg.noise_scale > 0.0) {
+    for (int lead = 0; lead < cfg.num_leads; ++lead) {
+      math::Rng noise_rng = rng.split();
+      auto& sig = mv[static_cast<std::size_t>(lead)];
+
+      // Baseline wander: two slow sinusoids (respiration + electrode drift).
+      const double a1 = cfg.noise_scale * cfg.noise.baseline_mv *
+                        noise_rng.uniform(0.5, 1.0);
+      const double a2 = a1 * noise_rng.uniform(0.3, 0.7);
+      const double f1 = noise_rng.uniform(0.15, 0.30);
+      const double f2 = noise_rng.uniform(0.30, 0.45);
+      const double p1 = noise_rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double p2 = noise_rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double emg = cfg.noise_scale * cfg.noise.emg_mv *
+                         noise_rng.uniform(0.5, 1.5);
+      const double pl_amp = cfg.noise_scale * cfg.noise.powerline_mv *
+                            noise_rng.uniform(0.3, 1.5);
+      const double pl_phase = noise_rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / cfg.fs_hz;
+        sig[i] += a1 * std::sin(2.0 * std::numbers::pi * f1 * t + p1) +
+                  a2 * std::sin(2.0 * std::numbers::pi * f2 * t + p2) +
+                  emg * noise_rng.normal() +
+                  pl_amp * std::sin(2.0 * std::numbers::pi *
+                                        cfg.noise.powerline_hz * t +
+                                    pl_phase);
+      }
+    }
+  }
+
+  // 11-bit ADC digitization.
+  rec.leads.resize(static_cast<std::size_t>(cfg.num_leads));
+  for (int lead = 0; lead < cfg.num_leads; ++lead) {
+    auto& out = rec.leads[static_cast<std::size_t>(lead)];
+    out.resize(n);
+    const auto& sig = mv[static_cast<std::size_t>(lead)];
+    for (std::size_t i = 0; i < n; ++i) out[i] = cfg.adc.to_adu(sig[i]);
+  }
+  return rec;
+}
+
+ProfileMix expected_mix(RecordProfile profile) {
+  switch (profile) {
+    case RecordProfile::NormalSinus: return {0.992, 0.008, 0.0};
+    case RecordProfile::PvcOccasional: return {0.93, 0.07, 0.0};
+    case RecordProfile::PvcBigeminy: return {0.85, 0.15, 0.0};
+    case RecordProfile::Lbbb: return {0.0, 0.02, 0.98};
+  }
+  return {};
+}
+
+}  // namespace hbrp::ecg

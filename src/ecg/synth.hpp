@@ -1,0 +1,57 @@
+// Synthetic multi-lead ECG record generator.
+//
+// Stand-in for the MIT-BIH Arrhythmia Database (see DESIGN.md §2): produces
+// annotated records whose beats carry the morphological structure the
+// paper's classifier discriminates, embedded in realistic acquisition
+// conditions — RR-interval dynamics with PVC prematurity and compensatory
+// pauses, per-record ("per-patient") morphology individuality, baseline
+// wander, EMG noise, powerline interference, and 11-bit ADC quantization.
+#pragma once
+
+#include <cstdint>
+
+#include "ecg/morphology.hpp"
+#include "ecg/types.hpp"
+
+namespace hbrp::ecg {
+
+/// Rhythm/beat-mix archetypes mirroring MIT-BIH record families.
+enum class RecordProfile : std::uint8_t {
+  NormalSinus,     ///< nearly all N, sporadic PVCs (< 1%)
+  PvcOccasional,   ///< N with ~7% PVCs
+  PvcBigeminy,     ///< N with runs of every-other-beat PVCs
+  Lbbb,            ///< LBBB patient: nearly all L, sporadic PVCs
+};
+
+struct NoiseConfig {
+  double baseline_mv = 0.14;   ///< baseline-wander amplitude (1 sigma of mix)
+  double emg_mv = 0.035;       ///< white EMG noise sigma
+  double powerline_mv = 0.008; ///< 60 Hz interference amplitude
+  double powerline_hz = 60.0;
+};
+
+struct SynthConfig {
+  int fs_hz = dsp::kMitBihFs;
+  double duration_s = 1800.0;  ///< MIT-BIH records are ~30 min
+  int num_leads = 3;
+  RecordProfile profile = RecordProfile::NormalSinus;
+  /// Mean heart rate; 0 draws a per-record rate in [55, 95] bpm.
+  double heart_rate_bpm = 0.0;
+  NoiseConfig noise;
+  /// Scales all noise amplitudes; 0 disables noise entirely (for tests).
+  double noise_scale = 1.0;
+  std::uint64_t seed = 1;
+  AdcSpec adc;
+};
+
+/// Generates one annotated record. Deterministic in `cfg.seed`.
+Record generate_record(const SynthConfig& cfg);
+
+/// Fraction of beats of each class a profile produces on average
+/// (used by the dataset builder to plan record counts).
+struct ProfileMix {
+  double n = 0.0, v = 0.0, l = 0.0;
+};
+ProfileMix expected_mix(RecordProfile profile);
+
+}  // namespace hbrp::ecg

@@ -1,0 +1,28 @@
+#include "ecg/types.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbrp::ecg {
+
+std::size_t Fiducials::count() const {
+  const std::array<std::size_t, 9> all = {p_onset, p_peak, p_end,
+                                          qrs_onset, r_peak, qrs_end,
+                                          t_onset, t_peak, t_end};
+  return static_cast<std::size_t>(
+      std::count_if(all.begin(), all.end(),
+                    [](std::size_t v) { return v != kNoFiducial; }));
+}
+
+dsp::Sample AdcSpec::to_adu(double mv) const {
+  const double raw = mv * gain_adu_per_mv + baseline_adu;
+  const double clamped = std::clamp(
+      raw, static_cast<double>(min_adu), static_cast<double>(max_adu));
+  return static_cast<dsp::Sample>(std::lround(clamped));
+}
+
+double AdcSpec::to_mv(dsp::Sample adu) const {
+  return (static_cast<double>(adu) - baseline_adu) / gain_adu_per_mv;
+}
+
+}  // namespace hbrp::ecg

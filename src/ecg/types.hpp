@@ -1,0 +1,93 @@
+// Core ECG domain types shared by the generator, dataset builder and
+// classification pipeline.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace hbrp::ecg {
+
+/// Heartbeat classes considered by the paper: normal sinus (N), premature
+/// ventricular contraction (V), left bundle branch block (L). `Unknown` is
+/// the defuzzifier's low-confidence output; it never labels ground truth.
+enum class BeatClass : std::uint8_t { N = 0, V = 1, L = 2, Unknown = 3 };
+
+/// Number of ground-truth classes (N, V, L).
+inline constexpr std::size_t kNumClasses = 3;
+
+/// Abnormal == pathological for the paper's binary decision: V, L and
+/// low-confidence Unknown beats all activate the detailed analysis.
+constexpr bool is_pathological(BeatClass c) { return c != BeatClass::N; }
+
+constexpr const char* to_string(BeatClass c) {
+  switch (c) {
+    case BeatClass::N: return "N";
+    case BeatClass::V: return "V";
+    case BeatClass::L: return "L";
+    case BeatClass::Unknown: return "U";
+  }
+  return "?";
+}
+
+/// Ground-truth fiducial points of one beat, in record sample indices.
+/// Values of kNoFiducial mean the wave is absent (e.g. no P wave in a PVC).
+struct Fiducials {
+  static constexpr std::size_t kNoFiducial = static_cast<std::size_t>(-1);
+
+  std::size_t p_onset = kNoFiducial;
+  std::size_t p_peak = kNoFiducial;
+  std::size_t p_end = kNoFiducial;
+  std::size_t qrs_onset = kNoFiducial;
+  std::size_t r_peak = kNoFiducial;
+  std::size_t qrs_end = kNoFiducial;
+  std::size_t t_onset = kNoFiducial;
+  std::size_t t_peak = kNoFiducial;
+  std::size_t t_end = kNoFiducial;
+
+  bool has_p() const { return p_peak != kNoFiducial; }
+  /// Number of fiducial points that are present.
+  std::size_t count() const;
+};
+
+/// One annotated beat of a record.
+struct BeatAnnotation {
+  std::size_t sample = 0;  ///< R-peak sample index
+  BeatClass cls = BeatClass::N;
+  Fiducials fiducials;     ///< generator ground truth
+};
+
+/// A multi-lead ECG recording with beat annotations (the synthetic stand-in
+/// for one MIT-BIH record).
+struct Record {
+  std::string name;
+  int fs_hz = dsp::kMitBihFs;
+  std::vector<dsp::Signal> leads;
+  std::vector<BeatAnnotation> beats;
+
+  std::size_t duration_samples() const {
+    return leads.empty() ? 0 : leads.front().size();
+  }
+  double duration_s() const {
+    return fs_hz > 0
+               ? static_cast<double>(duration_samples()) / fs_hz
+               : 0.0;
+  }
+};
+
+/// MIT-BIH-style ADC parameters (11-bit, 200 adu/mV, mid-range baseline).
+struct AdcSpec {
+  double gain_adu_per_mv = 200.0;
+  int baseline_adu = 1024;
+  int min_adu = 0;
+  int max_adu = 2047;
+
+  dsp::Sample to_adu(double mv) const;
+  double to_mv(dsp::Sample adu) const;
+};
+
+}  // namespace hbrp::ecg

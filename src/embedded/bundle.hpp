@@ -1,0 +1,49 @@
+// Deployable embedded classifier bundle.
+//
+// Everything the WBSN firmware needs for the paper's early-classification
+// stage, in its memory-optimized form: the 2-bit packed projection matrix,
+// the downsampling factor, the integer MF tables and the Q16 decision
+// threshold. classify_window() is bit-exact with what runs on the node, and
+// export_c_header() emits the tables as a self-contained C header for
+// actual firmware integration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "embedded/int_classifier.hpp"
+#include "rp/packed_matrix.hpp"
+#include "rp/projector.hpp"
+
+namespace hbrp::embedded {
+
+class EmbeddedClassifier {
+ public:
+  EmbeddedClassifier(rp::BeatProjector projector, IntClassifier classifier,
+                     std::uint32_t alpha_q16);
+
+  /// Classifies one beat window at the acquisition rate (e.g. 200 samples
+  /// at 360 Hz): downsample -> packed projection -> integer NFC.
+  ecg::BeatClass classify_window(const dsp::Signal& window) const;
+
+  /// Changes the test-time threshold (paper: alpha_test is tunable
+  /// independently of alpha_train).
+  void set_alpha_q16(std::uint32_t alpha_q16);
+  std::uint32_t alpha_q16() const { return alpha_q16_; }
+
+  const rp::BeatProjector& projector() const { return projector_; }
+  const IntClassifier& classifier() const { return classifier_; }
+
+  /// Total parameter RAM on the node: packed matrix + MF tables.
+  std::size_t memory_bytes() const;
+
+  /// Writes the classifier as a C header (static const tables + metadata).
+  void export_c_header(std::ostream& out, const char* symbol_prefix) const;
+
+ private:
+  rp::BeatProjector projector_;
+  IntClassifier classifier_;
+  std::uint32_t alpha_q16_ = 0;
+};
+
+}  // namespace hbrp::embedded

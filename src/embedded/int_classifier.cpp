@@ -1,0 +1,126 @@
+#include "embedded/int_classifier.hpp"
+
+#include <algorithm>
+
+#include "math/check.hpp"
+#include "math/fixed.hpp"
+
+namespace hbrp::embedded {
+
+IntClassifier IntClassifier::from_float(const nfc::NeuroFuzzyClassifier& nfc,
+                                        MfShape shape) {
+  IntClassifier out;
+  out.coefficients_ = nfc.coefficients();
+  out.shape_ = shape;
+  const std::size_t n = out.coefficients_ * ecg::kNumClasses;
+  if (shape == MfShape::Linearized) {
+    out.linear_.reserve(n);
+    for (std::size_t k = 0; k < out.coefficients_; ++k)
+      for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+        const nfc::GaussianMF& m = nfc.mf(k, l);
+        out.linear_.push_back(LinearizedMF::from_gaussian(m.center, m.sigma));
+      }
+  } else {
+    out.triangular_.reserve(n);
+    for (std::size_t k = 0; k < out.coefficients_; ++k)
+      for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+        const nfc::GaussianMF& m = nfc.mf(k, l);
+        out.triangular_.push_back(
+            TriangularMF::from_gaussian(m.center, m.sigma));
+      }
+  }
+  return out;
+}
+
+std::uint16_t IntClassifier::grade(std::size_t k, std::size_t cls,
+                                   std::int32_t x) const {
+  HBRP_REQUIRE(k < coefficients_ && cls < ecg::kNumClasses,
+               "IntClassifier::grade(): index out of range");
+  const std::size_t idx = k * ecg::kNumClasses + cls;
+  return shape_ == MfShape::Linearized ? linear_[idx].eval(x)
+                                       : triangular_[idx].eval(x);
+}
+
+std::array<std::uint32_t, ecg::kNumClasses> IntClassifier::fuzzify(
+    std::span<const std::int32_t> u) const {
+  HBRP_REQUIRE(u.size() == coefficients_,
+               "IntClassifier::fuzzify(): input size mismatch");
+  std::array<std::uint32_t, ecg::kNumClasses> acc{};
+
+  // Seed with the first coefficient's grades.
+  for (std::size_t l = 0; l < ecg::kNumClasses; ++l)
+    acc[l] = grade(0, l, u[0]);
+
+  for (std::size_t k = 1; k < coefficients_; ++k) {
+    // Renormalize: shift all three accumulators left by the largest common
+    // safe amount (dictated by the current maximum), then drop the low 16
+    // bits. This keeps the leading 16 bits of the dominant class while
+    // preserving the ratios between classes.
+    const std::uint32_t top = *std::max_element(acc.begin(), acc.end());
+    const int shift = math::headroom32(top);
+    for (std::uint32_t& a : acc) a = (a << shift) >> 16;
+    // Multiply in the next membership grades: 16-bit x 16-bit -> 32-bit,
+    // no overflow possible.
+    for (std::size_t l = 0; l < ecg::kNumClasses; ++l)
+      acc[l] *= grade(k, l, u[k]);
+  }
+  return acc;
+}
+
+ecg::BeatClass IntClassifier::defuzzify(
+    const std::array<std::uint32_t, ecg::kNumClasses>& fuzzy,
+    std::uint32_t alpha_q16) {
+  HBRP_REQUIRE(alpha_q16 <= math::kQ16One,
+               "IntClassifier::defuzzify(): alpha must be <= 1.0 in Q16");
+  std::size_t best = 0;
+  for (std::size_t l = 1; l < fuzzy.size(); ++l)
+    if (fuzzy[l] > fuzzy[best]) best = l;
+
+  std::uint32_t m2 = 0;
+  std::uint64_t sum = 0;
+  for (std::size_t l = 0; l < fuzzy.size(); ++l) {
+    sum += fuzzy[l];
+    if (l != best) m2 = std::max(m2, fuzzy[l]);
+  }
+  if (sum == 0) return ecg::BeatClass::Unknown;
+
+  // (M1 - M2) >= alpha * S, evaluated as
+  // (M1 - M2) * 2^16 >= alpha_q16 * S with 64-bit widening multiplies —
+  // no division required on the node.
+  const std::uint64_t lhs =
+      (static_cast<std::uint64_t>(fuzzy[best] - m2)) << 16;
+  const std::uint64_t rhs = static_cast<std::uint64_t>(alpha_q16) * sum;
+  if (lhs >= rhs) return static_cast<ecg::BeatClass>(best);
+  return ecg::BeatClass::Unknown;
+}
+
+ecg::BeatClass IntClassifier::classify(std::span<const std::int32_t> u,
+                                       std::uint32_t alpha_q16) const {
+  return defuzzify(fuzzify(u), alpha_q16);
+}
+
+const LinearizedMF& IntClassifier::linear_mf(std::size_t k,
+                                             std::size_t cls) const {
+  HBRP_REQUIRE(shape_ == MfShape::Linearized,
+               "IntClassifier::linear_mf(): classifier is triangular");
+  HBRP_REQUIRE(k < coefficients_ && cls < ecg::kNumClasses,
+               "IntClassifier::linear_mf(): index out of range");
+  return linear_[k * ecg::kNumClasses + cls];
+}
+
+const TriangularMF& IntClassifier::triangular_mf(std::size_t k,
+                                                 std::size_t cls) const {
+  HBRP_REQUIRE(shape_ == MfShape::Triangular,
+               "IntClassifier::triangular_mf(): classifier is linearized");
+  HBRP_REQUIRE(k < coefficients_ && cls < ecg::kNumClasses,
+               "IntClassifier::triangular_mf(): index out of range");
+  return triangular_[k * ecg::kNumClasses + cls];
+}
+
+std::size_t IntClassifier::memory_bytes() const {
+  return shape_ == MfShape::Linearized
+             ? linear_.size() * sizeof(LinearizedMF)
+             : triangular_.size() * sizeof(TriangularMF);
+}
+
+}  // namespace hbrp::embedded

@@ -1,0 +1,82 @@
+#include "embedded/linear_mf.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "math/check.hpp"
+
+namespace hbrp::embedded {
+
+namespace {
+
+// |x - c| without signed overflow (the difference of two int32 can exceed
+// int32 range).
+std::uint32_t abs_distance(std::int32_t x, std::int32_t c) {
+  const std::int64_t d = static_cast<std::int64_t>(x) - c;
+  return static_cast<std::uint32_t>(d >= 0 ? d : -d);
+}
+
+}  // namespace
+
+std::uint16_t LinearizedMF::eval(std::int32_t x) const noexcept {
+  const std::uint32_t dist = abs_distance(x, center);
+  if (dist >= 4 * static_cast<std::uint64_t>(s)) return 0;
+  if (dist >= 2 * s) return 1;
+  if (dist >= s) {
+    // Shallow segment: kGradeAtS at S down to 1 at 2S.
+    const std::uint64_t drop =
+        static_cast<std::uint64_t>(dist - s) * (kGradeAtS - 1);
+    return static_cast<std::uint16_t>(kGradeAtS - drop / s);
+  }
+  // Steep segment: 65535 at the centre down to kGradeAtS at S.
+  const std::uint64_t drop =
+      static_cast<std::uint64_t>(dist) * (65535 - kGradeAtS);
+  return static_cast<std::uint16_t>(65535 - drop / s);
+}
+
+LinearizedMF LinearizedMF::from_gaussian(double center, double sigma) {
+  HBRP_REQUIRE(sigma > 0.0, "LinearizedMF: sigma must be positive");
+  LinearizedMF mf;
+  mf.center = static_cast<std::int32_t>(std::lround(center));
+  const double s_real = 2.35 * sigma;
+  mf.s = static_cast<std::uint32_t>(std::lround(std::max(1.0, s_real)));
+  return mf;
+}
+
+std::uint16_t TriangularMF::eval(std::int32_t x) const noexcept {
+  const std::uint32_t dist = abs_distance(x, center);
+  if (dist >= half_base) return 0;
+  const std::uint64_t drop = static_cast<std::uint64_t>(dist) * 65535;
+  return static_cast<std::uint16_t>(65535 - drop / half_base);
+}
+
+TriangularMF TriangularMF::from_gaussian(double center, double sigma) {
+  HBRP_REQUIRE(sigma > 0.0, "TriangularMF: sigma must be positive");
+  TriangularMF mf;
+  mf.center = static_cast<std::int32_t>(std::lround(center));
+  mf.half_base =
+      static_cast<std::uint32_t>(std::lround(std::max(1.0, 2.0 * 2.35 * sigma)));
+  return mf;
+}
+
+double linearized_reference(double center, double sigma, double x) {
+  HBRP_REQUIRE(sigma > 0.0, "linearized_reference: sigma must be positive");
+  const double s = 2.35 * sigma;
+  const double dist = std::abs(x - center);
+  const double at_s = std::exp(-0.5 * 2.35 * 2.35);
+  const double floor_grade = 1.0 / 65535.0;
+  if (dist >= 4 * s) return 0.0;
+  if (dist >= 2 * s) return floor_grade;
+  if (dist >= s) return at_s - (dist - s) / s * (at_s - floor_grade);
+  return 1.0 - dist / s * (1.0 - at_s);
+}
+
+double triangular_reference(double center, double sigma, double x) {
+  HBRP_REQUIRE(sigma > 0.0, "triangular_reference: sigma must be positive");
+  const double base = 2.0 * 2.35 * sigma;
+  const double dist = std::abs(x - center);
+  if (dist >= base) return 0.0;
+  return 1.0 - dist / base;
+}
+
+}  // namespace hbrp::embedded

@@ -1,0 +1,61 @@
+// Integer membership functions for the WBSN-side classifier.
+//
+// Section III-B of the paper: the trained Gaussian MFs cannot run on the
+// target (no FPU, no exp), so each is approximated on the integer range
+// [0, 2^16 - 1] by four segments with breakpoints at S, 2S and 4S from the
+// centre, where S = 2.35 sigma (the Gaussian full-width-half-maximum):
+//
+//   MFlin(x) = 0                         if |c - x| >= 4S
+//            = 1                         if 2S <= |c - x| < 4S
+//            = lin. approx 1 (shallow)   if  S <= |c - x| < 2S
+//            = lin. approx 2 (steep)     if       |c - x| < S
+//
+// The long tail of grade 1 out to 4S is the property Fig. 4 highlights: a
+// fuzzy product rarely collapses to zero, unlike the simpler triangular MF
+// (also provided here, as the paper's Fig. 5 ablation baseline), which is
+// identically zero outside |c - x| < 2S.
+//
+// Segment anchor values quantize the Gaussian itself: grade 65535 at the
+// centre and exp(-2.35^2 / 2) * 65535 ~= 4147 at |c - x| = S.
+#pragma once
+
+#include <cstdint>
+
+#include "math/fixed.hpp"
+
+namespace hbrp::embedded {
+
+/// Quantized Gaussian grade at one S (= 2.35 sigma) from the centre.
+inline constexpr std::uint16_t kGradeAtS = 4147;
+
+/// Four-segment linearized membership function. All arithmetic is integer;
+/// eval() is the kernel executed per coefficient per class on the WBSN.
+struct LinearizedMF {
+  std::int32_t center = 0;
+  /// S = 2.35 sigma in input units; always >= 1.
+  std::uint32_t s = 1;
+
+  /// Membership grade in [0, 65535].
+  std::uint16_t eval(std::int32_t x) const noexcept;
+
+  /// Quantizes a trained Gaussian (centre, sigma).
+  static LinearizedMF from_gaussian(double center, double sigma);
+};
+
+/// Triangular membership function: 65535 at the centre, linearly down to 0
+/// at |c - x| = 2S (matching the linearized MF's sloped support), 0 outside.
+struct TriangularMF {
+  std::int32_t center = 0;
+  std::uint32_t half_base = 1;  ///< 2S in input units; always >= 1
+
+  std::uint16_t eval(std::int32_t x) const noexcept;
+
+  static TriangularMF from_gaussian(double center, double sigma);
+};
+
+/// Float-side reference of the linearized shape (for Fig. 4 style error
+/// analysis against the true Gaussian, without quantization effects).
+double linearized_reference(double center, double sigma, double x);
+double triangular_reference(double center, double sigma, double x);
+
+}  // namespace hbrp::embedded

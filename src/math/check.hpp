@@ -1,0 +1,47 @@
+// Lightweight precondition / invariant checking used across all hbrp modules.
+//
+// HBRP_REQUIRE is for *caller* errors (bad arguments, malformed config) and is
+// always on: it throws hbrp::Error so misuse is diagnosable in release builds.
+// HBRP_ASSERT is for *internal* invariants and compiles out in NDEBUG builds,
+// keeping the embedded-model kernels free of checking overhead when measured.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hbrp {
+
+/// Exception thrown on precondition violations anywhere in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_require(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  std::string full = std::string("HBRP_REQUIRE failed: (") + cond + ") at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace hbrp
+
+#define HBRP_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::hbrp::detail::raise_require(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+#ifdef NDEBUG
+#define HBRP_ASSERT(cond) ((void)0)
+#else
+#define HBRP_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::hbrp::detail::raise_require(#cond, __FILE__, __LINE__,         \
+                                    "internal invariant");             \
+  } while (0)
+#endif

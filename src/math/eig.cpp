@@ -1,0 +1,97 @@
+#include "math/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/check.hpp"
+
+namespace hbrp::math {
+
+EigResult eig_symmetric(const Mat& input, int max_sweeps) {
+  HBRP_REQUIRE(input.rows() == input.cols(),
+               "eig_symmetric(): matrix must be square");
+  const std::size_t n = input.rows();
+  double max_elem = 0.0;
+  for (double v : input.flat()) max_elem = std::max(max_elem, std::abs(v));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c)
+      HBRP_REQUIRE(std::abs(input.at(r, c) - input.at(c, r)) <=
+                       1e-9 * std::max(1.0, max_elem),
+                   "eig_symmetric(): matrix must be symmetric");
+
+  Mat a = input;
+  Mat v = Mat::identity(n);
+
+  auto off_diag_norm = [&a, n]() {
+    double s = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c) s += a.at(r, c) * a.at(r, c);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double tol = 1e-12 * std::max(1.0, max_elem);
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    if (off_diag_norm() <= tol) {
+      converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) <= tol) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        // Stable rotation computation (Golub & Van Loan, Alg. 8.4.1).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged)
+    HBRP_REQUIRE(off_diag_norm() <= std::sqrt(tol) * std::max(1.0, max_elem),
+                 "eig_symmetric(): Jacobi iteration failed to converge");
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&a](std::size_t i, std::size_t j) {
+    return a.at(i, i) > a.at(j, j);
+  });
+
+  EigResult result;
+  result.values.resize(n);
+  result.vectors = Mat(n, n);
+  for (std::size_t out = 0; out < n; ++out) {
+    const std::size_t src = order[out];
+    result.values[out] = a.at(src, src);
+    for (std::size_t k = 0; k < n; ++k)
+      result.vectors.at(k, out) = v.at(k, src);
+  }
+  return result;
+}
+
+}  // namespace hbrp::math

@@ -1,0 +1,26 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Used by the PCA baseline (Table II, row PCA-PC). Beat windows have at most
+// d = 200 samples, so the covariance matrices are <= 200 x 200 and Jacobi —
+// simple, robust and dependency-free — is entirely adequate.
+#pragma once
+
+#include <vector>
+
+#include "math/mat.hpp"
+
+namespace hbrp::math {
+
+struct EigResult {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Eigenvectors as matrix columns, in the same order as `values`.
+  Mat vectors;
+};
+
+/// Decomposes a symmetric matrix A = V diag(w) V^T.
+/// Throws hbrp::Error if A is not square or not symmetric (within 1e-9
+/// of relative tolerance), or if convergence fails.
+EigResult eig_symmetric(const Mat& a, int max_sweeps = 100);
+
+}  // namespace hbrp::math

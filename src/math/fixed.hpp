@@ -1,0 +1,69 @@
+// Fixed-point helpers for the embedded (WBSN-side) arithmetic.
+//
+// The embedded classifier works entirely in integer arithmetic: membership
+// grades are Q0.16 values in [0, 65535], the defuzzification threshold alpha
+// is a Q16 fraction, and intermediate fuzzy products live in 32-bit
+// accumulators that are re-normalized by shifting. These helpers centralize
+// the conversions and the overflow-free primitives those kernels rely on.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "math/check.hpp"
+
+namespace hbrp::math {
+
+/// Maximum value of an unsigned 16-bit membership grade.
+inline constexpr std::uint32_t kGradeMax = 0xFFFFu;
+
+/// One in Q16 fixed point (used for alpha thresholds).
+inline constexpr std::uint32_t kQ16One = 1u << 16;
+
+/// Converts a real in [0, 1] to a Q0.16 grade with round-to-nearest.
+constexpr std::uint16_t to_grade(double x) {
+  if (x <= 0.0) return 0;
+  if (x >= 1.0) return static_cast<std::uint16_t>(kGradeMax);
+  return static_cast<std::uint16_t>(x * 65535.0 + 0.5);
+}
+
+/// Converts a Q0.16 grade back to a real in [0, 1].
+constexpr double from_grade(std::uint16_t g) {
+  return static_cast<double>(g) / 65535.0;
+}
+
+/// Converts a real fraction in [0, 1] to Q16.
+constexpr std::uint32_t to_q16(double x) {
+  if (x <= 0.0) return 0;
+  if (x >= 1.0) return kQ16One;
+  return static_cast<std::uint32_t>(x * static_cast<double>(kQ16One) + 0.5);
+}
+
+constexpr double from_q16(std::uint32_t q) {
+  return static_cast<double>(q) / static_cast<double>(kQ16One);
+}
+
+/// Number of left-shift positions available before `x` would lose its top
+/// bit out of 32 bits. For x == 0 the result is 31 (shifting zero is safe).
+constexpr int headroom32(std::uint32_t x) {
+  return x == 0 ? 31 : std::countl_zero(x);
+}
+
+/// Saturating conversion of a wide signed value into int16 (ADC-style clamp).
+constexpr std::int16_t saturate_i16(std::int32_t x) {
+  if (x > 32767) return 32767;
+  if (x < -32768) return -32768;
+  return static_cast<std::int16_t>(x);
+}
+
+/// Rounded integer division-by-power-of-two for signed values (shifts in C++
+/// truncate toward negative infinity for negative operands; the embedded
+/// kernels need symmetric rounding for sample downscaling).
+constexpr std::int32_t rshift_round(std::int32_t x, int shift) {
+  HBRP_ASSERT(shift >= 0 && shift < 31);
+  if (shift == 0) return x;
+  const std::int32_t bias = std::int32_t{1} << (shift - 1);
+  return (x >= 0) ? ((x + bias) >> shift) : -((-x + bias) >> shift);
+}
+
+}  // namespace hbrp::math

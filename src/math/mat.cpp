@@ -1,0 +1,45 @@
+#include "math/mat.hpp"
+
+namespace hbrp::math {
+
+Mat::Mat(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  HBRP_REQUIRE(data_.size() == rows_ * cols_,
+               "Mat(): data size does not match rows*cols");
+}
+
+Vec Mat::mul(std::span<const double> v) const {
+  HBRP_REQUIRE(v.size() == cols_, "Mat::mul(vec): size mismatch");
+  Vec out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = dot(row(r), v);
+  return out;
+}
+
+Mat Mat::mul(const Mat& other) const {
+  HBRP_REQUIRE(cols_ == other.rows_, "Mat::mul(mat): inner size mismatch");
+  Mat out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;  // projection matrices are 2/3 zeros
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out.at(r, c) += a * other.at(k, c);
+    }
+  }
+  return out;
+}
+
+Mat Mat::transposed() const {
+  Mat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  return out;
+}
+
+Mat Mat::identity(std::size_t n) {
+  Mat out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = 1.0;
+  return out;
+}
+
+}  // namespace hbrp::math

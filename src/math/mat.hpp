@@ -1,0 +1,75 @@
+// Dense row-major matrix of doubles.
+//
+// Sized for this library's needs: projection matrices (k x d with d <= 200),
+// covariance matrices for PCA (d x d), and batches of projected beats. All
+// operations are straightforward O(n^3)/O(n^2) loops — matrices here are
+// small enough that cache blocking or external BLAS would be over-engineering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/check.hpp"
+#include "math/vec.hpp"
+
+namespace hbrp::math {
+
+class Mat {
+ public:
+  Mat() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Mat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix with explicit contents (row-major, size rows*cols).
+  Mat(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    HBRP_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    HBRP_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Row r as a mutable span.
+  std::span<double> row(std::size_t r) {
+    HBRP_REQUIRE(r < rows_, "Mat::row(): index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    HBRP_REQUIRE(r < rows_, "Mat::row(): index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<const double> flat() const { return data_; }
+  std::span<double> flat() { return data_; }
+
+  /// Matrix-vector product: out = (*this) * v.
+  Vec mul(std::span<const double> v) const;
+
+  /// Matrix-matrix product.
+  Mat mul(const Mat& other) const;
+
+  /// Transpose copy.
+  Mat transposed() const;
+
+  /// Identity matrix.
+  static Mat identity(std::size_t n);
+
+  bool operator==(const Mat& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hbrp::math

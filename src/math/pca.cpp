@@ -1,0 +1,86 @@
+#include "math/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+#include "math/eig.hpp"
+
+namespace hbrp::math {
+
+Pca Pca::fit(const Mat& data, std::size_t components) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  HBRP_REQUIRE(n >= 2, "Pca::fit(): needs at least two observations");
+  HBRP_REQUIRE(components >= 1 && components <= d,
+               "Pca::fit(): components must be in [1, dimension]");
+
+  Pca pca;
+  pca.mean_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < d; ++c) pca.mean_[c] += data.at(r, c);
+  for (double& m : pca.mean_) m /= static_cast<double>(n);
+
+  // Sample covariance (d x d). d <= 200 in this library, so dense is fine.
+  Mat cov(d, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = data.at(r, i) - pca.mean_[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < d; ++j)
+        cov.at(i, j) += xi * (data.at(r, j) - pca.mean_[j]);
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = i; j < d; ++j) {
+      cov.at(i, j) *= scale;
+      cov.at(j, i) = cov.at(i, j);
+    }
+
+  EigResult eig = eig_symmetric(cov);
+
+  double total = 0.0;
+  for (double w : eig.values) total += std::max(w, 0.0);
+  double captured = 0.0;
+
+  pca.basis_ = Mat(components, d);
+  pca.variance_.resize(components);
+  for (std::size_t k = 0; k < components; ++k) {
+    pca.variance_[k] = std::max(eig.values[k], 0.0);
+    captured += pca.variance_[k];
+    for (std::size_t c = 0; c < d; ++c)
+      pca.basis_.at(k, c) = eig.vectors.at(c, k);
+  }
+  pca.captured_ratio_ = total > 0.0 ? captured / total : 0.0;
+  return pca;
+}
+
+Vec Pca::transform(std::span<const double> x) const {
+  HBRP_REQUIRE(x.size() == dimension(), "Pca::transform(): size mismatch");
+  Vec centred(x.begin(), x.end());
+  for (std::size_t i = 0; i < centred.size(); ++i) centred[i] -= mean_[i];
+  return basis_.mul(centred);
+}
+
+Mat Pca::transform(const Mat& data) const {
+  HBRP_REQUIRE(data.cols() == dimension(), "Pca::transform(): size mismatch");
+  Mat out(data.rows(), components());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const Vec scores = transform(data.row(r));
+    for (std::size_t k = 0; k < scores.size(); ++k) out.at(r, k) = scores[k];
+  }
+  return out;
+}
+
+Vec Pca::inverse_transform(std::span<const double> scores) const {
+  HBRP_REQUIRE(scores.size() == components(),
+               "Pca::inverse_transform(): size mismatch");
+  Vec x = mean_;
+  for (std::size_t k = 0; k < components(); ++k)
+    for (std::size_t c = 0; c < dimension(); ++c)
+      x[c] += scores[k] * basis_.at(k, c);
+  return x;
+}
+
+}  // namespace hbrp::math

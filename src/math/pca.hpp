@@ -1,0 +1,57 @@
+// Principal Component Analysis.
+//
+// Implements the off-line PCA dimensionality-reduction baseline the paper
+// compares against (Table II, row "PCA-PC", following Ceylan & Ozbay 2007):
+// beats are centred and projected onto the top-k eigenvectors of the sample
+// covariance matrix.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace hbrp::math {
+
+class Pca {
+ public:
+  /// Fits on a dataset of row-vectors (each row one observation of dimension
+  /// `data.cols()`); keeps the top `components` principal directions.
+  /// Requires at least two observations and 1 <= components <= dimension.
+  static Pca fit(const Mat& data, std::size_t components);
+
+  /// Projects one observation onto the retained components.
+  Vec transform(std::span<const double> x) const;
+
+  /// Projects a batch (rows are observations).
+  Mat transform(const Mat& data) const;
+
+  /// Reconstructs an observation from its component scores (inverse map up
+  /// to the subspace): x_hat = mean + basis^T * scores.
+  Vec inverse_transform(std::span<const double> scores) const;
+
+  std::size_t components() const { return basis_.rows(); }
+  std::size_t dimension() const { return mean_.size(); }
+
+  /// Eigenvalues of the retained components, descending.
+  const std::vector<double>& explained_variance() const { return variance_; }
+
+  /// Fraction of total variance captured by the retained components.
+  double explained_variance_ratio() const { return captured_ratio_; }
+
+  /// Basis as a components x dimension matrix (rows are unit eigenvectors).
+  const Mat& basis() const { return basis_; }
+  const Vec& mean() const { return mean_; }
+
+ private:
+  Pca() = default;
+
+  Mat basis_;               // k x d, rows orthonormal
+  Vec mean_;                // d
+  std::vector<double> variance_;  // k eigenvalues
+  double captured_ratio_ = 0.0;
+};
+
+}  // namespace hbrp::math

@@ -1,0 +1,93 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+
+namespace hbrp::math {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> values, double p) {
+  HBRP_REQUIRE(!values.empty(), "percentile() of empty range");
+  HBRP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile() needs p in [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  HBRP_REQUIRE(a.size() == b.size() && a.size() >= 2,
+               "pearson() needs two equal-length series of >= 2 samples");
+  RunningStats sa, sb;
+  for (double v : a) sa.add(v);
+  for (double v : b) sb.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  cov /= static_cast<double>(a.size() - 1);
+  const double denom = sa.stddev() * sb.stddev();
+  HBRP_REQUIRE(denom > 0.0, "pearson() undefined for constant series");
+  return cov / denom;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins) {
+  HBRP_REQUIRE(bins > 0, "histogram() needs at least one bin");
+  HBRP_REQUIRE(hi > lo, "histogram() needs hi > lo");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    double idx = (v - lo) / width;
+    auto b = idx <= 0.0 ? std::size_t{0}
+                        : std::min(bins - 1, static_cast<std::size_t>(idx));
+    ++counts[b];
+  }
+  return counts;
+}
+
+}  // namespace hbrp::math

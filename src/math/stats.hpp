@@ -1,0 +1,50 @@
+// Descriptive statistics used by the evaluation harnesses and the synthetic
+// ECG generator's self-checks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hbrp::math {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for long runs (e.g. 26M-sample test signals).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 until two samples are seen.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linearly interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> values, double p);
+
+/// Median convenience wrapper.
+double median(std::span<const double> values);
+
+/// Pearson correlation coefficient of two equal-length series.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the end buckets.
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace hbrp::math

@@ -1,0 +1,66 @@
+#include "math/vec.hpp"
+
+#include <cmath>
+
+namespace hbrp::math {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  HBRP_REQUIRE(a.size() == b.size(), "dot(): size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(norm2_sq(a)); }
+
+double norm2_sq(std::span<const double> a) {
+  double acc = 0.0;
+  for (double v : a) acc += v * v;
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  HBRP_REQUIRE(x.size() == y.size(), "axpy(): size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+Vec sub(std::span<const double> a, std::span<const double> b) {
+  HBRP_REQUIRE(a.size() == b.size(), "sub(): size mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec add(std::span<const double> a, std::span<const double> b) {
+  HBRP_REQUIRE(a.size() == b.size(), "add(): size mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double mean(std::span<const double> a) {
+  HBRP_REQUIRE(!a.empty(), "mean() of empty range");
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc / static_cast<double>(a.size());
+}
+
+double variance(std::span<const double> a) {
+  HBRP_REQUIRE(a.size() >= 2, "variance() needs at least two elements");
+  const double m = mean(a);
+  double acc = 0.0;
+  for (double v : a) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(a.size() - 1);
+}
+
+double max_abs(std::span<const double> a) {
+  double best = 0.0;
+  for (double v : a) best = std::max(best, std::abs(v));
+  return best;
+}
+
+}  // namespace hbrp::math

@@ -1,0 +1,49 @@
+// Small dense-vector utilities on std::vector<double>.
+//
+// The library's training-side numerics (SCG, NFC gradients, PCA) operate on
+// plain std::vector<double> buffers; these free functions provide the BLAS-1
+// level operations they need without pulling in an external linear-algebra
+// dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/check.hpp"
+
+namespace hbrp::math {
+
+using Vec = std::vector<double>;
+
+/// Dot product. Both spans must have equal length.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> a);
+
+/// Squared Euclidean norm.
+double norm2_sq(std::span<const double> a);
+
+/// y += alpha * x (in place).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha (in place).
+void scale(std::span<double> x, double alpha);
+
+/// Element-wise a - b as a new vector.
+Vec sub(std::span<const double> a, std::span<const double> b);
+
+/// Element-wise a + b as a new vector.
+Vec add(std::span<const double> a, std::span<const double> b);
+
+/// Arithmetic mean of the elements (requires non-empty input).
+double mean(std::span<const double> a);
+
+/// Unbiased sample variance (requires at least two elements).
+double variance(std::span<const double> a);
+
+/// Maximum absolute element (0 for empty input).
+double max_abs(std::span<const double> a);
+
+}  // namespace hbrp::math

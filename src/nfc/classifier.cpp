@@ -1,0 +1,92 @@
+#include "nfc/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+
+namespace hbrp::nfc {
+
+ecg::BeatClass defuzzify(const FuzzyValues& fuzzy, double alpha) {
+  HBRP_REQUIRE(alpha >= 0.0 && alpha <= 1.0,
+               "defuzzify(): alpha must be in [0, 1]");
+  std::size_t best = 0;
+  for (std::size_t l = 1; l < fuzzy.size(); ++l)
+    if (fuzzy[l] > fuzzy[best]) best = l;
+  double m2 = -1.0;
+  double sum = 0.0;
+  for (std::size_t l = 0; l < fuzzy.size(); ++l) {
+    sum += fuzzy[l];
+    if (l != best) m2 = std::max(m2, fuzzy[l]);
+  }
+  if (fuzzy[best] - m2 >= alpha * sum)
+    return static_cast<ecg::BeatClass>(best);
+  return ecg::BeatClass::Unknown;
+}
+
+NeuroFuzzyClassifier::NeuroFuzzyClassifier(std::size_t coefficients)
+    : coefficients_(coefficients),
+      mfs_(coefficients * ecg::kNumClasses) {
+  HBRP_REQUIRE(coefficients >= 1,
+               "NeuroFuzzyClassifier: needs at least one coefficient");
+}
+
+GaussianMF& NeuroFuzzyClassifier::mf(std::size_t k, std::size_t cls) {
+  HBRP_REQUIRE(k < coefficients_ && cls < ecg::kNumClasses,
+               "NeuroFuzzyClassifier::mf(): index out of range");
+  return mfs_[k * ecg::kNumClasses + cls];
+}
+
+const GaussianMF& NeuroFuzzyClassifier::mf(std::size_t k,
+                                           std::size_t cls) const {
+  HBRP_REQUIRE(k < coefficients_ && cls < ecg::kNumClasses,
+               "NeuroFuzzyClassifier::mf(): index out of range");
+  return mfs_[k * ecg::kNumClasses + cls];
+}
+
+std::array<double, ecg::kNumClasses> NeuroFuzzyClassifier::log_fuzzy(
+    std::span<const double> u) const {
+  HBRP_REQUIRE(u.size() == coefficients_,
+               "NeuroFuzzyClassifier: input size mismatch");
+  std::array<double, ecg::kNumClasses> acc{};
+  for (std::size_t k = 0; k < coefficients_; ++k)
+    for (std::size_t l = 0; l < ecg::kNumClasses; ++l)
+      acc[l] += mfs_[k * ecg::kNumClasses + l].log_grade(u[k]);
+  return acc;
+}
+
+FuzzyValues NeuroFuzzyClassifier::fuzzy(std::span<const double> u) const {
+  const auto lf = log_fuzzy(u);
+  const double top = *std::max_element(lf.begin(), lf.end());
+  FuzzyValues out{};
+  for (std::size_t l = 0; l < out.size(); ++l) out[l] = std::exp(lf[l] - top);
+  return out;
+}
+
+ecg::BeatClass NeuroFuzzyClassifier::classify(std::span<const double> u,
+                                              double alpha) const {
+  return defuzzify(fuzzy(u), alpha);
+}
+
+std::vector<double> NeuroFuzzyClassifier::to_params() const {
+  std::vector<double> p;
+  p.reserve(param_count());
+  for (const GaussianMF& m : mfs_) p.push_back(m.center);
+  for (const GaussianMF& m : mfs_) {
+    HBRP_REQUIRE(m.sigma > 0.0, "to_params(): sigma must be positive");
+    p.push_back(std::log(m.sigma));
+  }
+  return p;
+}
+
+void NeuroFuzzyClassifier::from_params(std::span<const double> params) {
+  HBRP_REQUIRE(params.size() == param_count(),
+               "from_params(): parameter count mismatch");
+  const std::size_t n = mfs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    mfs_[i].center = params[i];
+    mfs_[i].sigma = std::exp(params[n + i]);
+  }
+}
+
+}  // namespace hbrp::nfc

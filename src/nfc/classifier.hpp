@@ -1,0 +1,63 @@
+// The three-layer neuro-fuzzy classifier (paper Fig. 3), floating-point form.
+//
+// Layer 1 (membership): per projected coefficient k and class l in {N, V, L},
+// a Gaussian MF yields grade mu_{k,l}(u_k).
+// Layer 2 (fuzzification): per-class product f_l = prod_k mu_{k,l} —
+// computed here as a log-domain sum, which is exact and underflow-free.
+// Layer 3 (defuzzification): with M1/M2 the largest/second fuzzy values and
+// S their sum, the beat is assigned to argmax's class if
+// (M1 - M2) >= alpha * S, else marked Unknown. V, L and Unknown all count
+// as pathological downstream.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "ecg/types.hpp"
+#include "nfc/membership.hpp"
+
+namespace hbrp::nfc {
+
+/// Fuzzy values for the three classes, normalized so the maximum is 1
+/// (the defuzzification rule is scale-invariant, see defuzzify()).
+using FuzzyValues = std::array<double, ecg::kNumClasses>;
+
+/// Defuzzification rule shared by the float and integer classifiers:
+/// argmax class if (M1 - M2) >= alpha * sum, else Unknown.
+/// alpha in [0, 1]; larger alpha demands more separation (higher confidence).
+ecg::BeatClass defuzzify(const FuzzyValues& fuzzy, double alpha);
+
+class NeuroFuzzyClassifier {
+ public:
+  /// Classifier over `coefficients` inputs with unit MFs (train before use).
+  explicit NeuroFuzzyClassifier(std::size_t coefficients);
+
+  std::size_t coefficients() const { return coefficients_; }
+
+  GaussianMF& mf(std::size_t k, std::size_t cls);
+  const GaussianMF& mf(std::size_t k, std::size_t cls) const;
+
+  /// Log-domain fuzzy values: log f_l = sum_k log mu_{k,l}(u_k).
+  std::array<double, ecg::kNumClasses> log_fuzzy(
+      std::span<const double> u) const;
+
+  /// Fuzzy values normalized to max 1 (safe exponentiation of log_fuzzy).
+  FuzzyValues fuzzy(std::span<const double> u) const;
+
+  /// Full forward pass + defuzzification.
+  ecg::BeatClass classify(std::span<const double> u, double alpha) const;
+
+  /// Flattens parameters for the optimizer: all centers first, then all
+  /// log-sigmas (log parameterization keeps sigma positive under SCG).
+  std::vector<double> to_params() const;
+  void from_params(std::span<const double> params);
+  std::size_t param_count() const { return 2 * mfs_.size(); }
+
+ private:
+  std::size_t coefficients_ = 0;
+  // mfs_[k * kNumClasses + cls]
+  std::vector<GaussianMF> mfs_;
+};
+
+}  // namespace hbrp::nfc

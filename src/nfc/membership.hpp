@@ -1,0 +1,25 @@
+// Gaussian membership functions — the train-time fuzzy primitives.
+#pragma once
+
+#include <cmath>
+
+namespace hbrp::nfc {
+
+/// Gaussian membership function mu(x) = exp(-(x - c)^2 / (2 sigma^2)).
+/// The training phase works in the log domain, where the product
+/// fuzzification becomes a sum and never underflows.
+struct GaussianMF {
+  double center = 0.0;
+  double sigma = 1.0;
+
+  double grade(double x) const { return std::exp(log_grade(x)); }
+
+  double log_grade(double x) const {
+    const double z = (x - center) / sigma;
+    return -0.5 * z * z;
+  }
+
+  bool operator==(const GaussianMF&) const = default;
+};
+
+}  // namespace hbrp::nfc

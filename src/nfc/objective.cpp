@@ -1,0 +1,87 @@
+#include "nfc/objective.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "math/check.hpp"
+
+namespace hbrp::nfc {
+
+TrainingObjective::TrainingObjective(NeuroFuzzyClassifier& nfc,
+                                     const math::Mat& u,
+                                     const std::vector<ecg::BeatClass>& labels,
+                                     double width_decay,
+                                     std::vector<double> log_sigma_ref)
+    : nfc_(nfc),
+      u_(u),
+      labels_(labels),
+      width_decay_(width_decay),
+      log_sigma_ref_(std::move(log_sigma_ref)) {
+  HBRP_REQUIRE(u_.cols() == nfc_.coefficients(),
+               "TrainingObjective: coefficient count mismatch");
+  HBRP_REQUIRE(u_.rows() == labels_.size(),
+               "TrainingObjective: row/label count mismatch");
+  HBRP_REQUIRE(width_decay_ == 0.0 ||
+                   log_sigma_ref_.size() ==
+                       nfc_.coefficients() * ecg::kNumClasses,
+               "TrainingObjective: width-decay reference size mismatch");
+}
+
+std::size_t TrainingObjective::dimension() const {
+  return nfc_.param_count();
+}
+
+double TrainingObjective::eval(std::span<const double> params,
+                               std::span<double> grad) {
+    nfc_.from_params(params);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    const std::size_t kcoef = nfc_.coefficients();
+    const std::size_t n_mfs = kcoef * ecg::kNumClasses;
+    const double inv_n = 1.0 / static_cast<double>(u_.rows());
+    double loss = 0.0;
+
+    for (std::size_t row = 0; row < u_.rows(); ++row) {
+      const auto x = u_.row(row);
+      const auto lf = nfc_.log_fuzzy(x);
+      const double top = *std::max_element(lf.begin(), lf.end());
+      std::array<double, ecg::kNumClasses> prob{};
+      double z = 0.0;
+      for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+        prob[l] = std::exp(lf[l] - top);
+        z += prob[l];
+      }
+      for (double& p : prob) p /= z;
+      const auto y = static_cast<std::size_t>(labels_[row]);
+      loss -= inv_n * (lf[y] - top - std::log(z));
+
+      // dL/dlogf_l = (p_l - [l==y]) / n; chain through the Gaussian MFs.
+      for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+        const double dl = inv_n * (prob[l] - (l == y ? 1.0 : 0.0));
+        if (dl == 0.0) continue;
+        for (std::size_t k = 0; k < kcoef; ++k) {
+          const GaussianMF& m = nfc_.mf(k, l);
+          const double diff = x[k] - m.center;
+          const double inv_s2 = 1.0 / (m.sigma * m.sigma);
+          const std::size_t idx = k * ecg::kNumClasses + l;
+          // d logf / d c = (x - c) / sigma^2
+          grad[idx] += dl * diff * inv_s2;
+          // d logf / d log sigma = (x - c)^2 / sigma^2
+          grad[n_mfs + idx] += dl * diff * diff * inv_s2;
+        }
+      }
+    }
+
+    // Width decay: quadratic pull of log-sigma toward the statistics
+    // initialization (see TrainOptions::width_decay).
+    if (width_decay_ > 0.0) {
+      for (std::size_t i = 0; i < n_mfs; ++i) {
+        const double dev = params[n_mfs + i] - log_sigma_ref_[i];
+        loss += width_decay_ * dev * dev;
+        grad[n_mfs + i] += 2.0 * width_decay_ * dev;
+      }
+    }
+    return loss;
+}
+
+}  // namespace hbrp::nfc

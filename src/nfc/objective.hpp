@@ -1,0 +1,42 @@
+// The NFC training objective, exposed for optimizer studies.
+//
+// Softmax cross-entropy over the log-fuzzy class values, with analytic
+// gradients with respect to [centers..., log-sigmas...] and an optional
+// width-decay term pulling log-sigma toward its statistics initialization
+// (see TrainOptions::width_decay for why). nfc::train() drives this with
+// SCG; bench_ablation_training also drives it with plain gradient descent.
+#pragma once
+
+#include <vector>
+
+#include "ecg/types.hpp"
+#include "math/mat.hpp"
+#include "nfc/classifier.hpp"
+#include "opt/objective.hpp"
+
+namespace hbrp::nfc {
+
+class TrainingObjective final : public opt::Objective {
+ public:
+  /// `nfc` is the classifier being trained (written through on every eval);
+  /// `u` holds one projected beat per row; labels must exclude Unknown.
+  /// `log_sigma_ref` (one entry per MF, coefficient-major) anchors the
+  /// width-decay term; pass an empty vector with width_decay == 0 to
+  /// disable.
+  TrainingObjective(NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                    const std::vector<ecg::BeatClass>& labels,
+                    double width_decay, std::vector<double> log_sigma_ref);
+
+  std::size_t dimension() const override;
+  double eval(std::span<const double> params,
+              std::span<double> grad) override;
+
+ private:
+  NeuroFuzzyClassifier& nfc_;
+  const math::Mat& u_;
+  const std::vector<ecg::BeatClass>& labels_;
+  double width_decay_ = 0.0;
+  std::vector<double> log_sigma_ref_;
+};
+
+}  // namespace hbrp::nfc

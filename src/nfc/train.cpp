@@ -1,0 +1,92 @@
+#include "nfc/train.hpp"
+
+#include "nfc/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+#include "math/stats.hpp"
+
+namespace hbrp::nfc {
+
+namespace {
+
+void validate_dataset(const NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                      const std::vector<ecg::BeatClass>& labels) {
+  HBRP_REQUIRE(u.cols() == nfc.coefficients(),
+               "nfc::train: coefficient count mismatch");
+  HBRP_REQUIRE(u.rows() == labels.size(),
+               "nfc::train: row/label count mismatch");
+  HBRP_REQUIRE(u.rows() >= 2, "nfc::train: need at least two beats");
+  for (const ecg::BeatClass c : labels)
+    HBRP_REQUIRE(c != ecg::BeatClass::Unknown,
+                 "nfc::train: Unknown cannot be a training label");
+}
+
+}  // namespace
+
+void init_from_statistics(NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                          const std::vector<ecg::BeatClass>& labels,
+                          double sigma_floor_frac) {
+  validate_dataset(nfc, u, labels);
+  HBRP_REQUIRE(sigma_floor_frac > 0.0,
+               "init_from_statistics(): sigma floor must be positive");
+
+  for (std::size_t k = 0; k < nfc.coefficients(); ++k) {
+    math::RunningStats global;
+    std::array<math::RunningStats, ecg::kNumClasses> per_class;
+    for (std::size_t row = 0; row < u.rows(); ++row) {
+      const double x = u.at(row, k);
+      global.add(x);
+      per_class[static_cast<std::size_t>(labels[row])].add(x);
+    }
+    const double spread = std::max(global.stddev(), 1e-12);
+    for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+      HBRP_REQUIRE(per_class[l].count() >= 1,
+                   "init_from_statistics(): a class has no training beats");
+      GaussianMF& m = nfc.mf(k, l);
+      m.center = per_class[l].mean();
+      m.sigma = std::max(per_class[l].stddev(), sigma_floor_frac * spread);
+    }
+  }
+}
+
+double cross_entropy(const NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                     const std::vector<ecg::BeatClass>& labels) {
+  validate_dataset(nfc, u, labels);
+  double loss = 0.0;
+  for (std::size_t row = 0; row < u.rows(); ++row) {
+    const auto lf = nfc.log_fuzzy(u.row(row));
+    const double top = *std::max_element(lf.begin(), lf.end());
+    double z = 0.0;
+    for (const double v : lf) z += std::exp(v - top);
+    const auto y = static_cast<std::size_t>(labels[row]);
+    loss -= lf[y] - top - std::log(z);
+  }
+  return loss / static_cast<double>(u.rows());
+}
+
+TrainResult train(NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                  const std::vector<ecg::BeatClass>& labels,
+                  const TrainOptions& options) {
+  init_from_statistics(nfc, u, labels, options.sigma_floor_frac);
+  std::vector<double> params = nfc.to_params();
+  std::vector<double> log_sigma_ref(params.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            params.size() / 2),
+                                    params.end());
+  TrainingObjective objective(nfc, u, labels, options.width_decay,
+                              std::move(log_sigma_ref));
+  const opt::ScgResult scg = opt::minimize_scg(objective, params, options.scg);
+  nfc.from_params(params);
+
+  TrainResult result;
+  result.initial_loss = scg.initial_loss;
+  result.final_loss = scg.final_loss;
+  result.iterations = scg.iterations;
+  result.converged = scg.converged;
+  return result;
+}
+
+}  // namespace hbrp::nfc

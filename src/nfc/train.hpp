@@ -1,0 +1,58 @@
+// NFC training: statistics-based initialization + SCG refinement.
+//
+// The training loss is the cross-entropy of the softmax over log-fuzzy
+// values against the beat labels. Because log f_l is exactly the
+// (unnormalized) log-likelihood of a diagonal Gaussian per class, the
+// statistics initialization (per-class mean/std of each coefficient) already
+// lands near a good optimum and SCG then refines centers and widths jointly,
+// which is what lets the paper train on only 150 beats per class.
+#pragma once
+
+#include <vector>
+
+#include "ecg/types.hpp"
+#include "math/mat.hpp"
+#include "nfc/classifier.hpp"
+#include "opt/scg.hpp"
+
+namespace hbrp::nfc {
+
+struct TrainOptions {
+  opt::ScgOptions scg;
+  /// Lower bound applied to initialization sigmas, as a fraction of the
+  /// coefficient's global spread (degenerate classes must not spike).
+  double sigma_floor_frac = 0.01;
+  /// L2 decay of log-sigma toward its statistics initialization. Keeps the
+  /// MFs at data-spread widths instead of letting maximum likelihood shrink
+  /// them until classification decisions ride on far Gaussian tails — tails
+  /// the embedded linearized MFs cannot represent (their grade saturates at
+  /// 1/65535 beyond 2S). Without this term the float classifier looks
+  /// better but quantizes terribly; the paper's small NDR-PC vs NDR-WBSN
+  /// gap (Table II) implies tail-independent decision margins.
+  double width_decay = 0.0;
+};
+
+struct TrainResult {
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Sets each MF to the mean/std of its class's coefficient values.
+/// `u` holds one projected beat per row; labels must contain every class.
+void init_from_statistics(NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                          const std::vector<ecg::BeatClass>& labels,
+                          double sigma_floor_frac = 0.01);
+
+/// Cross-entropy training loss of an NFC on a projected dataset (useful for
+/// reporting / tests independent of the optimizer).
+double cross_entropy(const NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                     const std::vector<ecg::BeatClass>& labels);
+
+/// Full training: statistics init followed by SCG refinement.
+TrainResult train(NeuroFuzzyClassifier& nfc, const math::Mat& u,
+                  const std::vector<ecg::BeatClass>& labels,
+                  const TrainOptions& options = {});
+
+}  // namespace hbrp::nfc

@@ -1,0 +1,124 @@
+#include "opt/ga.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "math/check.hpp"
+
+namespace hbrp::opt {
+
+namespace {
+
+struct Individual {
+  rp::TernaryMatrix matrix;
+  double fitness = 0.0;
+};
+
+// Evaluates fitness for every individual in [begin, end), concurrently when
+// requested. Order of results is deterministic either way.
+void evaluate_all(std::vector<Individual>& pop, std::size_t begin,
+                  const FitnessFn& fitness, bool parallel) {
+  if (!parallel || pop.size() - begin <= 1) {
+    for (std::size_t i = begin; i < pop.size(); ++i)
+      pop[i].fitness = fitness(pop[i].matrix);
+    return;
+  }
+  std::vector<std::future<double>> futures;
+  futures.reserve(pop.size() - begin);
+  for (std::size_t i = begin; i < pop.size(); ++i)
+    futures.push_back(std::async(std::launch::async, [&pop, &fitness, i] {
+      return fitness(pop[i].matrix);
+    }));
+  for (std::size_t i = begin; i < pop.size(); ++i)
+    pop[i].fitness = futures[i - begin].get();
+}
+
+std::size_t tournament_pick(const std::vector<Individual>& pop,
+                            std::size_t tournament, math::Rng& rng) {
+  std::size_t best = rng.uniform_index(pop.size());
+  for (std::size_t t = 1; t < tournament; ++t) {
+    const std::size_t cand = rng.uniform_index(pop.size());
+    if (pop[cand].fitness > pop[best].fitness) best = cand;
+  }
+  return best;
+}
+
+rp::TernaryMatrix crossover(const rp::TernaryMatrix& a,
+                            const rp::TernaryMatrix& b, double row_prob,
+                            math::Rng& rng) {
+  rp::TernaryMatrix child(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const rp::TernaryMatrix& src = rng.bernoulli(row_prob) ? b : a;
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      child.set(r, c, src.at(r, c));
+  }
+  return child;
+}
+
+void mutate(rp::TernaryMatrix& m, double rate, math::Rng& rng) {
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (rng.bernoulli(rate))
+        m.set(r, c, rp::sample_achlioptas_element(rng));
+}
+
+}  // namespace
+
+GaResult optimize_projection(std::size_t k, std::size_t d,
+                             const FitnessFn& fitness,
+                             const GaOptions& options) {
+  HBRP_REQUIRE(fitness != nullptr, "optimize_projection(): null fitness");
+  HBRP_REQUIRE(options.population >= 2,
+               "optimize_projection(): population must be >= 2");
+  HBRP_REQUIRE(options.elite < options.population,
+               "optimize_projection(): elite must be < population");
+  HBRP_REQUIRE(options.tournament >= 1,
+               "optimize_projection(): tournament must be >= 1");
+  HBRP_REQUIRE(options.generations >= 1,
+               "optimize_projection(): generations must be >= 1");
+
+  math::Rng rng(options.seed);
+  GaResult result;
+
+  std::vector<Individual> pop(options.population);
+  for (Individual& ind : pop) ind.matrix = rp::make_achlioptas(k, d, rng);
+  evaluate_all(pop, 0, fitness, options.parallel);
+  result.evaluations += pop.size();
+
+  auto by_fitness_desc = [](const Individual& a, const Individual& b) {
+    return a.fitness > b.fitness;
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(), by_fitness_desc);
+    result.history.push_back(pop.front().fitness);
+
+    std::vector<Individual> next;
+    next.reserve(options.population);
+    for (std::size_t e = 0; e < options.elite; ++e) next.push_back(pop[e]);
+
+    // Breed all offspring serially (keeps the RNG stream identical to a
+    // sequential run), then score them in parallel.
+    const std::size_t first_child = next.size();
+    while (next.size() < options.population) {
+      const Individual& pa = pop[tournament_pick(pop, options.tournament, rng)];
+      const Individual& pb = pop[tournament_pick(pop, options.tournament, rng)];
+      Individual child;
+      child.matrix =
+          crossover(pa.matrix, pb.matrix, options.row_crossover_prob, rng);
+      mutate(child.matrix, options.mutation_rate, rng);
+      next.push_back(std::move(child));
+    }
+    evaluate_all(next, first_child, fitness, options.parallel);
+    result.evaluations += next.size() - first_child;
+    pop = std::move(next);
+  }
+
+  std::sort(pop.begin(), pop.end(), by_fitness_desc);
+  result.history.push_back(pop.front().fitness);
+  result.best = pop.front().matrix;
+  result.best_fitness = pop.front().fitness;
+  return result;
+}
+
+}  // namespace hbrp::opt

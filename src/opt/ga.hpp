@@ -1,0 +1,57 @@
+// Genetic optimization of random projection matrices.
+//
+// Section III-A of the paper: the Achlioptas matrix itself is a design
+// variable. Each matrix in the population is a chromosome; crossover swaps
+// rows between parents (a row == one projected coefficient, a natural gene
+// boundary), mutation resamples individual elements from the Achlioptas
+// distribution (preserving the ensemble sparsity), and fitness is the score
+// of an NFC trained with this projection. The paper uses a population of 20
+// for 30 generations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rp/achlioptas.hpp"
+
+namespace hbrp::opt {
+
+struct GaOptions {
+  std::size_t population = 20;
+  std::size_t generations = 30;
+  /// Individuals copied unchanged into the next generation.
+  std::size_t elite = 2;
+  /// Tournament size for parent selection.
+  std::size_t tournament = 3;
+  /// Per-row probability of taking the row from the second parent.
+  double row_crossover_prob = 0.5;
+  /// Per-element probability of resampling from the Achlioptas distribution.
+  double mutation_rate = 0.01;
+  std::uint64_t seed = 1;
+  /// Evaluate individuals concurrently (requires a thread-safe fitness
+  /// function; all hbrp trainers are). Deterministic: offspring are bred
+  /// serially from the seeded RNG, only their evaluations run in parallel,
+  /// so results are identical to a serial run.
+  bool parallel = true;
+};
+
+/// Fitness: higher is better. Evaluated once per individual per generation.
+/// With GaOptions::parallel the callable is invoked from multiple threads
+/// simultaneously and must be thread-safe (const captures / local state).
+using FitnessFn = std::function<double(const rp::TernaryMatrix&)>;
+
+struct GaResult {
+  rp::TernaryMatrix best;
+  double best_fitness = 0.0;
+  /// Best fitness after each generation (monotone non-decreasing).
+  std::vector<double> history;
+  std::size_t evaluations = 0;
+};
+
+/// Evolves k x d ternary matrices to maximize `fitness`.
+GaResult optimize_projection(std::size_t k, std::size_t d,
+                             const FitnessFn& fitness,
+                             const GaOptions& options = {});
+
+}  // namespace hbrp::opt

@@ -1,0 +1,62 @@
+#include "opt/gd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+#include "math/vec.hpp"
+
+namespace hbrp::opt {
+
+GdResult minimize_gd(Objective& objective, std::vector<double>& params,
+                     const GdOptions& options) {
+  const std::size_t n = objective.dimension();
+  HBRP_REQUIRE(params.size() == n, "minimize_gd(): parameter size mismatch");
+  HBRP_REQUIRE(options.max_iterations >= 1,
+               "minimize_gd(): max_iterations must be >= 1");
+  HBRP_REQUIRE(options.learning_rate > 0.0,
+               "minimize_gd(): learning rate must be positive");
+  HBRP_REQUIRE(options.momentum >= 0.0 && options.momentum < 1.0,
+               "minimize_gd(): momentum must be in [0, 1)");
+
+  GdResult result;
+  std::vector<double> grad(n), velocity(n, 0.0), backup(n);
+  double rate = options.learning_rate;
+
+  double loss = objective.eval(params, grad);
+  result.initial_loss = loss;
+  result.history.push_back(loss);
+
+  for (int k = 1; k <= options.max_iterations; ++k) {
+    result.iterations = k;
+    if (math::max_abs(grad) < options.grad_tolerance) {
+      result.converged = true;
+      break;
+    }
+    backup = params;
+    for (std::size_t i = 0; i < n; ++i) {
+      velocity[i] = options.momentum * velocity[i] - rate * grad[i];
+      params[i] += velocity[i];
+    }
+    std::vector<double> new_grad(n);
+    const double new_loss = objective.eval(params, new_grad);
+    if (new_loss <= loss) {
+      loss = new_loss;
+      grad = std::move(new_grad);
+      result.history.push_back(loss);
+      rate *= options.grow;
+    } else {
+      // Regression: roll back, kill the momentum, shrink the rate.
+      params = backup;
+      std::fill(velocity.begin(), velocity.end(), 0.0);
+      rate *= options.shrink;
+      if (rate < 1e-15) break;
+      // Re-evaluate to restore `grad` for the retried step.
+      loss = objective.eval(params, grad);
+    }
+  }
+  result.final_loss = loss;
+  return result;
+}
+
+}  // namespace hbrp::opt

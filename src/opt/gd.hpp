@@ -1,0 +1,41 @@
+// Gradient descent with momentum — the baseline trainer SCG is compared
+// against.
+//
+// The paper motivates the scaled-conjugate-gradient choice by pointing at
+// the standard NFC training algorithm, plain gradient descent [9]. This
+// implementation uses momentum plus "bold driver" step adaptation (grow the
+// rate on improvement, shrink and retry on regression), which is the
+// strongest form of GD that keeps the same O(n) memory footprint as SCG.
+// bench_ablation_training quantifies the convergence gap.
+#pragma once
+
+#include <vector>
+
+#include "opt/objective.hpp"
+
+namespace hbrp::opt {
+
+struct GdOptions {
+  int max_iterations = 300;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  /// Bold-driver adaptation: rate *= grow on improvement, *= shrink (with
+  /// step rollback) on regression.
+  double grow = 1.05;
+  double shrink = 0.5;
+  double grad_tolerance = 1e-6;
+};
+
+struct GdResult {
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  std::vector<double> history;  ///< loss after every accepted step
+};
+
+/// Minimizes `objective` starting from (and updating) `params`.
+GdResult minimize_gd(Objective& objective, std::vector<double>& params,
+                     const GdOptions& options = {});
+
+}  // namespace hbrp::opt

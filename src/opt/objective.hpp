@@ -1,0 +1,21 @@
+// Differentiable-objective interface consumed by the SCG optimizer.
+#pragma once
+
+#include <span>
+
+namespace hbrp::opt {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Number of parameters this objective expects.
+  virtual std::size_t dimension() const = 0;
+
+  /// Returns the loss at `params` and writes its gradient into `grad`
+  /// (grad.size() == params.size() == dimension()).
+  virtual double eval(std::span<const double> params,
+                      std::span<double> grad) = 0;
+};
+
+}  // namespace hbrp::opt

@@ -1,0 +1,128 @@
+#include "opt/scg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.hpp"
+#include "math/vec.hpp"
+
+namespace hbrp::opt {
+
+ScgResult minimize_scg(Objective& objective, std::vector<double>& params,
+                       const ScgOptions& options) {
+  const std::size_t n = objective.dimension();
+  HBRP_REQUIRE(params.size() == n, "minimize_scg(): parameter size mismatch");
+  HBRP_REQUIRE(options.max_iterations >= 1,
+               "minimize_scg(): max_iterations must be >= 1");
+
+  ScgResult result;
+
+  std::vector<double> grad(n), grad_new(n), grad_probe(n);
+  std::vector<double> p(n), r(n), w_probe(n), w_new(n);
+
+  double f_w = objective.eval(params, grad);
+  result.initial_loss = f_w;
+  result.history.push_back(f_w);
+
+  // r = p = -grad
+  for (std::size_t i = 0; i < n; ++i) r[i] = p[i] = -grad[i];
+
+  double lambda = options.lambda0;
+  double lambda_bar = 0.0;
+  bool success = true;
+  double delta = 0.0;
+  std::vector<double> s(n);
+
+  const int restart_every = static_cast<int>(n);
+
+  for (int k = 1; k <= options.max_iterations; ++k) {
+    const double p_norm_sq = math::norm2_sq(p);
+    if (p_norm_sq <= options.step_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    if (success) {
+      // Second-order information via a finite difference along p.
+      const double sigma = options.sigma0 / std::sqrt(p_norm_sq);
+      for (std::size_t i = 0; i < n; ++i) w_probe[i] = params[i] + sigma * p[i];
+      objective.eval(w_probe, grad_probe);
+      for (std::size_t i = 0; i < n; ++i)
+        s[i] = (grad_probe[i] + r[i]) / sigma;  // grad(w) == -r
+      delta = math::dot(p, s);
+    }
+
+    // Scale (Levenberg-Marquardt damping) and make the Hessian estimate
+    // positive definite.
+    delta += (lambda - lambda_bar) * p_norm_sq;
+    if (delta <= 0.0) {
+      lambda_bar = 2.0 * (lambda - delta / p_norm_sq);
+      delta = -delta + lambda * p_norm_sq;
+      lambda = lambda_bar;
+    }
+
+    const double mu = math::dot(p, r);
+    const double alpha = mu / delta;
+
+    for (std::size_t i = 0; i < n; ++i) w_new[i] = params[i] + alpha * p[i];
+    const double f_new = objective.eval(w_new, grad_new);
+
+    // Comparison parameter: how well the quadratic model predicted the
+    // actual decrease.
+    const double big_delta = 2.0 * delta * (f_w - f_new) / (mu * mu);
+
+    if (big_delta >= 0.0) {
+      // Successful step.
+      const double improvement = f_w - f_new;
+      params = w_new;
+      f_w = f_new;
+      result.history.push_back(f_w);
+      lambda_bar = 0.0;
+      success = true;
+
+      // New conjugate direction (Polak-Ribiere-style as in Moller's paper),
+      // with periodic restart to plain steepest descent.
+      double r_new_sq = 0.0, r_new_dot_r = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        r_new_sq += grad_new[i] * grad_new[i];
+        r_new_dot_r += grad_new[i] * (-r[i]);
+      }
+      const double beta =
+          (k % restart_every == 0) ? 0.0 : (r_new_sq - r_new_dot_r) / mu;
+      for (std::size_t i = 0; i < n; ++i) {
+        r[i] = -grad_new[i];
+        p[i] = r[i] + beta * p[i];
+      }
+
+      if (big_delta >= 0.75) lambda = std::max(lambda * 0.25, 1e-15);
+
+      const double grad_inf = math::max_abs(r);
+      if (grad_inf < options.grad_tolerance ||
+          (improvement >= 0.0 && improvement < options.step_tolerance &&
+           std::abs(alpha) * std::sqrt(p_norm_sq) < options.step_tolerance)) {
+        result.iterations = k;
+        result.converged = true;
+        result.final_loss = f_w;
+        return result;
+      }
+    } else {
+      // Reduction failed: raise damping and retry the same direction.
+      lambda_bar = lambda;
+      success = false;
+    }
+
+    if (big_delta < 0.25)
+      lambda += delta * (1.0 - big_delta) / p_norm_sq;
+    // Guard against runaway damping making steps vanish entirely.
+    if (lambda > 1e20) {
+      result.iterations = k;
+      break;
+    }
+    result.iterations = k;
+  }
+
+  result.final_loss = f_w;
+  return result;
+}
+
+}  // namespace hbrp::opt

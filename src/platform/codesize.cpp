@@ -1,0 +1,70 @@
+#include "platform/codesize.hpp"
+
+namespace hbrp::platform {
+
+namespace {
+double total_bytes(const std::vector<CodeItem>& items) {
+  double acc = 0.0;
+  for (const CodeItem& it : items) acc += it.bytes;
+  return acc;
+}
+constexpr double kKb = 1024.0;
+}  // namespace
+
+CodeSizeModel::CodeSizeModel() {
+  // RP classifier stage: 2-bit projection kernel, MF tables + evaluation,
+  // fuzzification/defuzzification. Total 1.64 KB.
+  rp_classifier_ = {
+      {"rp_project_packed", 420.0},
+      {"mf_linear_eval", 300.0},
+      {"fuzzify_renorm", 390.0},
+      {"defuzzify_int", 180.0},
+      {"classifier_tables_glue", 389.0},
+  };
+
+  // Filtering + peak detection (single lead) — with sub-system (1) control
+  // code this accounts for 30.29 - 1.64 = 28.65 KB.
+  acquisition_ = {
+      {"morph_erode_dilate", 3600.0},
+      {"baseline_removal", 2900.0},
+      {"noise_suppression", 2700.0},
+      {"wavelet_atrous_4scale", 5400.0},
+      {"modmax_pair_search", 4400.0},
+      {"zero_crossing_refine", 2100.0},
+      {"adaptive_threshold", 2300.0},
+      {"searchback", 1900.0},
+      {"beat_buffering_control", 4037.6},
+  };
+
+  // Three-lead delineation stage: per-lead MMD machinery, wave searches,
+  // multi-lead fusion and its own filtering of the two extra leads.
+  // Total 46.39 KB.
+  delineation_ = {
+      {"mmd_operator", 5200.0},
+      {"qrs_boundary_scan", 4700.0},
+      {"p_wave_search", 5400.0},
+      {"t_wave_search", 5400.0},
+      {"multilead_fusion", 3800.0},
+      {"extra_lead_filtering", 9800.0},
+      {"fiducial_encoding", 3600.0},
+      {"delineation_control", 9603.4},
+  };
+}
+
+double CodeSizeModel::rp_classifier_kb() const {
+  return total_bytes(rp_classifier_) / kKb;
+}
+
+double CodeSizeModel::subsystem1_kb() const {
+  return (total_bytes(rp_classifier_) + total_bytes(acquisition_)) / kKb;
+}
+
+double CodeSizeModel::subsystem2_kb() const {
+  return total_bytes(delineation_) / kKb;
+}
+
+double CodeSizeModel::system3_kb() const {
+  return subsystem1_kb() + subsystem2_kb();
+}
+
+}  // namespace hbrp::platform

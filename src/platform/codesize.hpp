@@ -1,0 +1,54 @@
+// Code-size inventory for the firmware stages (Table III, first column).
+//
+// Code size is a property of the compiled icyflex binaries of [1] and cannot
+// be measured without that toolchain; this inventory models it as a sum of
+// per-function footprints, with the per-function numbers calibrated so the
+// stage totals reproduce the figures reported for the reference firmware
+// (RP classifier 1.64 KB; sub-system (1) 30.29 KB; sub-system (2) 46.39 KB;
+// complete system (3) = (1) + (2) sharing nothing = 76.68 KB). The
+// *composition* rules (which functions belong to which stage, what is shared)
+// are the model; the calibration constants are data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hbrp::platform {
+
+struct CodeItem {
+  std::string name;
+  double bytes = 0.0;
+};
+
+class CodeSizeModel {
+ public:
+  CodeSizeModel();
+
+  /// Per-function inventory of one stage.
+  const std::vector<CodeItem>& rp_classifier_items() const {
+    return rp_classifier_;
+  }
+  const std::vector<CodeItem>& acquisition_items() const {
+    return acquisition_;
+  }
+  const std::vector<CodeItem>& delineation_items() const {
+    return delineation_;
+  }
+
+  /// Stage totals, in KB, matching the Table III rows.
+  double rp_classifier_kb() const;
+  /// (1) RP classifier + filtering + peak detection.
+  double subsystem1_kb() const;
+  /// (2) three-lead filtering + multi-lead delineation.
+  double subsystem2_kb() const;
+  /// (3) complete gated system: (1) and (2) coexist in flash.
+  double system3_kb() const;
+
+ private:
+  std::vector<CodeItem> rp_classifier_;
+  std::vector<CodeItem> acquisition_;   // filtering + peak detection
+  std::vector<CodeItem> delineation_;   // 3-lead delineation stage
+};
+
+}  // namespace hbrp::platform

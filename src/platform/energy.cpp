@@ -1,0 +1,57 @@
+#include "platform/energy.hpp"
+
+#include "math/check.hpp"
+
+namespace hbrp::platform {
+
+namespace {
+
+double mcu_power(double duty, const PowerModel& power) {
+  HBRP_REQUIRE(duty >= 0.0 && duty <= 1.0,
+               "energy model: duty cycle out of [0, 1] — workload exceeds "
+               "the platform's real-time capacity");
+  return duty * power.mcu_active_w + (1.0 - duty) * power.mcu_sleep_w;
+}
+
+}  // namespace
+
+EnergyBreakdown energy_baseline(const KernelCosts& kernels,
+                                const ScenarioParams& scenario,
+                                const IcyHeartSpec& soc,
+                                const PowerModel& power,
+                                const PayloadModel& payload) {
+  EnergyBreakdown out;
+  const double duty = load_subsystem2(kernels, scenario).duty_cycle(soc);
+  out.compute_w = mcu_power(duty, power);
+  const double bytes_per_s =
+      scenario.beat_rate_hz * static_cast<double>(payload.full_beat_bytes());
+  out.radio_w = bytes_per_s * power.radio_j_per_byte;
+  out.rest_w = power.rest_of_node_w;
+  return out;
+}
+
+EnergyBreakdown energy_proposed(const KernelCosts& kernels,
+                                const ScenarioParams& scenario,
+                                const IcyHeartSpec& soc,
+                                const PowerModel& power,
+                                const PayloadModel& payload) {
+  EnergyBreakdown out;
+  const double duty = load_system3(kernels, scenario).duty_cycle(soc);
+  out.compute_w = mcu_power(duty, power);
+  const double normal_rate =
+      scenario.beat_rate_hz * (1.0 - scenario.flagged_fraction);
+  const double flagged_rate = scenario.beat_rate_hz * scenario.flagged_fraction;
+  const double bytes_per_s =
+      normal_rate * static_cast<double>(payload.normal_beat_bytes()) +
+      flagged_rate * static_cast<double>(payload.full_beat_bytes());
+  out.radio_w = bytes_per_s * power.radio_j_per_byte;
+  out.rest_w = power.rest_of_node_w;
+  return out;
+}
+
+double relative_saving(double base, double proposed) {
+  HBRP_REQUIRE(base > 0.0, "relative_saving(): base must be positive");
+  return (base - proposed) / base;
+}
+
+}  // namespace hbrp::platform

@@ -1,0 +1,32 @@
+#include "rp/projector.hpp"
+
+#include "math/check.hpp"
+
+namespace hbrp::rp {
+
+BeatProjector::BeatProjector(TernaryMatrix p, std::size_t downsample_factor)
+    : dense_(std::move(p)), packed_(dense_), downsample_(downsample_factor) {
+  HBRP_REQUIRE(downsample_ >= 1, "BeatProjector: downsample factor >= 1");
+  HBRP_REQUIRE(dense_.rows() >= 1 && dense_.cols() >= 1,
+               "BeatProjector: empty projection matrix");
+}
+
+math::Vec BeatProjector::project(const dsp::Signal& window) const {
+  HBRP_REQUIRE(window.size() == expected_window(),
+               "BeatProjector::project(): window size mismatch");
+  const dsp::Signal ds = dsp::downsample_avg(window, downsample_);
+  math::Vec v(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    v[i] = static_cast<double>(ds[i]);
+  return dense_.apply(v);
+}
+
+std::vector<std::int32_t> BeatProjector::project_int(
+    const dsp::Signal& window) const {
+  HBRP_REQUIRE(window.size() == expected_window(),
+               "BeatProjector::project_int(): window size mismatch");
+  const dsp::Signal ds = dsp::downsample_avg(window, downsample_);
+  return packed_.apply(ds);
+}
+
+}  // namespace hbrp::rp

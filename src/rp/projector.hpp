@@ -1,0 +1,45 @@
+// Beat-window projector: downsampling + random projection as one unit.
+//
+// The paper's classifier input chain is: 200-sample beat window at 360 Hz ->
+// 4x downsampling (50 samples at 90 Hz) -> k-coefficient random projection.
+// BeatProjector owns the trained matrix in both its dense (training) and
+// 2-bit packed (embedded) forms and applies the full chain on either data
+// path, guaranteeing the two stay consistent.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/resample.hpp"
+#include "rp/achlioptas.hpp"
+#include "rp/packed_matrix.hpp"
+
+namespace hbrp::rp {
+
+class BeatProjector {
+ public:
+  /// `p` has one column per *downsampled* window sample.
+  BeatProjector(TernaryMatrix p, std::size_t downsample_factor);
+
+  std::size_t coefficients() const { return dense_.rows(); }
+  std::size_t downsample_factor() const { return downsample_; }
+  /// Window length expected at the acquisition rate.
+  std::size_t expected_window() const {
+    return dense_.cols() * downsample_;
+  }
+
+  /// Float path (training): downsample then project to doubles.
+  math::Vec project(const dsp::Signal& window) const;
+
+  /// Integer path (embedded): downsample then project via the packed matrix.
+  std::vector<std::int32_t> project_int(const dsp::Signal& window) const;
+
+  const TernaryMatrix& matrix() const { return dense_; }
+  const PackedTernaryMatrix& packed() const { return packed_; }
+
+ private:
+  TernaryMatrix dense_;
+  PackedTernaryMatrix packed_;
+  std::size_t downsample_ = 1;
+};
+
+}  // namespace hbrp::rp

@@ -1,0 +1,110 @@
+// Tests for NDR/ARR accounting and Pareto-front extraction.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "math/check.hpp"
+
+namespace {
+
+using hbrp::core::ConfusionMatrix;
+using hbrp::core::OperatingPoint;
+using hbrp::core::pareto_front;
+using hbrp::ecg::BeatClass;
+
+TEST(Confusion, EmptyMatrix) {
+  const ConfusionMatrix cm;
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.ndr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.arr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.flagged_fraction(), 0.0);
+}
+
+TEST(Confusion, NdrCountsOnlyTrueNormals) {
+  ConfusionMatrix cm;
+  cm.add(BeatClass::N, BeatClass::N);
+  cm.add(BeatClass::N, BeatClass::N);
+  cm.add(BeatClass::N, BeatClass::V);        // normal flagged -> hurts NDR
+  cm.add(BeatClass::N, BeatClass::Unknown);  // also hurts NDR
+  EXPECT_DOUBLE_EQ(cm.ndr(), 0.5);
+  EXPECT_EQ(cm.total_normal(), 4u);
+}
+
+TEST(Confusion, ArrCountsUnknownAsRecognized) {
+  ConfusionMatrix cm;
+  cm.add(BeatClass::V, BeatClass::V);        // recognized
+  cm.add(BeatClass::V, BeatClass::L);        // wrong class, still recognized
+  cm.add(BeatClass::L, BeatClass::Unknown);  // recognized
+  cm.add(BeatClass::L, BeatClass::N);        // missed!
+  EXPECT_DOUBLE_EQ(cm.arr(), 0.75);
+  EXPECT_EQ(cm.total_abnormal(), 4u);
+}
+
+TEST(Confusion, FlaggedFraction) {
+  ConfusionMatrix cm;
+  cm.add(BeatClass::N, BeatClass::N);
+  cm.add(BeatClass::N, BeatClass::V);
+  cm.add(BeatClass::V, BeatClass::V);
+  cm.add(BeatClass::L, BeatClass::N);
+  EXPECT_DOUBLE_EQ(cm.flagged_fraction(), 0.5);
+}
+
+TEST(Confusion, Accuracy) {
+  ConfusionMatrix cm;
+  cm.add(BeatClass::N, BeatClass::N);
+  cm.add(BeatClass::V, BeatClass::V);
+  cm.add(BeatClass::L, BeatClass::L);
+  cm.add(BeatClass::L, BeatClass::Unknown);  // U counts as wrong
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(Confusion, UnknownTruthRejected) {
+  ConfusionMatrix cm;
+  EXPECT_THROW(cm.add(BeatClass::Unknown, BeatClass::N), hbrp::Error);
+  EXPECT_THROW(cm.count(BeatClass::Unknown, BeatClass::N), hbrp::Error);
+}
+
+TEST(Confusion, MergeAddsCounts) {
+  ConfusionMatrix a, b;
+  a.add(BeatClass::N, BeatClass::N);
+  b.add(BeatClass::N, BeatClass::V);
+  b.add(BeatClass::V, BeatClass::V);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_DOUBLE_EQ(a.ndr(), 0.5);
+  EXPECT_DOUBLE_EQ(a.arr(), 1.0);
+}
+
+TEST(Pareto, RemovesDominatedPoints) {
+  std::vector<OperatingPoint> pts = {
+      {0.0, 0.95, 0.90},
+      {0.1, 0.93, 0.95},
+      {0.2, 0.94, 0.94},  // dominated by the 0.1 point? no: lower ARR but
+                          // also lower NDR than 0.95@0.90? dominated by
+                          // neither on ARR, but 0.1 point has ARR 0.95 and
+                          // NDR 0.93 < 0.94 -> 0.2 point survives
+      {0.3, 0.80, 0.93},  // dominated (0.94 NDR at ARR 0.94 beats it)
+  };
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].arr, 0.90);
+  EXPECT_DOUBLE_EQ(front[1].arr, 0.94);
+  EXPECT_DOUBLE_EQ(front[2].arr, 0.95);
+  // NDR decreases as ARR increases along a proper front.
+  EXPECT_GE(front[0].ndr, front[1].ndr);
+  EXPECT_GE(front[1].ndr, front[2].ndr);
+}
+
+TEST(Pareto, SinglePointAndEmpty) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const auto front = pareto_front({{0.5, 0.9, 0.97}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].alpha, 0.5);
+}
+
+TEST(Pareto, EqualArrKeepsBestNdr) {
+  const auto front = pareto_front({{0.0, 0.90, 0.97}, {0.1, 0.95, 0.97}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].ndr, 0.95);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Tests for trained-model serialization.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/model_io.hpp"
+#include "math/check.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hbrp::core::load_model;
+using hbrp::core::load_or_train;
+using hbrp::core::save_model;
+using hbrp::core::TrainedClassifier;
+
+TrainedClassifier make_model(std::uint64_t seed) {
+  hbrp::math::Rng rng(seed);
+  auto p = hbrp::rp::make_achlioptas(8, 50, rng);
+  hbrp::nfc::NeuroFuzzyClassifier nfc(8);
+  for (std::size_t k = 0; k < 8; ++k)
+    for (std::size_t l = 0; l < 3; ++l)
+      nfc.mf(k, l) = {rng.normal(0, 200), rng.uniform(5.0, 150.0)};
+  return TrainedClassifier{hbrp::rp::BeatProjector(std::move(p), 4),
+                           std::move(nfc), rng.uniform(0.0, 0.5)};
+}
+
+fs::path temp_path(const char* tag) {
+  return fs::temp_directory_path() /
+         (std::string("hbrp_model_") + tag + "_" + std::to_string(::getpid()) +
+          ".bin");
+}
+
+TEST(ModelIo, RoundTripPreservesEverything) {
+  const auto path = temp_path("rt");
+  const TrainedClassifier model = make_model(1);
+  save_model(model, path);
+  const TrainedClassifier back = load_model(path);
+
+  EXPECT_EQ(back.projector.matrix(), model.projector.matrix());
+  EXPECT_EQ(back.projector.downsample_factor(),
+            model.projector.downsample_factor());
+  EXPECT_DOUBLE_EQ(back.alpha_train, model.alpha_train);
+  for (std::size_t k = 0; k < 8; ++k)
+    for (std::size_t l = 0; l < 3; ++l) {
+      EXPECT_DOUBLE_EQ(back.nfc.mf(k, l).center, model.nfc.mf(k, l).center);
+      EXPECT_DOUBLE_EQ(back.nfc.mf(k, l).sigma, model.nfc.mf(k, l).sigma);
+    }
+  fs::remove(path);
+}
+
+TEST(ModelIo, ReloadedModelClassifiesIdentically) {
+  const auto path = temp_path("cls");
+  const TrainedClassifier model = make_model(2);
+  save_model(model, path);
+  const TrainedClassifier back = load_model(path);
+
+  hbrp::math::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    hbrp::dsp::Signal window(200);
+    for (auto& x : window) x = static_cast<int>(rng.uniform_int(-800, 800));
+    const auto u1 = model.projector.project(window);
+    const auto u2 = back.projector.project(window);
+    EXPECT_EQ(model.nfc.classify(u1, model.alpha_train),
+              back.nfc.classify(u2, back.alpha_train));
+  }
+  // The quantized bundles agree too.
+  const auto b1 = model.quantize();
+  const auto b2 = back.quantize();
+  hbrp::dsp::Signal window(200);
+  for (auto& x : window) x = static_cast<int>(rng.uniform_int(-800, 800));
+  EXPECT_EQ(b1.classify_window(window), b2.classify_window(window));
+  fs::remove(path);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(load_model("/nonexistent/model.bin"), hbrp::Error);
+}
+
+TEST(ModelIo, CorruptMagicRejected) {
+  const auto path = temp_path("bad");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GARBAGEGARBAGE";
+  }
+  EXPECT_THROW(load_model(path), hbrp::Error);
+  fs::remove(path);
+}
+
+TEST(ModelIo, TruncatedFileRejected) {
+  const auto path = temp_path("trunc");
+  const TrainedClassifier model = make_model(4);
+  save_model(model, path);
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size / 2);
+  EXPECT_THROW(load_model(path), hbrp::Error);
+  fs::remove(path);
+}
+
+TEST(ModelIo, LoadOrTrainCachesResult) {
+  const auto path = temp_path("cache");
+  fs::remove(path);
+  int train_calls = 0;
+  auto trainer = [&train_calls]() {
+    ++train_calls;
+    return make_model(5);
+  };
+  const auto first = load_or_train(path, trainer);
+  EXPECT_EQ(train_calls, 1);
+  const auto second = load_or_train(path, trainer);
+  EXPECT_EQ(train_calls, 1);  // served from disk
+  EXPECT_EQ(second.projector.matrix(), first.projector.matrix());
+  fs::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the streaming beat monitor: agreement with the batch pipeline,
+// chunk-boundary behaviour, memory/latency bounds.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/streaming.hpp"
+#include "core/trainer.hpp"
+#include "ecg/dataset.hpp"
+#include "ecg/synth.hpp"
+#include "math/check.hpp"
+
+namespace {
+
+using hbrp::core::MonitorBeat;
+using hbrp::core::MonitorConfig;
+using hbrp::core::StreamingBeatMonitor;
+
+class StreamingMonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hbrp::ecg::DatasetBuilderConfig cfg;
+    cfg.record_duration_s = 120.0;
+    cfg.max_per_record_per_class = 20;
+    cfg.seed = 81;
+    const auto ts1 = hbrp::ecg::build_dataset({150, 150, 150}, cfg);
+    cfg.max_per_record_per_class = 80;
+    cfg.seed = 82;
+    const auto ts2 = hbrp::ecg::build_dataset({1200, 120, 150}, cfg);
+    hbrp::core::TwoStepConfig tcfg;
+    tcfg.ga.population = 4;
+    tcfg.ga.generations = 2;
+    tcfg.seed = 8;
+    const hbrp::core::TwoStepTrainer trainer(ts1, ts2, tcfg);
+    bundle_ = new hbrp::embedded::EmbeddedClassifier(trainer.run().quantize());
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+
+  static std::vector<MonitorBeat> run_monitor(const hbrp::dsp::Signal& lead,
+                                              const MonitorConfig& cfg = {}) {
+    StreamingBeatMonitor monitor(*bundle_, cfg);
+    std::vector<MonitorBeat> beats;
+    for (const auto x : lead) {
+      auto batch = monitor.push(x);
+      beats.insert(beats.end(), batch.begin(), batch.end());
+    }
+    auto tail = monitor.flush();
+    beats.insert(beats.end(), tail.begin(), tail.end());
+    return beats;
+  }
+
+  static const hbrp::embedded::EmbeddedClassifier* bundle_;
+};
+
+const hbrp::embedded::EmbeddedClassifier* StreamingMonitorTest::bundle_ =
+    nullptr;
+
+hbrp::ecg::Record monitor_record(std::uint64_t seed, double seconds = 60.0) {
+  hbrp::ecg::SynthConfig cfg;
+  cfg.profile = hbrp::ecg::RecordProfile::PvcOccasional;
+  cfg.duration_s = seconds;
+  cfg.num_leads = 1;
+  cfg.seed = seed;
+  return hbrp::ecg::generate_record(cfg);
+}
+
+TEST_F(StreamingMonitorTest, AgreesWithBatchPipeline) {
+  const auto rec = monitor_record(1);
+  const auto streaming = run_monitor(rec.leads[0]);
+
+  hbrp::core::PipelineConfig pcfg;
+  const hbrp::core::RealTimePipeline pipeline(*bundle_, pcfg);
+  const auto batch = pipeline.process(rec);
+
+  // Every batch beat away from the record borders must appear in the
+  // streaming output with the same classification.
+  std::size_t matched = 0, compared = 0;
+  for (const auto& b : batch.beats) {
+    if (b.r_peak < 1000 || b.r_peak + 1000 > rec.leads[0].size()) continue;
+    ++compared;
+    for (const auto& s : streaming) {
+      if (s.r_peak + 5 >= b.r_peak && s.r_peak <= b.r_peak + 5) {
+        if (s.predicted == b.predicted) ++matched;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(compared, 30u);
+  EXPECT_GE(static_cast<double>(matched) / static_cast<double>(compared),
+            0.97);
+}
+
+TEST_F(StreamingMonitorTest, NoDuplicatesAcrossChunks) {
+  const auto rec = monitor_record(2, 90.0);
+  const auto beats = run_monitor(rec.leads[0]);
+  for (std::size_t i = 1; i < beats.size(); ++i)
+    EXPECT_GT(beats[i].r_peak, beats[i - 1].r_peak + 30)
+        << "duplicate or out-of-order beat at " << i;
+}
+
+TEST_F(StreamingMonitorTest, BeatCountTracksAnnotations) {
+  const auto rec = monitor_record(3, 90.0);
+  const auto beats = run_monitor(rec.leads[0]);
+  EXPECT_GT(beats.size(), rec.beats.size() * 85 / 100);
+  EXPECT_LT(beats.size(), rec.beats.size() * 108 / 100);
+}
+
+TEST_F(StreamingMonitorTest, MemoryBoundWellUnderIcyHeartRam) {
+  const StreamingBeatMonitor monitor(*bundle_);
+  // Samples are int32 in this model; even so the whole working set must sit
+  // far below the 96 KB of the SoC.
+  EXPECT_LT(monitor.memory_samples() * sizeof(hbrp::dsp::Sample),
+            48u * 1024u);
+}
+
+TEST_F(StreamingMonitorTest, LatencyBounded) {
+  const StreamingBeatMonitor monitor(*bundle_);
+  // Conditioner delay plus one chunk: ~8.6 s at the default config.
+  EXPECT_LT(monitor.latency(), static_cast<std::size_t>(10 * 360));
+}
+
+TEST_F(StreamingMonitorTest, ConfigValidation) {
+  MonitorConfig cfg;
+  cfg.window_before = 10;  // mismatched geometry
+  EXPECT_THROW(StreamingBeatMonitor(*bundle_, cfg), hbrp::Error);
+
+  cfg = {};
+  cfg.overlap_s = 0.3;  // shorter than a beat window
+  EXPECT_THROW(StreamingBeatMonitor(*bundle_, cfg), hbrp::Error);
+
+  cfg = {};
+  cfg.chunk_s = 3.0;  // chunk must exceed twice the overlap
+  EXPECT_THROW(StreamingBeatMonitor(*bundle_, cfg), hbrp::Error);
+}
+
+TEST_F(StreamingMonitorTest, FlushFinalizesTailBeats) {
+  // A record shorter than one chunk: nothing is emitted until flush.
+  const auto rec = monitor_record(4, 6.0);
+  StreamingBeatMonitor monitor(*bundle_);
+  std::size_t emitted_during = 0;
+  for (const auto x : rec.leads[0]) emitted_during += monitor.push(x).size();
+  EXPECT_EQ(emitted_during, 0u);
+  const auto tail = monitor.flush();
+  EXPECT_GT(tail.size(), 3u);
+}
+
+TEST_F(StreamingMonitorTest, ReusableAfterFlush) {
+  const auto rec = monitor_record(5, 30.0);
+  StreamingBeatMonitor monitor(*bundle_);
+  auto run_once = [&]() {
+    std::vector<MonitorBeat> beats;
+    for (const auto x : rec.leads[0]) {
+      auto b = monitor.push(x);
+      beats.insert(beats.end(), b.begin(), b.end());
+    }
+    auto tail = monitor.flush();
+    beats.insert(beats.end(), tail.begin(), tail.end());
+    return beats;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].r_peak, second[i].r_peak);
+    EXPECT_EQ(first[i].predicted, second[i].predicted);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Integration tests of the two-step training framework on synthetic splits.
+#include <gtest/gtest.h>
+
+#include "core/pca_baseline.hpp"
+#include "core/trainer.hpp"
+#include "ecg/dataset.hpp"
+#include "math/check.hpp"
+
+namespace {
+
+using hbrp::core::calibrate_alpha;
+using hbrp::core::ConfusionMatrix;
+using hbrp::core::evaluate;
+using hbrp::core::project_dataset;
+using hbrp::core::TwoStepConfig;
+using hbrp::core::TwoStepTrainer;
+using hbrp::ecg::BeatDataset;
+
+// Shared fixture: build the splits once for the whole suite (expensive).
+class TrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hbrp::ecg::DatasetBuilderConfig cfg;
+    cfg.record_duration_s = 120.0;
+    cfg.max_per_record_per_class = 20;
+    cfg.seed = 41;
+    ts1_ = new BeatDataset(hbrp::ecg::build_dataset({150, 150, 150}, cfg));
+    cfg.max_per_record_per_class = 80;
+    cfg.seed = 42;
+    ts2_ = new BeatDataset(hbrp::ecg::build_dataset({1500, 140, 170}, cfg));
+    cfg.seed = 43;
+    test_ = new BeatDataset(hbrp::ecg::build_dataset({2500, 220, 280}, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete ts1_;
+    delete ts2_;
+    delete test_;
+    ts1_ = ts2_ = test_ = nullptr;
+  }
+
+  static TwoStepConfig quick_config() {
+    TwoStepConfig cfg;
+    cfg.coefficients = 8;
+    cfg.ga.population = 4;
+    cfg.ga.generations = 2;
+    cfg.seed = 9;
+    return cfg;
+  }
+
+  static const BeatDataset* ts1_;
+  static const BeatDataset* ts2_;
+  static const BeatDataset* test_;
+};
+
+const BeatDataset* TrainerTest::ts1_ = nullptr;
+const BeatDataset* TrainerTest::ts2_ = nullptr;
+const BeatDataset* TrainerTest::test_ = nullptr;
+
+TEST_F(TrainerTest, ProjectDatasetShape) {
+  hbrp::math::Rng rng(1);
+  hbrp::rp::BeatProjector proj(hbrp::rp::make_achlioptas(8, 50, rng), 4);
+  const auto d = project_dataset(*ts1_, proj);
+  EXPECT_EQ(d.u.rows(), 450u);
+  EXPECT_EQ(d.u.cols(), 8u);
+  EXPECT_EQ(d.labels.size(), 450u);
+}
+
+TEST_F(TrainerTest, TrainWithProjectionMeetsArrOnTs2) {
+  const TwoStepTrainer trainer(*ts1_, *ts2_, quick_config());
+  hbrp::math::Rng rng(2);
+  const auto p = hbrp::rp::make_achlioptas(8, 50, rng);
+  const auto trained = trainer.train_with_projection(p);
+  const auto d2 = project_dataset(*ts2_, trained.projector);
+  const ConfusionMatrix cm = evaluate(trained.nfc, d2, trained.alpha_train);
+  EXPECT_GE(cm.arr(), 0.97);
+  EXPECT_GT(cm.ndr(), 0.5);
+}
+
+TEST_F(TrainerTest, CalibratedAlphaIsMinimal) {
+  const TwoStepTrainer trainer(*ts1_, *ts2_, quick_config());
+  hbrp::math::Rng rng(3);
+  const auto trained =
+      trainer.train_with_projection(hbrp::rp::make_achlioptas(8, 50, rng));
+  const auto d2 = project_dataset(*ts2_, trained.projector);
+  const double alpha = trained.alpha_train;
+  if (alpha > 0.0) {
+    // Slightly below the calibrated alpha the ARR constraint must fail.
+    const ConfusionMatrix below =
+        evaluate(trained.nfc, d2, std::max(0.0, alpha * 0.9 - 1e-9));
+    EXPECT_LT(below.arr(), 0.97);
+  }
+  const ConfusionMatrix at = evaluate(trained.nfc, d2, alpha);
+  EXPECT_GE(at.arr(), 0.97);
+}
+
+TEST_F(TrainerTest, AlphaMonotonicity) {
+  // Raising alpha must not lower ARR and must not raise NDR.
+  const TwoStepTrainer trainer(*ts1_, *ts2_, quick_config());
+  hbrp::math::Rng rng(4);
+  const auto trained =
+      trainer.train_with_projection(hbrp::rp::make_achlioptas(8, 50, rng));
+  const auto d2 = project_dataset(*ts2_, trained.projector);
+  double prev_arr = -1.0, prev_ndr = 2.0;
+  for (double alpha : {0.0, 0.05, 0.15, 0.4, 0.8}) {
+    const ConfusionMatrix cm = evaluate(trained.nfc, d2, alpha);
+    EXPECT_GE(cm.arr() + 1e-12, prev_arr);
+    EXPECT_LE(cm.ndr() - 1e-12, prev_ndr);
+    prev_arr = cm.arr();
+    prev_ndr = cm.ndr();
+  }
+}
+
+TEST_F(TrainerTest, GaRunImprovesOrMatchesFitness) {
+  auto cfg = quick_config();
+  const TwoStepTrainer trainer(*ts1_, *ts2_, cfg);
+  const auto trained = trainer.run();
+  const auto& history = trainer.last_history();
+  ASSERT_GE(history.size(), 2u);
+  EXPECT_GE(history.back(), history.front());
+  // Final classifier performs on the held-out test set.
+  const auto dt = project_dataset(*test_, trained.projector);
+  const ConfusionMatrix cm = evaluate(trained.nfc, dt, trained.alpha_train);
+  EXPECT_GT(cm.ndr(), 0.7);
+  EXPECT_GT(cm.arr(), 0.8);
+}
+
+TEST_F(TrainerTest, EmbeddedQuantizationSmallGap) {
+  const TwoStepTrainer trainer(*ts1_, *ts2_, quick_config());
+  hbrp::math::Rng rng(5);
+  const auto trained =
+      trainer.train_with_projection(hbrp::rp::make_achlioptas(8, 50, rng));
+  const auto dt = project_dataset(*test_, trained.projector);
+  const ConfusionMatrix float_cm =
+      evaluate(trained.nfc, dt, trained.alpha_train);
+  const auto bundle = trained.quantize();
+  const ConfusionMatrix int_cm = hbrp::core::evaluate_embedded(bundle, *test_);
+  // Table II: the PC-vs-WBSN gap is a few percentage points.
+  EXPECT_NEAR(int_cm.ndr(), float_cm.ndr(), 0.12);
+  EXPECT_NEAR(int_cm.arr(), float_cm.arr(), 0.12);
+}
+
+TEST_F(TrainerTest, QuantizeHonorsAlphaTestOverride) {
+  const TwoStepTrainer trainer(*ts1_, *ts2_, quick_config());
+  hbrp::math::Rng rng(6);
+  const auto trained =
+      trainer.train_with_projection(hbrp::rp::make_achlioptas(8, 50, rng));
+  const auto b1 = trained.quantize();
+  EXPECT_EQ(b1.alpha_q16(), hbrp::math::to_q16(trained.alpha_train));
+  const auto b2 = trained.quantize(hbrp::embedded::MfShape::Linearized, 0.5);
+  EXPECT_EQ(b2.alpha_q16(), hbrp::math::to_q16(0.5));
+}
+
+TEST_F(TrainerTest, PcaBaselineTrainsAndClassifies) {
+  hbrp::core::PcaBaselineConfig cfg;
+  cfg.coefficients = 8;
+  const auto pca_cls = hbrp::core::train_pca_baseline(*ts1_, *ts2_, cfg);
+  const auto dt = project_dataset(*test_, pca_cls);
+  const ConfusionMatrix cm =
+      evaluate(pca_cls.nfc, dt, pca_cls.alpha_train);
+  EXPECT_GT(cm.ndr(), 0.6);
+  EXPECT_GT(cm.arr(), 0.8);
+  EXPECT_GT(pca_cls.pca.explained_variance_ratio(), 0.5);
+}
+
+TEST_F(TrainerTest, CalibrateAlphaRejectsAllNormalData) {
+  hbrp::math::Rng rng(7);
+  hbrp::rp::BeatProjector proj(hbrp::rp::make_achlioptas(8, 50, rng), 4);
+  hbrp::core::ProjectedDataset d;
+  d.u = hbrp::math::Mat(3, 8);
+  d.labels = {hbrp::ecg::BeatClass::N, hbrp::ecg::BeatClass::N,
+              hbrp::ecg::BeatClass::N};
+  hbrp::nfc::NeuroFuzzyClassifier nfc(8);
+  EXPECT_THROW(calibrate_alpha(nfc, d, 0.97), hbrp::Error);
+  EXPECT_THROW(calibrate_alpha(nfc, d, 0.0), hbrp::Error);
+}
+
+TEST_F(TrainerTest, MismatchedSplitsRejected) {
+  hbrp::ecg::BeatDataset odd = *ts1_;
+  odd.window_before = 50;  // declares a different geometry
+  EXPECT_THROW(TwoStepTrainer(odd, *ts2_, quick_config()), hbrp::Error);
+}
+
+}  // namespace

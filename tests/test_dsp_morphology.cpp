@@ -1,0 +1,172 @@
+// Tests for 1-D morphological operators and the ECG conditioning chain.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsp/morphology.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using hbrp::dsp::Signal;
+
+TEST(Morphology, ErodeIsSlidingMin) {
+  const Signal x = {5, 3, 8, 1, 9, 2, 7};
+  const Signal e = hbrp::dsp::erode(x, 3);
+  const Signal expect = {3, 3, 1, 1, 1, 2, 2};
+  EXPECT_EQ(e, expect);
+}
+
+TEST(Morphology, DilateIsSlidingMax) {
+  const Signal x = {5, 3, 8, 1, 9, 2, 7};
+  const Signal d = hbrp::dsp::dilate(x, 3);
+  const Signal expect = {5, 8, 8, 9, 9, 9, 7};
+  EXPECT_EQ(d, expect);
+}
+
+TEST(Morphology, LengthOneIsIdentity) {
+  const Signal x = {4, -2, 7};
+  EXPECT_EQ(hbrp::dsp::erode(x, 1), x);
+  EXPECT_EQ(hbrp::dsp::dilate(x, 1), x);
+}
+
+TEST(Morphology, EvenLengthThrows) {
+  const Signal x = {1, 2, 3};
+  EXPECT_THROW(hbrp::dsp::erode(x, 2), hbrp::Error);
+  EXPECT_THROW(hbrp::dsp::dilate(x, 4), hbrp::Error);
+}
+
+TEST(Morphology, EmptySignal) {
+  const Signal x;
+  EXPECT_TRUE(hbrp::dsp::erode(x, 3).empty());
+  EXPECT_TRUE(hbrp::dsp::dilate(x, 3).empty());
+}
+
+TEST(Morphology, ErodeDilateDuality) {
+  // erode(x) == -dilate(-x)
+  hbrp::math::Rng rng(1);
+  Signal x(200);
+  for (auto& v : x) v = static_cast<int>(rng.uniform_int(-100, 100));
+  Signal neg = x;
+  for (auto& v : neg) v = -v;
+  const Signal e = hbrp::dsp::erode(x, 7);
+  Signal d = hbrp::dsp::dilate(neg, 7);
+  for (auto& v : d) v = -v;
+  EXPECT_EQ(e, d);
+}
+
+TEST(Morphology, OpeningIsIdempotent) {
+  hbrp::math::Rng rng(2);
+  Signal x(300);
+  for (auto& v : x) v = static_cast<int>(rng.uniform_int(-50, 50));
+  const Signal once = hbrp::dsp::open(x, 5);
+  const Signal twice = hbrp::dsp::open(once, 5);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Morphology, ClosingIsIdempotent) {
+  hbrp::math::Rng rng(3);
+  Signal x(300);
+  for (auto& v : x) v = static_cast<int>(rng.uniform_int(-50, 50));
+  const Signal once = hbrp::dsp::close(x, 5);
+  const Signal twice = hbrp::dsp::close(once, 5);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Morphology, OpeningBelowClosingAbove) {
+  // Anti-extensivity of opening, extensivity of closing.
+  hbrp::math::Rng rng(4);
+  Signal x(300);
+  for (auto& v : x) v = static_cast<int>(rng.uniform_int(-50, 50));
+  const Signal o = hbrp::dsp::open(x, 9);
+  const Signal c = hbrp::dsp::close(x, 9);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(o[i], x[i]);
+    EXPECT_GE(c[i], x[i]);
+  }
+}
+
+TEST(Morphology, OpeningRemovesNarrowPeak) {
+  Signal x(50, 10);
+  x[25] = 100;  // one-sample spike
+  const Signal o = hbrp::dsp::open(x, 3);
+  EXPECT_EQ(o[25], 10);
+}
+
+TEST(Morphology, ClosingFillsNarrowPit) {
+  Signal x(50, 10);
+  x[25] = -100;
+  const Signal c = hbrp::dsp::close(x, 3);
+  EXPECT_EQ(c[25], 10);
+}
+
+TEST(Morphology, FilterConfigScalesWithRate) {
+  const auto cfg360 = hbrp::dsp::FilterConfig::for_rate(360);
+  const auto cfg90 = hbrp::dsp::FilterConfig::for_rate(90);
+  EXPECT_EQ(cfg360.baseline_open_len % 2, 1u);
+  EXPECT_EQ(cfg360.baseline_close_len % 2, 1u);
+  EXPECT_GT(cfg360.baseline_open_len, cfg90.baseline_open_len);
+  EXPECT_LT(cfg360.baseline_open_len, cfg360.baseline_close_len);
+  EXPECT_LT(cfg90.baseline_open_len, cfg90.baseline_close_len);
+}
+
+TEST(Morphology, BaselineEstimateTracksSlowDrift) {
+  // Slow triangular drift with a narrow QRS-like spike on top: the estimate
+  // should follow the drift and ignore the spike.
+  const std::size_t n = 2000;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int drift = static_cast<int>(i / 10);
+    x[i] = drift;
+  }
+  x[1000] = x[1000] + 500;  // spike
+  const Signal base = hbrp::dsp::baseline_estimate(x);
+  // Mid-signal, away from borders, baseline is close to the drift.
+  for (std::size_t i = 300; i < n - 300; ++i)
+    EXPECT_NEAR(base[i], static_cast<int>(i / 10), 30) << "at " << i;
+}
+
+TEST(Morphology, RemoveBaselineCentersSignal) {
+  const std::size_t n = 3000;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = 1024 + static_cast<int>(100.0 * std::sin(i * 0.002));
+  const Signal out = hbrp::dsp::remove_baseline(x);
+  for (std::size_t i = 300; i < n - 300; ++i)
+    EXPECT_NEAR(out[i], 0, 25) << "at " << i;
+}
+
+TEST(Morphology, SuppressNoiseKillsImpulses) {
+  Signal x(500, 0);
+  x[100] = 300;
+  x[101] = -280;
+  x[300] = 250;
+  const Signal out = hbrp::dsp::suppress_noise(x);
+  EXPECT_LT(std::abs(out[100]), 50);
+  EXPECT_LT(std::abs(out[300]), 50);
+}
+
+TEST(Morphology, ConditionPreservesQrsScaleFeatures) {
+  // A QRS-like triangular bump (width ~25 samples at 360 Hz) must survive
+  // conditioning with most of its amplitude.
+  const std::size_t n = 4000;
+  Signal x(n, 1024);
+  const std::size_t c = 2000;
+  for (int k = -12; k <= 12; ++k)
+    x[c + static_cast<std::size_t>(k + 12) - 12] =
+        1024 + 200 - 16 * std::abs(k);
+  const Signal out = hbrp::dsp::condition_ecg(x);
+  const auto peak = *std::max_element(out.begin() + 1900, out.begin() + 2100);
+  EXPECT_GT(peak, 120);
+}
+
+TEST(Morphology, InvalidBaselineConfigThrows) {
+  hbrp::dsp::FilterConfig cfg;
+  cfg.baseline_open_len = 151;
+  cfg.baseline_close_len = 71;
+  const Signal x(100, 0);
+  EXPECT_THROW(hbrp::dsp::baseline_estimate(x, cfg), hbrp::Error);
+}
+
+}  // namespace

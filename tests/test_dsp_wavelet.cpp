@@ -1,0 +1,116 @@
+// Tests for the à-trous quadratic-spline wavelet decomposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/wavelet.hpp"
+#include "math/check.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using hbrp::dsp::Signal;
+using hbrp::dsp::wavelet_decompose;
+
+TEST(Wavelet, OutputsMatchInputLength) {
+  const Signal x(1000, 7);
+  const auto dec = wavelet_decompose(x);
+  for (const auto& d : dec.detail) EXPECT_EQ(d.size(), x.size());
+  EXPECT_EQ(dec.approx.size(), x.size());
+}
+
+TEST(Wavelet, ConstantSignalHasZeroDetails) {
+  const Signal x(500, 123);
+  const auto dec = wavelet_decompose(x);
+  for (const auto& d : dec.detail)
+    for (auto v : d) EXPECT_EQ(v, 0);
+  for (auto v : dec.approx) EXPECT_EQ(v, 123);
+}
+
+TEST(Wavelet, ScalesParameterValidated) {
+  const Signal x(100, 0);
+  EXPECT_THROW(wavelet_decompose(x, 0), hbrp::Error);
+  EXPECT_THROW(wavelet_decompose(x, 5), hbrp::Error);
+  EXPECT_NO_THROW(wavelet_decompose(x, 2));
+}
+
+TEST(Wavelet, LinearityOfDetails) {
+  hbrp::math::Rng rng(1);
+  Signal a(400), b(400);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.uniform_int(-200, 200));
+    b[i] = static_cast<int>(rng.uniform_int(-200, 200));
+  }
+  Signal sum(400);
+  for (std::size_t i = 0; i < a.size(); ++i) sum[i] = a[i] + b[i];
+  const auto da = wavelet_decompose(a);
+  const auto db = wavelet_decompose(b);
+  const auto ds = wavelet_decompose(sum);
+  // The highpass stage is exactly linear; the lowpass rounding introduces
+  // +-1 per level, so allow a small tolerance at deeper scales.
+  for (std::size_t j = 0; j < hbrp::dsp::kWaveletScales; ++j) {
+    for (std::size_t i = 50; i + 50 < a.size(); ++i) {
+      EXPECT_NEAR(ds.detail[j][i], da.detail[j][i] + db.detail[j][i],
+                  j == 0 ? 0 : 24)
+          << "scale " << j << " sample " << i;
+    }
+  }
+}
+
+TEST(Wavelet, StepProducesAlignedExtremum) {
+  // A rising step at index 500 should produce a positive detail extremum
+  // near 500 at every scale (delay compensation keeps them aligned).
+  Signal x(1000, 0);
+  for (std::size_t i = 500; i < x.size(); ++i) x[i] = 400;
+  const auto dec = wavelet_decompose(x);
+  for (std::size_t j = 0; j < hbrp::dsp::kWaveletScales; ++j) {
+    const auto& d = dec.detail[j];
+    const auto it = std::max_element(d.begin() + 400, d.begin() + 600);
+    const auto pos = static_cast<std::size_t>(it - d.begin());
+    EXPECT_NEAR(static_cast<double>(pos), 500.0, 1 << (j + 1))
+        << "scale " << j;
+    EXPECT_GT(*it, 0);
+  }
+}
+
+TEST(Wavelet, RPeakGeneratesOppositeSignPair) {
+  // A triangular "R wave": the detail signal should show a +/- modulus
+  // maxima pair bracketing the apex, with a zero crossing near it.
+  Signal x(2000, 0);
+  const std::size_t c = 1000;
+  for (int k = -10; k <= 10; ++k)
+    x[c + static_cast<std::size_t>(k) + 10 - 10] = 500 - 50 * std::abs(k);
+  const auto dec = wavelet_decompose(x);
+  const auto& w = dec.detail[2];
+  const auto max_it = std::max_element(w.begin() + 900, w.begin() + 1100);
+  const auto min_it = std::min_element(w.begin() + 900, w.begin() + 1100);
+  EXPECT_GT(*max_it, 0);
+  EXPECT_LT(*min_it, 0);
+  const auto max_pos = max_it - w.begin();
+  const auto min_pos = min_it - w.begin();
+  EXPECT_LT(max_pos, min_pos);  // rising slope first, then falling
+  EXPECT_NEAR(static_cast<double>(max_pos + min_pos) / 2.0, 1000.0, 12.0);
+}
+
+TEST(Wavelet, DeeperScalesRespondToSlowerFeatures) {
+  // A slow sinusoid should put far more energy in scale 4 than scale 1.
+  Signal x(4000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<int>(300.0 * std::sin(2.0 * 3.14159265 * i / 180.0));
+  const auto dec = wavelet_decompose(x);
+  auto energy = [](const Signal& s) {
+    double e = 0;
+    for (std::size_t i = 200; i + 200 < s.size(); ++i)
+      e += double(s[i]) * s[i];
+    return e;
+  };
+  EXPECT_GT(energy(dec.detail[3]), 20.0 * energy(dec.detail[0]));
+}
+
+TEST(Wavelet, EmptyAndTinySignals) {
+  EXPECT_NO_THROW(wavelet_decompose(Signal{}));
+  EXPECT_NO_THROW(wavelet_decompose(Signal{1, 2, 3}));
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Round-trip tests for the WFDB (MIT-BIH) format reader/writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+
+#include "ecg/mitdb.hpp"
+#include "ecg/synth.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hbrp::ecg::BeatClass;
+using hbrp::ecg::Record;
+
+class MitdbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hbrp_mitdb_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+Record small_record(int leads, std::uint64_t seed) {
+  hbrp::ecg::SynthConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.num_leads = leads;
+  cfg.profile = hbrp::ecg::RecordProfile::PvcOccasional;
+  cfg.seed = seed;
+  Record rec = hbrp::ecg::generate_record(cfg);
+  rec.name = "rec" + std::to_string(seed);
+  return rec;
+}
+
+TEST_F(MitdbTest, RoundTrip212) {
+  Record rec = small_record(2, 1);
+  hbrp::ecg::mitdb::write_record(rec, dir_);
+  const Record back = hbrp::ecg::mitdb::read_record(dir_, rec.name);
+  EXPECT_EQ(back.fs_hz, rec.fs_hz);
+  ASSERT_EQ(back.leads.size(), 2u);
+  EXPECT_EQ(back.leads[0], rec.leads[0]);
+  EXPECT_EQ(back.leads[1], rec.leads[1]);
+  ASSERT_EQ(back.beats.size(), rec.beats.size());
+  for (std::size_t i = 0; i < rec.beats.size(); ++i) {
+    EXPECT_EQ(back.beats[i].sample, rec.beats[i].sample);
+    EXPECT_EQ(back.beats[i].cls, rec.beats[i].cls);
+  }
+}
+
+TEST_F(MitdbTest, RoundTrip16ThreeLeads) {
+  Record rec = small_record(3, 2);
+  hbrp::ecg::mitdb::WriteOptions opt;
+  opt.signal_format = 16;
+  hbrp::ecg::mitdb::write_record(rec, dir_, opt);
+  const Record back = hbrp::ecg::mitdb::read_record(dir_, rec.name);
+  ASSERT_EQ(back.leads.size(), 3u);
+  for (std::size_t l = 0; l < 3; ++l) EXPECT_EQ(back.leads[l], rec.leads[l]);
+  EXPECT_EQ(back.beats.size(), rec.beats.size());
+}
+
+TEST_F(MitdbTest, Format212NegativeSamplesSurvive) {
+  Record rec;
+  rec.name = "neg";
+  rec.fs_hz = 360;
+  rec.leads = {{-2048, -1, 0, 1, 2047}, {100, -100, 5, -5, 0}};
+  hbrp::ecg::mitdb::write_record(rec, dir_);
+  const Record back = hbrp::ecg::mitdb::read_record(dir_, "neg");
+  EXPECT_EQ(back.leads[0], rec.leads[0]);
+  EXPECT_EQ(back.leads[1], rec.leads[1]);
+}
+
+TEST_F(MitdbTest, LongGapsUseSkipEscape) {
+  Record rec;
+  rec.name = "gaps";
+  rec.fs_hz = 360;
+  rec.leads = {hbrp::dsp::Signal(200000, 0), hbrp::dsp::Signal(200000, 0)};
+  // Deltas straddle the 1024-sample limit of a bare annotation word.
+  rec.beats.push_back({100, BeatClass::N, {}});
+  rec.beats.push_back({1000, BeatClass::V, {}});
+  rec.beats.push_back({90000, BeatClass::L, {}});
+  rec.beats.push_back({199999, BeatClass::N, {}});
+  hbrp::ecg::mitdb::write_record(rec, dir_);
+  const Record back = hbrp::ecg::mitdb::read_record(dir_, "gaps");
+  ASSERT_EQ(back.beats.size(), 4u);
+  EXPECT_EQ(back.beats[0].sample, 100u);
+  EXPECT_EQ(back.beats[1].sample, 1000u);
+  EXPECT_EQ(back.beats[2].sample, 90000u);
+  EXPECT_EQ(back.beats[3].sample, 199999u);
+  EXPECT_EQ(back.beats[2].cls, BeatClass::L);
+}
+
+TEST_F(MitdbTest, Format212RequiresTwoLeads) {
+  Record rec = small_record(3, 3);
+  EXPECT_THROW(hbrp::ecg::mitdb::write_record(rec, dir_), hbrp::Error);
+}
+
+TEST_F(MitdbTest, UnsortedAnnotationsRejected) {
+  Record rec;
+  rec.name = "bad";
+  rec.fs_hz = 360;
+  rec.leads = {hbrp::dsp::Signal(1000, 0), hbrp::dsp::Signal(1000, 0)};
+  rec.beats.push_back({500, BeatClass::N, {}});
+  rec.beats.push_back({400, BeatClass::N, {}});
+  EXPECT_THROW(hbrp::ecg::mitdb::write_record(rec, dir_), hbrp::Error);
+}
+
+TEST_F(MitdbTest, MissingRecordThrows) {
+  EXPECT_THROW(hbrp::ecg::mitdb::read_record(dir_, "nope"), hbrp::Error);
+}
+
+TEST(MitdbCodes, BeatClassMapping) {
+  using namespace hbrp::ecg::mitdb;
+  EXPECT_EQ(beat_class_from_code(kCodeNormal), BeatClass::N);
+  EXPECT_EQ(beat_class_from_code(kCodeLbbb), BeatClass::L);
+  EXPECT_EQ(beat_class_from_code(kCodePvc), BeatClass::V);
+  EXPECT_FALSE(beat_class_from_code(2).has_value());   // RBBB unsupported
+  EXPECT_FALSE(beat_class_from_code(28).has_value());
+  EXPECT_EQ(code_from_beat_class(BeatClass::N), kCodeNormal);
+  EXPECT_EQ(code_from_beat_class(BeatClass::L), kCodeLbbb);
+  EXPECT_EQ(code_from_beat_class(BeatClass::V), kCodePvc);
+  EXPECT_THROW(code_from_beat_class(BeatClass::Unknown), hbrp::Error);
+}
+
+}  // namespace

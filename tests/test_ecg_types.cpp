@@ -1,0 +1,89 @@
+// Unit tests for the core ECG domain types.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "ecg/dataset.hpp"
+#include "ecg/types.hpp"
+#include "math/check.hpp"
+
+namespace {
+
+using hbrp::ecg::AdcSpec;
+using hbrp::ecg::BeatClass;
+using hbrp::ecg::Fiducials;
+
+TEST(BeatClassType, PathologyRule) {
+  EXPECT_FALSE(hbrp::ecg::is_pathological(BeatClass::N));
+  EXPECT_TRUE(hbrp::ecg::is_pathological(BeatClass::V));
+  EXPECT_TRUE(hbrp::ecg::is_pathological(BeatClass::L));
+  EXPECT_TRUE(hbrp::ecg::is_pathological(BeatClass::Unknown));
+}
+
+TEST(BeatClassType, Names) {
+  EXPECT_STREQ(to_string(BeatClass::N), "N");
+  EXPECT_STREQ(to_string(BeatClass::V), "V");
+  EXPECT_STREQ(to_string(BeatClass::L), "L");
+  EXPECT_STREQ(to_string(BeatClass::Unknown), "U");
+}
+
+TEST(AdcSpecType, MidScaleAndClamping) {
+  const AdcSpec adc;
+  EXPECT_EQ(adc.to_adu(0.0), 1024);
+  EXPECT_EQ(adc.to_adu(1.0), 1224);   // +200 adu/mV
+  EXPECT_EQ(adc.to_adu(-1.0), 824);
+  EXPECT_EQ(adc.to_adu(100.0), 2047);  // clamps at full scale
+  EXPECT_EQ(adc.to_adu(-100.0), 0);
+}
+
+TEST(AdcSpecType, RoundTripWithinLsb) {
+  const AdcSpec adc;
+  for (double mv = -2.0; mv <= 2.0; mv += 0.173) {
+    const double back = adc.to_mv(adc.to_adu(mv));
+    EXPECT_NEAR(back, mv, 0.5 / adc.gain_adu_per_mv);
+  }
+}
+
+TEST(FiducialsType, CountAndPresence) {
+  Fiducials f;
+  EXPECT_EQ(f.count(), 0u);
+  EXPECT_FALSE(f.has_p());
+  f.r_peak = 100;
+  f.qrs_onset = 90;
+  f.qrs_end = 115;
+  EXPECT_EQ(f.count(), 3u);
+  f.p_peak = 60;
+  EXPECT_TRUE(f.has_p());
+  EXPECT_EQ(f.count(), 4u);
+}
+
+TEST(RecordType, DurationHelpers) {
+  hbrp::ecg::Record rec;
+  EXPECT_EQ(rec.duration_samples(), 0u);
+  EXPECT_DOUBLE_EQ(rec.duration_s(), 0.0);
+  rec.fs_hz = 360;
+  rec.leads.push_back(hbrp::dsp::Signal(720, 0));
+  EXPECT_EQ(rec.duration_samples(), 720u);
+  EXPECT_DOUBLE_EQ(rec.duration_s(), 2.0);
+}
+
+TEST(DatasetSpecType, Totals) {
+  const hbrp::ecg::DatasetSpec s{3, 4, 5};
+  EXPECT_EQ(s.total(), 12u);
+}
+
+TEST(PaperSplitsApi, ScaleValidation) {
+  EXPECT_THROW(hbrp::ecg::load_paper_splits(0.0), hbrp::Error);
+  EXPECT_THROW(hbrp::ecg::load_paper_splits(-1.0), hbrp::Error);
+  EXPECT_THROW(hbrp::ecg::load_paper_splits(1.5), hbrp::Error);
+}
+
+TEST(CacheDir, EnvironmentOverride) {
+  ::setenv("HBRP_CACHE_DIR", "/tmp/hbrp-test-cache-xyz", 1);
+  EXPECT_EQ(hbrp::ecg::default_cache_dir(), "/tmp/hbrp-test-cache-xyz");
+  ::unsetenv("HBRP_CACHE_DIR");
+  EXPECT_EQ(hbrp::ecg::default_cache_dir(), "/tmp/hbrp-cache");
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the Jacobi eigensolver and PCA baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/eig.hpp"
+#include "math/pca.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using hbrp::math::Mat;
+using hbrp::math::Pca;
+using hbrp::math::Vec;
+
+TEST(Eig, DiagonalMatrix) {
+  Mat a(3, 3);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = 1.0;
+  a.at(2, 2) = 2.0;
+  const auto r = hbrp::math::eig_symmetric(a);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-12);
+}
+
+TEST(Eig, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Mat a(2, 2, {2, 1, 1, 2});
+  const auto r = hbrp::math::eig_symmetric(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors.at(0, 0)), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(r.vectors.at(0, 0), r.vectors.at(1, 0), 1e-9);
+}
+
+TEST(Eig, ReconstructsMatrix) {
+  hbrp::math::Rng rng(1);
+  const std::size_t n = 12;
+  Mat a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a.at(i, j) = rng.normal();
+      a.at(j, i) = a.at(i, j);
+    }
+  const auto r = hbrp::math::eig_symmetric(a);
+  // A == V diag(w) V^T
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        acc += r.vectors.at(i, k) * r.values[k] * r.vectors.at(j, k);
+      EXPECT_NEAR(acc, a.at(i, j), 1e-8);
+    }
+}
+
+TEST(Eig, VectorsOrthonormal) {
+  hbrp::math::Rng rng(2);
+  const std::size_t n = 10;
+  Mat a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a.at(i, j) = rng.uniform(-1, 1);
+      a.at(j, i) = a.at(i, j);
+    }
+  const auto r = hbrp::math::eig_symmetric(a);
+  for (std::size_t c1 = 0; c1 < n; ++c1)
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        d += r.vectors.at(k, c1) * r.vectors.at(k, c2);
+      EXPECT_NEAR(d, c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(Eig, RejectsNonSquare) {
+  Mat a(2, 3);
+  EXPECT_THROW(hbrp::math::eig_symmetric(a), hbrp::Error);
+}
+
+TEST(Eig, RejectsAsymmetric) {
+  Mat a(2, 2, {1, 2, 3, 4});
+  EXPECT_THROW(hbrp::math::eig_symmetric(a), hbrp::Error);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points spread along (1,1) with small orthogonal noise.
+  hbrp::math::Rng rng(3);
+  const std::size_t n = 500;
+  Mat data(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.normal(0.0, 5.0);
+    const double noise = rng.normal(0.0, 0.1);
+    data.at(i, 0) = t + noise;
+    data.at(i, 1) = t - noise;
+  }
+  const Pca pca = Pca::fit(data, 1);
+  const auto b = pca.basis().row(0);
+  EXPECT_NEAR(std::abs(b[0]), std::sqrt(0.5), 0.02);
+  EXPECT_NEAR(std::abs(b[1]), std::sqrt(0.5), 0.02);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.99);
+}
+
+TEST(Pca, TransformCentersData) {
+  Mat data(4, 2, {1, 10, 3, 10, 1, 12, 3, 12});
+  const Pca pca = Pca::fit(data, 2);
+  // Mean is (2, 11); transforming the mean itself gives zero scores.
+  const Vec scores = pca.transform(Vec{2.0, 11.0});
+  EXPECT_NEAR(scores[0], 0.0, 1e-9);
+  EXPECT_NEAR(scores[1], 0.0, 1e-9);
+}
+
+TEST(Pca, RoundTripWithFullRank) {
+  hbrp::math::Rng rng(4);
+  Mat data(50, 3);
+  for (auto& v : data.flat()) v = rng.uniform(-2, 2);
+  const Pca pca = Pca::fit(data, 3);
+  for (std::size_t r = 0; r < 5; ++r) {
+    const Vec x(data.row(r).begin(), data.row(r).end());
+    const Vec back = pca.inverse_transform(pca.transform(x));
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(back[c], x[c], 1e-8);
+  }
+}
+
+TEST(Pca, BatchTransformMatchesSingle) {
+  hbrp::math::Rng rng(5);
+  Mat data(20, 4);
+  for (auto& v : data.flat()) v = rng.normal();
+  const Pca pca = Pca::fit(data, 2);
+  const Mat batch = pca.transform(data);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const Vec single = pca.transform(data.row(r));
+    for (std::size_t k = 0; k < 2; ++k)
+      EXPECT_DOUBLE_EQ(batch.at(r, k), single[k]);
+  }
+}
+
+TEST(Pca, VarianceSortedDescending) {
+  hbrp::math::Rng rng(6);
+  Mat data(100, 5);
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      data.at(i, j) = rng.normal(0.0, double(5 - j));
+  const Pca pca = Pca::fit(data, 5);
+  for (std::size_t k = 1; k < 5; ++k)
+    EXPECT_GE(pca.explained_variance()[k - 1], pca.explained_variance()[k]);
+}
+
+TEST(Pca, InvalidArgsThrow) {
+  Mat one(1, 3);
+  EXPECT_THROW(Pca::fit(one, 1), hbrp::Error);
+  Mat ok(5, 3);
+  EXPECT_THROW(Pca::fit(ok, 0), hbrp::Error);
+  EXPECT_THROW(Pca::fit(ok, 4), hbrp::Error);
+}
+
+TEST(Pca, TransformSizeMismatchThrows) {
+  Mat data(10, 3);
+  for (std::size_t i = 0; i < 10; ++i) data.at(i, 0) = double(i);
+  const Pca pca = Pca::fit(data, 2);
+  EXPECT_THROW(pca.transform(Vec{1.0, 2.0}), hbrp::Error);
+  EXPECT_THROW(pca.inverse_transform(Vec{1.0, 2.0, 3.0}), hbrp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Tests for fixed-point conversion helpers used by the embedded kernels.
+#include <gtest/gtest.h>
+
+#include "math/fixed.hpp"
+
+namespace {
+
+using namespace hbrp::math;
+
+TEST(Fixed, GradeRoundTripEndpoints) {
+  EXPECT_EQ(to_grade(0.0), 0u);
+  EXPECT_EQ(to_grade(1.0), 0xFFFFu);
+  EXPECT_EQ(to_grade(-0.5), 0u);
+  EXPECT_EQ(to_grade(2.0), 0xFFFFu);
+}
+
+TEST(Fixed, GradeRoundsToNearest) {
+  EXPECT_EQ(to_grade(0.5), 32768u);
+  // One grade step is 1/65535; half a step up should round up.
+  const double step = 1.0 / 65535.0;
+  EXPECT_EQ(to_grade(10 * step + 0.6 * step), 11u);
+  EXPECT_EQ(to_grade(10 * step + 0.4 * step), 10u);
+}
+
+TEST(Fixed, GradeRoundTripError) {
+  for (int g = 0; g <= 0xFFFF; g += 37) {
+    const auto g16 = static_cast<std::uint16_t>(g);
+    EXPECT_EQ(to_grade(from_grade(g16)), g16);
+  }
+}
+
+TEST(Fixed, Q16Conversions) {
+  EXPECT_EQ(to_q16(0.0), 0u);
+  EXPECT_EQ(to_q16(1.0), kQ16One);
+  EXPECT_EQ(to_q16(0.5), kQ16One / 2);
+  EXPECT_NEAR(from_q16(to_q16(0.123)), 0.123, 1.0 / 65536.0);
+  EXPECT_EQ(to_q16(-1.0), 0u);
+  EXPECT_EQ(to_q16(7.0), kQ16One);
+}
+
+TEST(Fixed, Headroom32) {
+  EXPECT_EQ(headroom32(0), 31);
+  EXPECT_EQ(headroom32(1), 31);
+  EXPECT_EQ(headroom32(0x80000000u), 0);
+  EXPECT_EQ(headroom32(0x0000FFFFu), 16);
+  EXPECT_EQ(headroom32(0x00010000u), 15);
+}
+
+TEST(Fixed, SaturateI16) {
+  EXPECT_EQ(saturate_i16(0), 0);
+  EXPECT_EQ(saturate_i16(32767), 32767);
+  EXPECT_EQ(saturate_i16(32768), 32767);
+  EXPECT_EQ(saturate_i16(-32768), -32768);
+  EXPECT_EQ(saturate_i16(-32769), -32768);
+  EXPECT_EQ(saturate_i16(1000000), 32767);
+}
+
+TEST(Fixed, RshiftRoundSymmetric) {
+  EXPECT_EQ(rshift_round(10, 2), 3);   // 2.5 -> 3
+  EXPECT_EQ(rshift_round(-10, 2), -3); // -2.5 -> -3 (symmetric)
+  EXPECT_EQ(rshift_round(9, 2), 2);    // 2.25 -> 2
+  EXPECT_EQ(rshift_round(-9, 2), -2);
+  EXPECT_EQ(rshift_round(7, 0), 7);
+}
+
+TEST(Fixed, RshiftRoundMatchesDoubleRounding) {
+  for (int x = -1000; x <= 1000; x += 17) {
+    for (int s = 1; s <= 4; ++s) {
+      const double expect = std::abs(x / double(1 << s));
+      const double got = std::abs(double(rshift_round(x, s)));
+      EXPECT_NEAR(got, expect, 0.5) << "x=" << x << " s=" << s;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Unit and statistical tests for the deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace {
+
+using hbrp::math::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[size_t(i)]);
+}
+
+TEST(Rng, ZeroSeedProducesNonZeroState) {
+  Rng a(0);
+  // A broken all-zero xoshiro state would emit only zeros.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) any_nonzero |= (a.next() != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInvertedBounds) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), hbrp::Error);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(6);
+  EXPECT_THROW(rng.uniform_index(0), hbrp::Error);
+}
+
+TEST(Rng, UniformIndexUnbiased) {
+  // Chi-square-style check on a non-power-of-two range.
+  Rng rng(8);
+  const std::uint64_t n = 5;
+  std::vector<int> counts(n, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(n)];
+  for (auto c : counts)
+    EXPECT_NEAR(c, draws / double(n), 4.0 * std::sqrt(draws / double(n)));
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, NormalNegativeStddevThrows) {
+  Rng rng(11);
+  EXPECT_THROW(rng.normal(0.0, -1.0), hbrp::Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(1.0 / 6.0);
+  EXPECT_NEAR(hits / double(n), 1.0 / 6.0, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(14);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / double(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalInvalidWeightsThrow) {
+  Rng rng(15);
+  EXPECT_THROW(rng.categorical({}), hbrp::Error);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), hbrp::Error);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), hbrp::Error);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(16);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationEmptyAndSingleton) {
+  Rng rng(17);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(18);
+  // Over many draws every index should visit every position.
+  std::vector<std::vector<int>> pos(5, std::vector<int>(5, 0));
+  for (int t = 0; t < 2000; ++t) {
+    const auto p = rng.permutation(5);
+    for (std::size_t i = 0; i < 5; ++i) ++pos[i][p[i]];
+  }
+  for (const auto& row : pos)
+    for (int c : row) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(19);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (child1.next() == child2.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Unit tests for streaming statistics, percentiles and histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace {
+
+using hbrp::math::RunningStats;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, StableForShiftedData) {
+  // Welford should not lose precision with a large offset.
+  RunningStats s;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  hbrp::math::Rng rng(2);
+  RunningStats all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 250 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(hbrp::math::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(hbrp::math::percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(hbrp::math::percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(hbrp::math::percentile(xs, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(hbrp::math::percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(hbrp::math::percentile(xs, 10), 1.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(hbrp::math::median(xs), 5.0);
+}
+
+TEST(Percentile, InvalidArgsThrow) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(hbrp::math::percentile({}, 50), hbrp::Error);
+  EXPECT_THROW(hbrp::math::percentile(xs, -1), hbrp::Error);
+  EXPECT_THROW(hbrp::math::percentile(xs, 101), hbrp::Error);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(hbrp::math::pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = {-2, -4, -6, -8};
+  EXPECT_NEAR(hbrp::math::pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  hbrp::math::Rng rng(5);
+  std::vector<double> a(5000), b(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  EXPECT_NEAR(hbrp::math::pearson(a, b), 0.0, 0.05);
+}
+
+TEST(Pearson, ConstantSeriesThrows) {
+  const std::vector<double> a = {1, 1, 1};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_THROW(hbrp::math::pearson(a, b), hbrp::Error);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  const std::vector<double> xs = {-10.0, 0.1, 0.4, 0.6, 0.9, 10.0};
+  const auto h = hbrp::math::histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -10 clamped into first bin
+  EXPECT_EQ(h[1], 3u);  // +10 clamped into last bin
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(hbrp::math::histogram(xs, 0.0, 1.0, 0), hbrp::Error);
+  EXPECT_THROW(hbrp::math::histogram(xs, 1.0, 0.0, 4), hbrp::Error);
+}
+
+}  // namespace

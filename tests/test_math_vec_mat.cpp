@@ -1,0 +1,154 @@
+// Unit tests for vector/matrix primitives.
+#include <gtest/gtest.h>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace {
+
+using hbrp::math::Mat;
+using hbrp::math::Vec;
+
+TEST(Vec, DotBasics) {
+  Vec a = {1.0, 2.0, 3.0};
+  Vec b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(hbrp::math::dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Vec, DotSizeMismatchThrows) {
+  Vec a = {1.0}, b = {1.0, 2.0};
+  EXPECT_THROW(hbrp::math::dot(a, b), hbrp::Error);
+}
+
+TEST(Vec, DotEmptyIsZero) {
+  Vec a, b;
+  EXPECT_DOUBLE_EQ(hbrp::math::dot(a, b), 0.0);
+}
+
+TEST(Vec, Norms) {
+  Vec a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(hbrp::math::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(hbrp::math::norm2_sq(a), 25.0);
+}
+
+TEST(Vec, AxpyAccumulates) {
+  Vec x = {1.0, 2.0};
+  Vec y = {10.0, 20.0};
+  hbrp::math::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(Vec, ScaleInPlace) {
+  Vec x = {1.0, -2.0};
+  hbrp::math::scale(x, -3.0);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+TEST(Vec, AddSub) {
+  Vec a = {1.0, 2.0}, b = {0.5, -0.5};
+  const Vec s = hbrp::math::add(a, b);
+  const Vec d = hbrp::math::sub(a, b);
+  EXPECT_DOUBLE_EQ(s[0], 1.5);
+  EXPECT_DOUBLE_EQ(s[1], 1.5);
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[1], 2.5);
+}
+
+TEST(Vec, MeanVariance) {
+  Vec a = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(hbrp::math::mean(a), 5.0);
+  EXPECT_NEAR(hbrp::math::variance(a), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Vec, MeanEmptyThrows) {
+  Vec a;
+  EXPECT_THROW(hbrp::math::mean(a), hbrp::Error);
+}
+
+TEST(Vec, MaxAbs) {
+  Vec a = {-7.0, 3.0, 6.5};
+  EXPECT_DOUBLE_EQ(hbrp::math::max_abs(a), 7.0);
+  EXPECT_DOUBLE_EQ(hbrp::math::max_abs(Vec{}), 0.0);
+}
+
+TEST(Mat, ConstructionAndIndexing) {
+  Mat m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Mat, ConstructionFromDataValidatesSize) {
+  EXPECT_NO_THROW(Mat(2, 2, {1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW(Mat(2, 2, {1.0, 2.0}), hbrp::Error);
+}
+
+TEST(Mat, RowSpanView) {
+  Mat m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  auto r1 = m.row(1);
+  EXPECT_DOUBLE_EQ(r1[0], 3.0);
+  EXPECT_DOUBLE_EQ(r1[1], 4.0);
+  r1[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 7.0);
+  EXPECT_THROW(m.row(2), hbrp::Error);
+}
+
+TEST(Mat, MatVec) {
+  Mat m(2, 3, {1, 0, -1, 2, 1, 0});
+  const Vec v = {3.0, 4.0, 5.0};
+  const Vec out = m.mul(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+}
+
+TEST(Mat, MatVecSizeMismatchThrows) {
+  Mat m(2, 3);
+  Vec v = {1.0, 2.0};
+  EXPECT_THROW(m.mul(v), hbrp::Error);
+}
+
+TEST(Mat, MatMatMatchesHandComputation) {
+  Mat a(2, 2, {1, 2, 3, 4});
+  Mat b(2, 2, {5, 6, 7, 8});
+  const Mat c = a.mul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Mat, MatMatInnerMismatchThrows) {
+  Mat a(2, 3), b(2, 3);
+  EXPECT_THROW(a.mul(b), hbrp::Error);
+}
+
+TEST(Mat, IdentityIsNeutral) {
+  Mat a(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Mat i = Mat::identity(3);
+  EXPECT_EQ(a.mul(i), a);
+  EXPECT_EQ(i.mul(a), a);
+}
+
+TEST(Mat, TransposeInvolution) {
+  Mat a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Mat t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Mat, EqualityComparesShapeAndData) {
+  Mat a(1, 2, {1, 2});
+  Mat b(2, 1, {1, 2});
+  EXPECT_FALSE(a == b);
+  Mat c(1, 2, {1, 2});
+  EXPECT_TRUE(a == c);
+}
+
+}  // namespace

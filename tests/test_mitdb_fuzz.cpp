@@ -1,0 +1,88 @@
+// Randomized round-trip sweeps of the WFDB writer/reader: arbitrary signal
+// content, annotation spacings and record shapes must survive the on-disk
+// format bit-exactly.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "ecg/mitdb.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hbrp::ecg::BeatClass;
+using hbrp::ecg::Record;
+
+fs::path temp_dir(const char* tag) {
+  const auto dir = fs::temp_directory_path() /
+                   (std::string("hbrp_fuzz_") + tag + "_" +
+                    std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+Record random_record(hbrp::math::Rng& rng, std::size_t leads, int fmt) {
+  Record rec;
+  rec.name = "fz" + std::to_string(rng.uniform_index(100000));
+  rec.fs_hz = 360;
+  const std::size_t n = 100 + rng.uniform_index(20000);
+  rec.leads.resize(leads);
+  for (auto& lead : rec.leads) {
+    lead.resize(n);
+    for (auto& v : lead) {
+      // Format 212 stores 12-bit two's complement; format 16 full int16.
+      v = fmt == 212 ? static_cast<int>(rng.uniform_int(-2048, 2047))
+                     : static_cast<int>(rng.uniform_int(-32768, 32767));
+    }
+  }
+  // Random annotation train with wildly varying gaps (exercises the SKIP
+  // escape on both sides of the 1024-sample boundary).
+  std::size_t t = rng.uniform_index(50);
+  while (t < n) {
+    hbrp::ecg::BeatAnnotation ann;
+    ann.sample = t;
+    ann.cls = static_cast<BeatClass>(rng.uniform_index(3));
+    rec.beats.push_back(ann);
+    t += 1 + rng.uniform_index(4000);
+  }
+  return rec;
+}
+
+class MitdbFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MitdbFuzz, RoundTrip212) {
+  hbrp::math::Rng rng(GetParam());
+  const auto dir = temp_dir("f212");
+  const Record rec = random_record(rng, 2, 212);
+  hbrp::ecg::mitdb::write_record(rec, dir);
+  const Record back = hbrp::ecg::mitdb::read_record(dir, rec.name);
+  EXPECT_EQ(back.leads, rec.leads);
+  ASSERT_EQ(back.beats.size(), rec.beats.size());
+  for (std::size_t i = 0; i < rec.beats.size(); ++i) {
+    EXPECT_EQ(back.beats[i].sample, rec.beats[i].sample);
+    EXPECT_EQ(back.beats[i].cls, rec.beats[i].cls);
+  }
+  fs::remove_all(dir);
+}
+
+TEST_P(MitdbFuzz, RoundTrip16) {
+  hbrp::math::Rng rng(GetParam() + 1000);
+  const auto dir = temp_dir("f16");
+  const std::size_t leads = 1 + rng.uniform_index(3);
+  Record rec = random_record(rng, leads, 16);
+  hbrp::ecg::mitdb::WriteOptions opt;
+  opt.signal_format = 16;
+  hbrp::ecg::mitdb::write_record(rec, dir, opt);
+  const Record back = hbrp::ecg::mitdb::read_record(dir, rec.name);
+  EXPECT_EQ(back.leads, rec.leads);
+  EXPECT_EQ(back.beats.size(), rec.beats.size());
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MitdbFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace

@@ -1,0 +1,278 @@
+// Tests for the float neuro-fuzzy classifier and its SCG training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/check.hpp"
+#include "math/rng.hpp"
+#include "nfc/classifier.hpp"
+#include "nfc/train.hpp"
+
+namespace {
+
+using hbrp::ecg::BeatClass;
+using hbrp::math::Mat;
+using hbrp::nfc::defuzzify;
+using hbrp::nfc::FuzzyValues;
+using hbrp::nfc::GaussianMF;
+using hbrp::nfc::NeuroFuzzyClassifier;
+
+TEST(GaussianMf, GradeValues) {
+  GaussianMF m{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.grade(2.0), 1.0);
+  EXPECT_NEAR(m.grade(3.0), std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(m.grade(0.0), std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.log_grade(2.0), 0.0);
+}
+
+TEST(GaussianMf, SymmetricAroundCenter) {
+  GaussianMF m{-1.0, 2.5};
+  for (double d = 0.1; d < 10.0; d += 0.7)
+    EXPECT_NEAR(m.grade(-1.0 + d), m.grade(-1.0 - d), 1e-12);
+}
+
+TEST(Defuzzify, AlphaZeroAlwaysAssignsArgmax) {
+  EXPECT_EQ(defuzzify({0.5, 0.9, 0.8}, 0.0), BeatClass::V);
+  EXPECT_EQ(defuzzify({1.0, 0.99, 0.99}, 0.0), BeatClass::N);
+  EXPECT_EQ(defuzzify({0.1, 0.1, 0.2}, 0.0), BeatClass::L);
+}
+
+TEST(Defuzzify, HighAlphaDemandsSeparation) {
+  // M1=1.0, M2=0.9, S=2.4: margin 0.1 < 0.2*2.4 -> Unknown.
+  EXPECT_EQ(defuzzify({1.0, 0.9, 0.5}, 0.2), BeatClass::Unknown);
+  // Margin 0.9 >= 0.2*1.2 -> assigned.
+  EXPECT_EQ(defuzzify({1.0, 0.1, 0.1}, 0.2), BeatClass::N);
+}
+
+TEST(Defuzzify, BoundaryEqualityAssigns) {
+  // (M1-M2) == alpha*S exactly -> assigned (>= in the paper).
+  const FuzzyValues f = {1.0, 0.5, 0.0};
+  // S = 1.5, M1-M2 = 0.5, alpha = 1/3 exactly.
+  EXPECT_EQ(defuzzify(f, 0.5 / 1.5), BeatClass::N);
+}
+
+TEST(Defuzzify, AlphaOutOfRangeThrows) {
+  EXPECT_THROW(defuzzify({1, 0, 0}, -0.1), hbrp::Error);
+  EXPECT_THROW(defuzzify({1, 0, 0}, 1.1), hbrp::Error);
+}
+
+TEST(Defuzzify, ScaleInvariance) {
+  const FuzzyValues a = {0.8, 0.3, 0.1};
+  FuzzyValues b;
+  for (std::size_t i = 0; i < 3; ++i) b[i] = a[i] * 1e-6;
+  for (double alpha : {0.0, 0.1, 0.3, 0.6})
+    EXPECT_EQ(defuzzify(a, alpha), defuzzify(b, alpha));
+}
+
+TEST(Nfc, ForwardMatchesManualProduct) {
+  NeuroFuzzyClassifier nfc(2);
+  nfc.mf(0, 0) = {0.0, 1.0};
+  nfc.mf(0, 1) = {5.0, 2.0};
+  nfc.mf(0, 2) = {-5.0, 1.0};
+  nfc.mf(1, 0) = {1.0, 1.0};
+  nfc.mf(1, 1) = {0.0, 3.0};
+  nfc.mf(1, 2) = {2.0, 0.5};
+  const std::vector<double> u = {0.5, 1.5};
+  const auto lf = nfc.log_fuzzy(u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    const double expect =
+        nfc.mf(0, l).log_grade(u[0]) + nfc.mf(1, l).log_grade(u[1]);
+    EXPECT_NEAR(lf[l], expect, 1e-12);
+  }
+  const auto f = nfc.fuzzy(u);
+  const double top = *std::max_element(f.begin(), f.end());
+  EXPECT_DOUBLE_EQ(top, 1.0);  // normalized to max 1
+}
+
+TEST(Nfc, ClassifyPicksNearestClassCenter) {
+  NeuroFuzzyClassifier nfc(1);
+  nfc.mf(0, 0) = {0.0, 1.0};
+  nfc.mf(0, 1) = {10.0, 1.0};
+  nfc.mf(0, 2) = {20.0, 1.0};
+  EXPECT_EQ(nfc.classify(std::vector<double>{0.1}, 0.1), BeatClass::N);
+  EXPECT_EQ(nfc.classify(std::vector<double>{9.8}, 0.1), BeatClass::V);
+  EXPECT_EQ(nfc.classify(std::vector<double>{19.5}, 0.1), BeatClass::L);
+  // Halfway between two centers: ambiguous -> Unknown at nonzero alpha.
+  EXPECT_EQ(nfc.classify(std::vector<double>{5.0}, 0.1), BeatClass::Unknown);
+}
+
+TEST(Nfc, UnderflowImmunityForManyCoefficients) {
+  // 32 coefficients far from centers would underflow a naive product; the
+  // log-domain forward must still produce the right argmax.
+  NeuroFuzzyClassifier nfc(32);
+  std::vector<double> u(32);
+  for (std::size_t k = 0; k < 32; ++k) {
+    u[k] = 100.0;
+    nfc.mf(k, 0) = {90.0, 1.0};   // 10 sigma away each -> product ~ e^-1600
+    nfc.mf(k, 1) = {80.0, 1.0};   // even farther
+    nfc.mf(k, 2) = {120.0, 1.0};
+  }
+  EXPECT_EQ(nfc.classify(u, 0.0), BeatClass::N);
+  const auto f = nfc.fuzzy(u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_GE(f[1], 0.0);
+}
+
+TEST(Nfc, ParamsRoundTrip) {
+  hbrp::math::Rng rng(1);
+  NeuroFuzzyClassifier nfc(4);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t l = 0; l < 3; ++l)
+      nfc.mf(k, l) = {rng.normal(0, 10), rng.uniform(0.1, 5.0)};
+  const auto params = nfc.to_params();
+  EXPECT_EQ(params.size(), 2u * 4u * 3u);
+  NeuroFuzzyClassifier other(4);
+  other.from_params(params);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t l = 0; l < 3; ++l) {
+      EXPECT_DOUBLE_EQ(other.mf(k, l).center, nfc.mf(k, l).center);
+      EXPECT_NEAR(other.mf(k, l).sigma, nfc.mf(k, l).sigma, 1e-12);
+    }
+}
+
+TEST(Nfc, InvalidAccessThrows) {
+  NeuroFuzzyClassifier nfc(2);
+  EXPECT_THROW(nfc.mf(2, 0), hbrp::Error);
+  EXPECT_THROW(nfc.mf(0, 3), hbrp::Error);
+  EXPECT_THROW(nfc.log_fuzzy(std::vector<double>{1.0}), hbrp::Error);
+  EXPECT_THROW(NeuroFuzzyClassifier(0), hbrp::Error);
+  std::vector<double> bad(3, 0.0);
+  EXPECT_THROW(nfc.from_params(bad), hbrp::Error);
+}
+
+// --- training -------------------------------------------------------------
+
+struct Clusters {
+  Mat u;
+  std::vector<BeatClass> labels;
+};
+
+// Three Gaussian clusters in `dim` dimensions with given separation.
+Clusters make_clusters(std::size_t per_class, std::size_t dim,
+                       double separation, std::uint64_t seed) {
+  hbrp::math::Rng rng(seed);
+  Clusters out;
+  out.u = Mat(3 * per_class, dim);
+  out.labels.resize(3 * per_class);
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = cls * per_class + i;
+      out.labels[row] = static_cast<BeatClass>(cls);
+      for (std::size_t k = 0; k < dim; ++k)
+        out.u.at(row, k) =
+            separation * static_cast<double>(cls) * (k % 2 ? 1.0 : -1.0) +
+            rng.normal();
+    }
+  }
+  return out;
+}
+
+TEST(NfcTrain, InitFromStatisticsRecoversClusterMeans) {
+  const Clusters data = make_clusters(100, 3, 5.0, 2);
+  NeuroFuzzyClassifier nfc(3);
+  hbrp::nfc::init_from_statistics(nfc, data.u, data.labels);
+  for (std::size_t k = 0; k < 3; ++k)
+    for (std::size_t cls = 0; cls < 3; ++cls) {
+      const double expect =
+          5.0 * static_cast<double>(cls) * (k % 2 ? 1.0 : -1.0);
+      EXPECT_NEAR(nfc.mf(k, cls).center, expect, 0.4);
+      EXPECT_NEAR(nfc.mf(k, cls).sigma, 1.0, 0.3);
+    }
+}
+
+TEST(NfcTrain, TrainingReducesCrossEntropy) {
+  const Clusters data = make_clusters(60, 4, 1.5, 3);
+  NeuroFuzzyClassifier nfc(4);
+  hbrp::nfc::init_from_statistics(nfc, data.u, data.labels);
+  const double before = hbrp::nfc::cross_entropy(nfc, data.u, data.labels);
+  const auto result = hbrp::nfc::train(nfc, data.u, data.labels);
+  const double after = hbrp::nfc::cross_entropy(nfc, data.u, data.labels);
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_NEAR(result.final_loss, after, 1e-9);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(NfcTrain, SeparableClustersClassifyNearPerfectly) {
+  const Clusters data = make_clusters(80, 4, 6.0, 4);
+  NeuroFuzzyClassifier nfc(4);
+  hbrp::nfc::train(nfc, data.u, data.labels);
+  std::size_t correct = 0;
+  for (std::size_t row = 0; row < data.u.rows(); ++row)
+    correct += nfc.classify(data.u.row(row), 0.0) == data.labels[row];
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.u.rows()),
+            0.99);
+}
+
+TEST(NfcTrain, OverlappingClustersStillImprove) {
+  const Clusters data = make_clusters(120, 4, 1.0, 5);
+  NeuroFuzzyClassifier nfc(4);
+  hbrp::nfc::init_from_statistics(nfc, data.u, data.labels);
+  std::size_t correct_init = 0;
+  for (std::size_t row = 0; row < data.u.rows(); ++row)
+    correct_init += nfc.classify(data.u.row(row), 0.0) == data.labels[row];
+  const auto result = hbrp::nfc::train(nfc, data.u, data.labels);
+  std::size_t correct = 0;
+  for (std::size_t row = 0; row < data.u.rows(); ++row)
+    correct += nfc.classify(data.u.row(row), 0.0) == data.labels[row];
+  EXPECT_GE(correct + 5, correct_init);  // no collapse
+  EXPECT_LT(result.final_loss, result.initial_loss + 1e-12);
+}
+
+TEST(NfcTrain, GradientMatchesFiniteDifferences) {
+  // Verify the analytic gradient through the public train() machinery:
+  // compare cross-entropy finite differences against an SCG single step
+  // by probing the objective indirectly — per-parameter FD on cross_entropy
+  // after from_params.
+  const Clusters data = make_clusters(20, 2, 2.0, 6);
+  NeuroFuzzyClassifier nfc(2);
+  hbrp::nfc::init_from_statistics(nfc, data.u, data.labels);
+  // Build FD gradient of the cross-entropy in parameter space.
+  auto params = nfc.to_params();
+  const double eps = 1e-6;
+  std::vector<double> fd(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p1 = params, p2 = params;
+    p1[i] -= eps;
+    p2[i] += eps;
+    NeuroFuzzyClassifier a(2), b(2);
+    a.from_params(p1);
+    b.from_params(p2);
+    fd[i] = (hbrp::nfc::cross_entropy(b, data.u, data.labels) -
+             hbrp::nfc::cross_entropy(a, data.u, data.labels)) /
+            (2 * eps);
+  }
+  // One SCG iteration from this exact point must move downhill along -fd:
+  // check the directional derivative of the train step is negative.
+  NeuroFuzzyClassifier trained(2);
+  hbrp::nfc::TrainOptions opt;
+  opt.scg.max_iterations = 1;
+  hbrp::nfc::train(trained, data.u, data.labels, opt);
+  const auto moved = trained.to_params();
+  double along = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i)
+    along += (moved[i] - params[i]) * fd[i];
+  EXPECT_LE(along, 1e-12);  // step has negative projection on the gradient
+}
+
+TEST(NfcTrain, RejectsInvalidDatasets) {
+  NeuroFuzzyClassifier nfc(2);
+  Mat u(4, 3);  // wrong coefficient count
+  std::vector<BeatClass> labels(4, BeatClass::N);
+  EXPECT_THROW(hbrp::nfc::init_from_statistics(nfc, u, labels), hbrp::Error);
+
+  Mat u2(4, 2);
+  std::vector<BeatClass> short_labels(3, BeatClass::N);
+  EXPECT_THROW(hbrp::nfc::init_from_statistics(nfc, u2, short_labels),
+               hbrp::Error);
+
+  std::vector<BeatClass> with_unknown(4, BeatClass::Unknown);
+  EXPECT_THROW(hbrp::nfc::init_from_statistics(nfc, u2, with_unknown),
+               hbrp::Error);
+
+  // A class with no examples.
+  std::vector<BeatClass> missing = {BeatClass::N, BeatClass::N, BeatClass::V,
+                                    BeatClass::V};
+  EXPECT_THROW(hbrp::nfc::init_from_statistics(nfc, u2, missing), hbrp::Error);
+}
+
+}  // namespace

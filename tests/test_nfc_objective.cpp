@@ -1,0 +1,129 @@
+// Direct tests of the NFC training objective: analytic gradients versus
+// central finite differences, and the width-decay term's behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/check.hpp"
+#include "math/rng.hpp"
+#include "nfc/objective.hpp"
+#include "nfc/train.hpp"
+
+namespace {
+
+using hbrp::ecg::BeatClass;
+using hbrp::math::Mat;
+using hbrp::nfc::NeuroFuzzyClassifier;
+using hbrp::nfc::TrainingObjective;
+
+struct Problem {
+  Mat u;
+  std::vector<BeatClass> labels;
+  NeuroFuzzyClassifier nfc;
+};
+
+Problem make_problem(std::size_t k, std::size_t n, std::uint64_t seed) {
+  hbrp::math::Rng rng(seed);
+  Problem p{Mat(n, k), {}, NeuroFuzzyClassifier(k)};
+  p.labels.reserve(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    const auto cls = static_cast<std::size_t>(row % 3);
+    p.labels.push_back(static_cast<BeatClass>(cls));
+    for (std::size_t c = 0; c < k; ++c)
+      p.u.at(row, c) =
+          3.0 * static_cast<double>(cls) + rng.normal(0.0, 1.0);
+  }
+  hbrp::nfc::init_from_statistics(p.nfc, p.u, p.labels);
+  return p;
+}
+
+class ObjectiveGradient : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObjectiveGradient, MatchesCentralFiniteDifferences) {
+  Problem p = make_problem(3, 30, GetParam());
+  TrainingObjective obj(p.nfc, p.u, p.labels, 0.0, {});
+  auto params = p.nfc.to_params();
+  std::vector<double> grad(params.size());
+  obj.eval(params, grad);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto lo = params, hi = params;
+    lo[i] -= eps;
+    hi[i] += eps;
+    std::vector<double> scratch(params.size());
+    const double f_lo = obj.eval(lo, scratch);
+    const double f_hi = obj.eval(hi, scratch);
+    const double fd = (f_hi - f_lo) / (2 * eps);
+    EXPECT_NEAR(grad[i], fd, 1e-5 * std::max(1.0, std::abs(fd)))
+        << "param " << i;
+  }
+}
+
+TEST_P(ObjectiveGradient, WidthDecayGradientMatchesFiniteDifferences) {
+  Problem p = make_problem(2, 18, GetParam() + 50);
+  auto params = p.nfc.to_params();
+  std::vector<double> ref(params.begin() +
+                              static_cast<std::ptrdiff_t>(params.size() / 2),
+                          params.end());
+  TrainingObjective obj(p.nfc, p.u, p.labels, 0.1, ref);
+  // Perturb away from the reference so the decay term is active.
+  for (std::size_t i = params.size() / 2; i < params.size(); ++i)
+    params[i] += 0.3;
+  std::vector<double> grad(params.size());
+  obj.eval(params, grad);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto lo = params, hi = params;
+    lo[i] -= eps;
+    hi[i] += eps;
+    std::vector<double> scratch(params.size());
+    const double fd = (obj.eval(hi, scratch) - obj.eval(lo, scratch)) /
+                      (2 * eps);
+    EXPECT_NEAR(grad[i], fd, 1e-5 * std::max(1.0, std::abs(fd)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectiveGradient,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+TEST(Objective, LossDecreasesAlongNegativeGradient) {
+  Problem p = make_problem(4, 60, 9);
+  TrainingObjective obj(p.nfc, p.u, p.labels, 0.0, {});
+  auto params = p.nfc.to_params();
+  std::vector<double> grad(params.size());
+  const double f0 = obj.eval(params, grad);
+  double norm = 0.0;
+  for (const double g : grad) norm += g * g;
+  const double step = 1e-3 / std::sqrt(std::max(norm, 1e-12));
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i] -= step * grad[i];
+  std::vector<double> scratch(params.size());
+  EXPECT_LT(obj.eval(params, scratch), f0);
+}
+
+TEST(Objective, WidthDecayAtReferenceAddsNothing) {
+  Problem p = make_problem(2, 12, 11);
+  auto params = p.nfc.to_params();
+  std::vector<double> ref(params.begin() +
+                              static_cast<std::ptrdiff_t>(params.size() / 2),
+                          params.end());
+  TrainingObjective plain(p.nfc, p.u, p.labels, 0.0, {});
+  TrainingObjective decayed(p.nfc, p.u, p.labels, 0.5, ref);
+  std::vector<double> g1(params.size()), g2(params.size());
+  EXPECT_DOUBLE_EQ(plain.eval(params, g1), decayed.eval(params, g2));
+}
+
+TEST(Objective, ValidatesConstruction) {
+  Problem p = make_problem(2, 12, 13);
+  Mat wrong(12, 3);
+  EXPECT_THROW(TrainingObjective(p.nfc, wrong, p.labels, 0.0, {}),
+               hbrp::Error);
+  std::vector<BeatClass> short_labels(5, BeatClass::N);
+  EXPECT_THROW(TrainingObjective(p.nfc, p.u, short_labels, 0.0, {}),
+               hbrp::Error);
+  EXPECT_THROW(TrainingObjective(p.nfc, p.u, p.labels, 0.1, {1.0}),
+               hbrp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the genetic optimizer over ternary projection matrices.
+#include <gtest/gtest.h>
+
+#include "math/check.hpp"
+#include "opt/ga.hpp"
+
+namespace {
+
+using hbrp::opt::GaOptions;
+using hbrp::opt::optimize_projection;
+using hbrp::rp::TernaryMatrix;
+
+// Toy fitness: fraction of +1 entries. The GA should drive matrices toward
+// all-ones despite the Achlioptas prior favouring zeros 2:1.
+double plus_density(const TernaryMatrix& m) {
+  double count = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) count += (m.at(r, c) == 1);
+  return count / static_cast<double>(m.rows() * m.cols());
+}
+
+TEST(Ga, ImprovesToyFitness) {
+  GaOptions opt;
+  opt.population = 16;
+  opt.generations = 40;
+  opt.mutation_rate = 0.05;
+  opt.seed = 1;
+  const auto r = optimize_projection(4, 20, plus_density, opt);
+  // Random Achlioptas matrices average 1/6 density of +1.
+  EXPECT_GT(r.best_fitness, 0.5);
+  EXPECT_EQ(plus_density(r.best), r.best_fitness);
+}
+
+TEST(Ga, HistoryIsMonotoneWithElitism) {
+  GaOptions opt;
+  opt.population = 10;
+  opt.generations = 15;
+  opt.seed = 2;
+  const auto r = optimize_projection(4, 10, plus_density, opt);
+  ASSERT_EQ(r.history.size(), opt.generations + 1);
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_GE(r.history[i], r.history[i - 1]);
+}
+
+TEST(Ga, DeterministicInSeed) {
+  GaOptions opt;
+  opt.population = 8;
+  opt.generations = 5;
+  opt.seed = 3;
+  const auto a = optimize_projection(3, 12, plus_density, opt);
+  const auto b = optimize_projection(3, 12, plus_density, opt);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_fitness, b.best_fitness);
+}
+
+TEST(Ga, DifferentSeedsExploreDifferently) {
+  GaOptions opt;
+  opt.population = 8;
+  opt.generations = 3;
+  opt.seed = 4;
+  const auto a = optimize_projection(3, 30, plus_density, opt);
+  opt.seed = 5;
+  const auto b = optimize_projection(3, 30, plus_density, opt);
+  EXPECT_FALSE(a.best == b.best);
+}
+
+TEST(Ga, EvaluationCountMatchesSchedule) {
+  GaOptions opt;
+  opt.population = 10;
+  opt.generations = 4;
+  opt.elite = 2;
+  opt.seed = 6;
+  const auto r = optimize_projection(2, 8, plus_density, opt);
+  // Initial population + (population - elite) children per generation.
+  EXPECT_EQ(r.evaluations, 10u + 4u * 8u);
+}
+
+TEST(Ga, ZeroMutationPureSelectionStillRuns) {
+  GaOptions opt;
+  opt.population = 6;
+  opt.generations = 4;
+  opt.mutation_rate = 0.0;
+  opt.seed = 7;
+  const auto r = optimize_projection(2, 10, plus_density, opt);
+  EXPECT_GE(r.best_fitness, 0.0);
+}
+
+TEST(Ga, ParallelMatchesSerialExactly) {
+  GaOptions opt;
+  opt.population = 10;
+  opt.generations = 6;
+  opt.seed = 99;
+  opt.parallel = false;
+  const auto serial = optimize_projection(4, 16, plus_density, opt);
+  opt.parallel = true;
+  const auto parallel = optimize_projection(4, 16, plus_density, opt);
+  EXPECT_EQ(parallel.best, serial.best);
+  EXPECT_DOUBLE_EQ(parallel.best_fitness, serial.best_fitness);
+  ASSERT_EQ(parallel.history.size(), serial.history.size());
+  for (std::size_t i = 0; i < serial.history.size(); ++i)
+    EXPECT_DOUBLE_EQ(parallel.history[i], serial.history[i]);
+}
+
+TEST(Ga, PaperDefaultsMatchSectionIIIA) {
+  const GaOptions opt;
+  EXPECT_EQ(opt.population, 20u);
+  EXPECT_EQ(opt.generations, 30u);
+}
+
+TEST(Ga, InvalidOptionsThrow) {
+  GaOptions opt;
+  opt.population = 1;
+  EXPECT_THROW(optimize_projection(2, 4, plus_density, opt), hbrp::Error);
+  opt = {};
+  opt.elite = opt.population;
+  EXPECT_THROW(optimize_projection(2, 4, plus_density, opt), hbrp::Error);
+  opt = {};
+  EXPECT_THROW(optimize_projection(2, 4, nullptr, opt), hbrp::Error);
+}
+
+}  // namespace

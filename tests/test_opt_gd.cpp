@@ -1,0 +1,123 @@
+// Tests for the gradient-descent baseline optimizer.
+#include <gtest/gtest.h>
+
+#include "math/check.hpp"
+#include "opt/gd.hpp"
+#include "opt/scg.hpp"
+
+namespace {
+
+using hbrp::opt::GdOptions;
+using hbrp::opt::minimize_gd;
+using hbrp::opt::Objective;
+
+class Quadratic final : public Objective {
+ public:
+  Quadratic(std::vector<double> scale, std::vector<double> target)
+      : scale_(std::move(scale)), target_(std::move(target)) {}
+  std::size_t dimension() const override { return scale_.size(); }
+  double eval(std::span<const double> x, std::span<double> g) override {
+    double f = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - target_[i];
+      f += scale_[i] * d * d;
+      g[i] = 2.0 * scale_[i] * d;
+    }
+    return f;
+  }
+
+ private:
+  std::vector<double> scale_, target_;
+};
+
+class Rosenbrock final : public Objective {
+ public:
+  explicit Rosenbrock(std::size_t n) : n_(n) {}
+  std::size_t dimension() const override { return n_; }
+  double eval(std::span<const double> x, std::span<double> g) override {
+    double f = 0.0;
+    std::fill(g.begin(), g.end(), 0.0);
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      const double a = x[i + 1] - x[i] * x[i];
+      const double b = 1.0 - x[i];
+      f += 100.0 * a * a + b * b;
+      g[i] += -400.0 * a * x[i] - 2.0 * b;
+      g[i + 1] += 200.0 * a;
+    }
+    return f;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+TEST(Gd, SolvesQuadratic) {
+  Quadratic q({1.0, 2.0}, {3.0, -1.0});
+  std::vector<double> x = {0.0, 0.0};
+  GdOptions opt;
+  opt.max_iterations = 500;
+  const auto r = minimize_gd(q, x, opt);
+  EXPECT_NEAR(x[0], 3.0, 1e-3);
+  EXPECT_NEAR(x[1], -1.0, 1e-3);
+  EXPECT_LT(r.final_loss, 1e-5);
+}
+
+TEST(Gd, MonotoneHistory) {
+  Rosenbrock f(4);
+  std::vector<double> x(4, 0.0);
+  const auto r = minimize_gd(f, x);
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-12);
+}
+
+TEST(Gd, BoldDriverRecoversFromTooLargeRate) {
+  Quadratic q({100.0}, {1.0});
+  std::vector<double> x = {10.0};
+  GdOptions opt;
+  opt.learning_rate = 1.0;  // way too large; must shrink and still converge
+  opt.max_iterations = 300;
+  const auto r = minimize_gd(q, x, opt);
+  EXPECT_LT(r.final_loss, 1e-4);
+}
+
+TEST(Gd, ConvergesAtOptimumImmediately) {
+  Quadratic q({1.0}, {0.0});
+  std::vector<double> x = {0.0};
+  const auto r = minimize_gd(q, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 1);
+}
+
+TEST(Gd, ScgReachesLowerLossAtEqualBudget) {
+  // The justification for SCG (paper Section II): same objective, same
+  // iteration budget, conjugate directions win on curved valleys.
+  for (const int budget : {20, 50}) {
+    Rosenbrock f(6);
+    std::vector<double> x_gd(6, -1.0), x_scg(6, -1.0);
+    GdOptions gd_opt;
+    gd_opt.max_iterations = budget;
+    hbrp::opt::ScgOptions scg_opt;
+    scg_opt.max_iterations = budget;
+    const auto gd = minimize_gd(f, x_gd, gd_opt);
+    const auto scg = hbrp::opt::minimize_scg(f, x_scg, scg_opt);
+    EXPECT_LE(scg.final_loss, gd.final_loss * 1.5) << "budget " << budget;
+  }
+}
+
+TEST(Gd, InvalidOptionsThrow) {
+  Quadratic q({1.0}, {0.0});
+  std::vector<double> x = {1.0};
+  GdOptions opt;
+  opt.max_iterations = 0;
+  EXPECT_THROW(minimize_gd(q, x, opt), hbrp::Error);
+  opt = {};
+  opt.learning_rate = 0.0;
+  EXPECT_THROW(minimize_gd(q, x, opt), hbrp::Error);
+  opt = {};
+  opt.momentum = 1.0;
+  EXPECT_THROW(minimize_gd(q, x, opt), hbrp::Error);
+  std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW(minimize_gd(q, wrong, GdOptions{}), hbrp::Error);
+}
+
+}  // namespace

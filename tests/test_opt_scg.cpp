@@ -1,0 +1,140 @@
+// Tests for the scaled conjugate gradient optimizer on standard problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/check.hpp"
+#include "opt/scg.hpp"
+
+namespace {
+
+using hbrp::opt::minimize_scg;
+using hbrp::opt::Objective;
+using hbrp::opt::ScgOptions;
+
+// f(x) = sum c_i (x_i - t_i)^2 — convex quadratic with known minimum.
+class Quadratic final : public Objective {
+ public:
+  Quadratic(std::vector<double> scale, std::vector<double> target)
+      : scale_(std::move(scale)), target_(std::move(target)) {}
+  std::size_t dimension() const override { return scale_.size(); }
+  double eval(std::span<const double> x, std::span<double> g) override {
+    double f = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - target_[i];
+      f += scale_[i] * d * d;
+      g[i] = 2.0 * scale_[i] * d;
+    }
+    return f;
+  }
+
+ private:
+  std::vector<double> scale_, target_;
+};
+
+// Rosenbrock in n dimensions — the classic ill-conditioned valley.
+class Rosenbrock final : public Objective {
+ public:
+  explicit Rosenbrock(std::size_t n) : n_(n) {}
+  std::size_t dimension() const override { return n_; }
+  double eval(std::span<const double> x, std::span<double> g) override {
+    double f = 0.0;
+    std::fill(g.begin(), g.end(), 0.0);
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      const double a = x[i + 1] - x[i] * x[i];
+      const double b = 1.0 - x[i];
+      f += 100.0 * a * a + b * b;
+      g[i] += -400.0 * a * x[i] - 2.0 * b;
+      g[i + 1] += 200.0 * a;
+    }
+    return f;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+TEST(Scg, SolvesWellConditionedQuadratic) {
+  Quadratic q({1.0, 1.0, 1.0}, {2.0, -3.0, 0.5});
+  std::vector<double> x = {10.0, 10.0, 10.0};
+  const auto r = minimize_scg(q, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-4);
+  EXPECT_NEAR(x[1], -3.0, 1e-4);
+  EXPECT_NEAR(x[2], 0.5, 1e-4);
+  EXPECT_LT(r.final_loss, 1e-8);
+}
+
+TEST(Scg, SolvesIllConditionedQuadratic) {
+  // Condition number 1e4.
+  Quadratic q({1.0, 100.0, 10000.0}, {1.0, 2.0, 3.0});
+  std::vector<double> x = {0.0, 0.0, 0.0};
+  ScgOptions opt;
+  opt.max_iterations = 500;
+  const auto r = minimize_scg(q, x, opt);
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 2.0, 1e-3);
+  EXPECT_NEAR(x[2], 3.0, 1e-3);
+  EXPECT_LT(r.final_loss, 1e-5);
+}
+
+TEST(Scg, DescendsRosenbrock) {
+  Rosenbrock f(4);
+  std::vector<double> x = {-1.2, 1.0, -1.2, 1.0};
+  ScgOptions opt;
+  opt.max_iterations = 2000;
+  const auto r = minimize_scg(f, x, opt);
+  EXPECT_LT(r.final_loss, 1e-3);
+  for (double xi : x) EXPECT_NEAR(xi, 1.0, 0.1);
+}
+
+TEST(Scg, LossIsMonotoneNonIncreasing) {
+  Rosenbrock f(6);
+  std::vector<double> x(6, 0.0);
+  const auto r = minimize_scg(f, x);
+  ASSERT_GE(r.history.size(), 2u);
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-12);
+}
+
+TEST(Scg, StartingAtOptimumConvergesImmediately) {
+  Quadratic q({1.0, 2.0}, {0.0, 0.0});
+  std::vector<double> x = {0.0, 0.0};
+  const auto r = minimize_scg(q, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 3);
+  EXPECT_DOUBLE_EQ(r.final_loss, 0.0);
+}
+
+TEST(Scg, RespectsIterationBudget) {
+  Rosenbrock f(10);
+  std::vector<double> x(10, -2.0);
+  ScgOptions opt;
+  opt.max_iterations = 5;
+  const auto r = minimize_scg(f, x, opt);
+  EXPECT_LE(r.iterations, 5);
+  EXPECT_LT(r.final_loss, r.initial_loss);  // still made progress
+}
+
+TEST(Scg, SizeMismatchThrows) {
+  Quadratic q({1.0}, {0.0});
+  std::vector<double> x = {0.0, 1.0};
+  EXPECT_THROW(minimize_scg(q, x), hbrp::Error);
+}
+
+TEST(Scg, InvalidOptionsThrow) {
+  Quadratic q({1.0}, {0.0});
+  std::vector<double> x = {1.0};
+  ScgOptions opt;
+  opt.max_iterations = 0;
+  EXPECT_THROW(minimize_scg(q, x, opt), hbrp::Error);
+}
+
+TEST(Scg, InitialLossReported) {
+  Quadratic q({1.0}, {0.0});
+  std::vector<double> x = {3.0};
+  const auto r = minimize_scg(q, x);
+  EXPECT_DOUBLE_EQ(r.initial_loss, 9.0);
+}
+
+}  // namespace

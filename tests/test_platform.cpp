@@ -1,0 +1,221 @@
+// Tests for the platform models: cycle costs, duty-cycle composition,
+// code-size inventory and the energy model.
+#include <gtest/gtest.h>
+
+#include "math/check.hpp"
+#include "platform/codesize.hpp"
+#include "platform/cycles.hpp"
+#include "platform/energy.hpp"
+#include "platform/icyheart.hpp"
+
+namespace {
+
+using namespace hbrp::platform;
+
+KernelCosts paper_costs() {
+  return KernelCosts(CycleModel{}, 360, MorphologyImpl::NaivePerSample);
+}
+
+ScenarioParams paper_scenario() {
+  ScenarioParams p;
+  p.beat_rate_hz = 1.2;
+  p.flagged_fraction = 0.22;
+  return p;
+}
+
+TEST(Cycles, MorphologyNaiveScalesWithElement) {
+  const auto k = paper_costs();
+  EXPECT_GT(k.morphology_pass_per_sample(71),
+            2.0 * k.morphology_pass_per_sample(31));
+}
+
+TEST(Cycles, DequeIsConstantAndCheaper) {
+  const KernelCosts deq(CycleModel{}, 360, MorphologyImpl::MonotonicDeque);
+  EXPECT_DOUBLE_EQ(deq.morphology_pass_per_sample(71),
+                   deq.morphology_pass_per_sample(151));
+  const auto naive = paper_costs();
+  EXPECT_LT(deq.morphology_pass_per_sample(71),
+            naive.morphology_pass_per_sample(71) / 5.0);
+}
+
+TEST(Cycles, RpClassifierIsTinyVsConditioning) {
+  // Table III's first observation: the RP-NFC needs far less effort than
+  // filtering + peak detection. Compare per-second consumption.
+  const auto k = paper_costs();
+  const double classifier_per_s =
+      1.2 * k.rp_classifier_per_beat(8, 200, 4);
+  const double conditioning_per_s =
+      360.0 * (k.conditioning_per_sample() + k.wavelet_per_sample() +
+               k.peak_logic_per_sample());
+  EXPECT_LT(classifier_per_s, conditioning_per_s / 20.0);
+}
+
+TEST(Cycles, CostsGrowWithCoefficients) {
+  const auto k = paper_costs();
+  EXPECT_LT(k.rp_classifier_per_beat(8, 200, 4),
+            k.rp_classifier_per_beat(16, 200, 4));
+  EXPECT_LT(k.rp_classifier_per_beat(16, 200, 4),
+            k.rp_classifier_per_beat(32, 200, 4));
+}
+
+TEST(Cycles, DownsamplingCutsProjectionCost) {
+  const auto k = paper_costs();
+  EXPECT_LT(k.rp_projection_per_beat(8, 200, 4),
+            k.rp_projection_per_beat(8, 200, 1) / 2.0);
+}
+
+TEST(Cycles, InvalidArgsThrow) {
+  EXPECT_THROW(KernelCosts(CycleModel{}, 0), hbrp::Error);
+  const auto k = paper_costs();
+  EXPECT_THROW(k.rp_projection_per_beat(8, 200, 0), hbrp::Error);
+}
+
+TEST(DutyCycle, TableIIIOrdering) {
+  // duty(classifier) << duty(sub1) < duty(system3) < duty(sub2).
+  const auto k = paper_costs();
+  const auto p = paper_scenario();
+  const IcyHeartSpec soc;
+  const double d_cls = load_rp_classifier(k, p).duty_cycle(soc);
+  const double d_1 = load_subsystem1(k, p).duty_cycle(soc);
+  const double d_2 = load_subsystem2(k, p).duty_cycle(soc);
+  const double d_3 = load_system3(k, p).duty_cycle(soc);
+  EXPECT_LT(d_cls, 0.01);   // "less than 1% of the duty cycle"
+  EXPECT_LT(d_cls, d_1);
+  EXPECT_LT(d_1, d_3);
+  EXPECT_LT(d_3, d_2);
+  // The headline: gated system saves a large fraction vs always-on.
+  const double saving = (d_2 - d_3) / d_2;
+  EXPECT_GT(saving, 0.4);
+  EXPECT_LT(saving, 0.9);
+}
+
+TEST(DutyCycle, GatingSavingsShrinkWithFlaggedFraction) {
+  const auto k = paper_costs();
+  auto p = paper_scenario();
+  const IcyHeartSpec soc;
+  p.flagged_fraction = 0.1;
+  const double d3_low = load_system3(k, p).duty_cycle(soc);
+  p.flagged_fraction = 0.9;
+  const double d3_high = load_system3(k, p).duty_cycle(soc);
+  EXPECT_LT(d3_low, d3_high);
+  // At ~100% flagged the gated system approaches (and with the per-beat
+  // re-filtering overhead can exceed) the always-on one.
+  const double d2 = load_subsystem2(k, p).duty_cycle(soc);
+  EXPECT_GT(d3_high, 0.75 * d2);
+}
+
+TEST(DutyCycle, AllWithinRealTimeBudget) {
+  const auto k = paper_costs();
+  const auto p = paper_scenario();
+  const IcyHeartSpec soc;
+  EXPECT_LT(load_subsystem2(k, p).duty_cycle(soc), 1.0);
+  EXPECT_LT(load_system3(k, p).duty_cycle(soc), 1.0);
+}
+
+TEST(DutyCycle, ScenarioValidation) {
+  const auto k = paper_costs();
+  ScenarioParams p = paper_scenario();
+  p.beat_rate_hz = 0.0;
+  EXPECT_THROW(load_subsystem1(k, p), hbrp::Error);
+  p = paper_scenario();
+  p.flagged_fraction = 1.5;
+  EXPECT_THROW(load_system3(k, p), hbrp::Error);
+  p = paper_scenario();
+  p.window = 201;
+  EXPECT_THROW(load_rp_classifier(k, p), hbrp::Error);
+}
+
+TEST(CodeSize, MatchesTableIII) {
+  const CodeSizeModel model;
+  EXPECT_NEAR(model.rp_classifier_kb(), 1.64, 0.02);
+  EXPECT_NEAR(model.subsystem1_kb(), 30.29, 0.05);
+  EXPECT_NEAR(model.subsystem2_kb(), 46.39, 0.05);
+  EXPECT_NEAR(model.system3_kb(), 76.68, 0.05);
+}
+
+TEST(CodeSize, InventoryConsistent) {
+  const CodeSizeModel model;
+  EXPECT_FALSE(model.rp_classifier_items().empty());
+  EXPECT_FALSE(model.acquisition_items().empty());
+  EXPECT_FALSE(model.delineation_items().empty());
+  // The composed system is the sum of its stage inventories.
+  EXPECT_NEAR(model.system3_kb(),
+              model.subsystem1_kb() + model.subsystem2_kb(), 1e-9);
+}
+
+TEST(CodeSize, FitsIcyHeartMemoryWithRoom) {
+  const CodeSizeModel model;
+  const IcyHeartSpec soc;
+  EXPECT_LT(model.system3_kb() * 1024.0,
+            static_cast<double>(soc.ram_bytes));
+}
+
+TEST(Energy, ProposedBeatsBaselineOnAllAxes) {
+  const auto k = paper_costs();
+  const auto p = paper_scenario();
+  const IcyHeartSpec soc;
+  const PowerModel power;
+  const PayloadModel payload;
+  const auto base = energy_baseline(k, p, soc, power, payload);
+  const auto prop = energy_proposed(k, p, soc, power, payload);
+  EXPECT_LT(prop.compute_w, base.compute_w);
+  EXPECT_LT(prop.radio_w, base.radio_w);
+  EXPECT_LT(prop.total_w(), base.total_w());
+  EXPECT_DOUBLE_EQ(prop.rest_w, base.rest_w);
+}
+
+TEST(Energy, SavingsInPaperRegime) {
+  const auto k = paper_costs();
+  const auto p = paper_scenario();
+  const IcyHeartSpec soc;
+  const PowerModel power;
+  const PayloadModel payload;
+  const auto base = energy_baseline(k, p, soc, power, payload);
+  const auto prop = energy_proposed(k, p, soc, power, payload);
+  const double radio_saving = relative_saving(base.radio_w, prop.radio_w);
+  const double compute_saving =
+      relative_saving(base.compute_w, prop.compute_w);
+  const double total_saving = relative_saving(base.total_w(), prop.total_w());
+  // Paper: 68% wireless, 63% computation, ~23% total.
+  EXPECT_GT(radio_saving, 0.5);
+  EXPECT_LT(radio_saving, 0.85);
+  EXPECT_GT(compute_saving, 0.4);
+  EXPECT_LT(compute_saving, 0.85);
+  EXPECT_GT(total_saving, 0.1);
+  EXPECT_LT(total_saving, 0.4);
+}
+
+TEST(Energy, ComputeRadioShareNearPaperAssumption) {
+  // [1]: computation + communication ~ 34% of node energy for the baseline.
+  const auto base =
+      energy_baseline(paper_costs(), paper_scenario(), IcyHeartSpec{},
+                      PowerModel{}, PayloadModel{});
+  EXPECT_GT(base.compute_radio_share(), 0.25);
+  EXPECT_LT(base.compute_radio_share(), 0.45);
+}
+
+TEST(Energy, PayloadModelBytes) {
+  const PayloadModel payload;
+  EXPECT_EQ(payload.full_beat_bytes(), 2u + 9u * 2u);
+  EXPECT_EQ(payload.normal_beat_bytes(), 2u + 2u);
+}
+
+TEST(Energy, RelativeSavingValidation) {
+  EXPECT_DOUBLE_EQ(relative_saving(10.0, 5.0), 0.5);
+  EXPECT_THROW(relative_saving(0.0, 1.0), hbrp::Error);
+}
+
+TEST(Energy, OverloadedPlatformRejected) {
+  // A scenario exceeding real-time capacity must be flagged, not silently
+  // clamped.
+  const auto k = paper_costs();
+  auto p = paper_scenario();
+  p.beat_rate_hz = 500.0;  // absurd workload
+  IcyHeartSpec slow;
+  slow.clock_hz = 1.0e5;
+  const PowerModel power;
+  const PayloadModel payload;
+  EXPECT_THROW(energy_baseline(k, p, slow, power, payload), hbrp::Error);
+}
+
+}  // namespace
