@@ -16,6 +16,7 @@
 #include "dsp/peak_detect.hpp"
 #include "ecg/mitdb.hpp"
 #include "ecg/synth.hpp"
+#include "math/check.hpp"
 
 namespace {
 
@@ -38,7 +39,7 @@ hbrp::ecg::RecordProfile parse_profile(const std::string& s) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace hbrp;
   if (argc < 4) return usage();
   const std::string command = argv[1];
@@ -89,4 +90,15 @@ int main(int argc, char** argv) {
     return 0;
   }
   return usage();
+}
+
+int main(int argc, char** argv) {
+  // Malformed or truncated records are an expected input class, not a
+  // programming error: report and exit instead of aborting.
+  try {
+    return run(argc, argv);
+  } catch (const hbrp::Error& e) {
+    std::fprintf(stderr, "wfdb_tools: %s\n", e.what());
+    return 1;
+  }
 }

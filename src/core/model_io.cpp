@@ -1,89 +1,192 @@
 #include "core/model_io.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <string>
 
 #include "math/check.hpp"
+#include "math/crc32.hpp"
 
 namespace hbrp::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'H', 'B', 'R', 'P', 'M', 'D', '0', '1'};
+// Format v2 layout:
+//   magic "HBRPMD02" (8 bytes)
+//   u32 payload_size | u32 crc32(payload)
+//   payload: u32 rows | u32 cols | u32 downsample | rows*cols int8 matrix
+//            | rows*kNumClasses {double center, double sigma} | double alpha
+// The CRC covers the whole payload, so any single corrupted byte anywhere
+// in the file is either caught by the magic/size check or by the checksum
+// before any length field is trusted. payload_size must match the size
+// recomputed from the header fields exactly, so an inflated length field
+// can never drive an allocation.
+constexpr char kMagic[8] = {'H', 'B', 'R', 'P', 'M', 'D', '0', '2'};
+
+// Sanity bounds far above any model this library trains (k <= 32, d <= 200)
+// but small enough that a corrupt header cannot demand gigabytes.
+constexpr std::uint32_t kMaxRows = 4096;
+constexpr std::uint32_t kMaxCols = 65536;
+constexpr std::uint32_t kMaxDownsample = 4096;
+constexpr std::size_t kMaxFileBytes = std::size_t{1} << 28;
 
 template <typename T>
-void put(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void put(std::string& out, T value) {
+  char raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.append(raw, sizeof(T));
 }
 
-template <typename T>
-T get(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  HBRP_REQUIRE(in.good(), "model_io: truncated file");
-  return value;
+/// Bounds-checked sequential reader over an in-memory payload.
+class BufferReader {
+ public:
+  BufferReader(const char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+  T get() {
+    HBRP_REQUIRE(size_ - pos_ >= sizeof(T),
+                 "model_io: payload shorter than its header claims");
+    T value{};
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t payload_size_for(std::size_t rows, std::size_t cols) {
+  return 3 * sizeof(std::uint32_t) + rows * cols +
+         rows * ecg::kNumClasses * 2 * sizeof(double) + sizeof(double);
 }
 
 }  // namespace
 
 void save_model(const TrainedClassifier& model,
                 const std::filesystem::path& path) {
-  if (path.has_parent_path())
-    std::filesystem::create_directories(path.parent_path());
-  std::ofstream out(path, std::ios::binary);
-  HBRP_REQUIRE(out.good(), "model_io: cannot open for write: " + path.string());
-  out.write(kMagic, sizeof(kMagic));
-
   const rp::TernaryMatrix& p = model.projector.matrix();
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(p.rows()));
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(p.cols()));
-  put<std::uint32_t>(out,
-                     static_cast<std::uint32_t>(
-                         model.projector.downsample_factor()));
-  for (std::size_t r = 0; r < p.rows(); ++r)
-    for (std::size_t c = 0; c < p.cols(); ++c)
-      put<std::int8_t>(out, p.at(r, c));
-
   const std::size_t k = model.nfc.coefficients();
   HBRP_REQUIRE(k == p.rows(), "model_io: inconsistent model");
+
+  std::string payload;
+  payload.reserve(payload_size_for(p.rows(), p.cols()));
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(p.rows()));
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(p.cols()));
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(
+                                  model.projector.downsample_factor()));
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    for (std::size_t c = 0; c < p.cols(); ++c)
+      put<std::int8_t>(payload, p.at(r, c));
   for (std::size_t i = 0; i < k; ++i)
     for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
       const nfc::GaussianMF& m = model.nfc.mf(i, l);
-      put<double>(out, m.center);
-      put<double>(out, m.sigma);
+      put<double>(payload, m.center);
+      put<double>(payload, m.sigma);
     }
-  put<double>(out, model.alpha_train);
-  HBRP_REQUIRE(out.good(), "model_io: write failure: " + path.string());
+  put<double>(payload, model.alpha_train);
+
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+
+  // Atomic publish: write the complete image to a sibling temp file, then
+  // rename over the destination. A crash mid-save leaves either the old
+  // model or no model — never a truncated one.
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    HBRP_REQUIRE(out.good(),
+                 "model_io: cannot open for write: " + tmp.string());
+    out.write(kMagic, sizeof(kMagic));
+    std::string header;
+    put<std::uint32_t>(header, static_cast<std::uint32_t>(payload.size()));
+    put<std::uint32_t>(header,
+                       math::crc32(payload.data(), payload.size()));
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    HBRP_REQUIRE(out.good(), "model_io: write failure: " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    HBRP_REQUIRE(false, "model_io: cannot publish " + path.string() + ": " +
+                            ec.message());
+  }
 }
 
 TrainedClassifier load_model(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   HBRP_REQUIRE(in.good(), "model_io: cannot open: " + path.string());
+
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  HBRP_REQUIRE(!ec, "model_io: cannot stat: " + path.string());
+  constexpr std::size_t kHeaderBytes =
+      sizeof(kMagic) + 2 * sizeof(std::uint32_t);
+  HBRP_REQUIRE(file_size >= kHeaderBytes && file_size <= kMaxFileBytes,
+               "model_io: implausible file size in " + path.string());
+
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   HBRP_REQUIRE(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
                "model_io: bad magic in " + path.string());
 
-  const auto rows = get<std::uint32_t>(in);
-  const auto cols = get<std::uint32_t>(in);
-  const auto downsample = get<std::uint32_t>(in);
-  HBRP_REQUIRE(rows >= 1 && cols >= 1 && downsample >= 1,
+  std::uint32_t declared = 0, crc_stored = 0;
+  in.read(reinterpret_cast<char*>(&declared), sizeof(declared));
+  in.read(reinterpret_cast<char*>(&crc_stored), sizeof(crc_stored));
+  HBRP_REQUIRE(in.good(), "model_io: truncated header in " + path.string());
+  HBRP_REQUIRE(declared == file_size - kHeaderBytes,
+               "model_io: payload size mismatch in " + path.string());
+
+  std::string payload(declared, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  HBRP_REQUIRE(in.good(), "model_io: truncated payload in " + path.string());
+  HBRP_REQUIRE(math::crc32(payload.data(), payload.size()) == crc_stored,
+               "model_io: checksum mismatch in " + path.string());
+
+  BufferReader r(payload.data(), payload.size());
+  const auto rows = r.get<std::uint32_t>();
+  const auto cols = r.get<std::uint32_t>();
+  const auto downsample = r.get<std::uint32_t>();
+  HBRP_REQUIRE(rows >= 1 && rows <= kMaxRows && cols >= 1 &&
+                   cols <= kMaxCols && downsample >= 1 &&
+                   downsample <= kMaxDownsample,
                "model_io: malformed header");
+  HBRP_REQUIRE(payload.size() == payload_size_for(rows, cols),
+               "model_io: length fields inconsistent with payload");
+
   rp::TernaryMatrix p(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r)
+  for (std::size_t row = 0; row < rows; ++row)
     for (std::size_t c = 0; c < cols; ++c)
-      p.set(r, c, get<std::int8_t>(in));  // set() validates {-1, 0, 1}
+      p.set(row, c, r.get<std::int8_t>());  // set() validates {-1, 0, 1}
 
   nfc::NeuroFuzzyClassifier classifier(rows);
   for (std::size_t i = 0; i < rows; ++i)
     for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
       nfc::GaussianMF m;
-      m.center = get<double>(in);
-      m.sigma = get<double>(in);
-      HBRP_REQUIRE(m.sigma > 0.0, "model_io: non-positive sigma");
+      m.center = r.get<double>();
+      m.sigma = r.get<double>();
+      HBRP_REQUIRE(std::isfinite(m.center) && std::isfinite(m.sigma) &&
+                       m.sigma > 0.0,
+                   "model_io: invalid membership function");
       classifier.mf(i, l) = m;
     }
-  const double alpha = get<double>(in);
-  HBRP_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "model_io: alpha out of range");
+  const double alpha = r.get<double>();
+  HBRP_REQUIRE(std::isfinite(alpha) && alpha >= 0.0 && alpha <= 1.0,
+               "model_io: alpha out of range");
+  HBRP_REQUIRE(r.remaining() == 0, "model_io: trailing bytes in payload");
 
   return TrainedClassifier{rp::BeatProjector(std::move(p), downsample),
                            std::move(classifier), alpha};

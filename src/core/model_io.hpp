@@ -7,11 +7,18 @@
 // parameters and alpha_train; everything derived (packed matrix, integer MF
 // tables) is rebuilt on load, so a file is valid for both the float and the
 // embedded execution paths.
+//
+// The on-disk format (v2) is hardened against flash/filesystem corruption:
+// a version-bearing magic, an explicit payload size and a CRC32 over the
+// payload are verified before any length field is trusted, every dimension
+// is bounds-checked before allocation, and saves are atomic (temp file +
+// rename) so a crash mid-save never leaves a truncated model behind.
 #pragma once
 
 #include <filesystem>
 
 #include "core/trainer.hpp"
+#include "math/check.hpp"
 
 namespace hbrp::core {
 
@@ -24,12 +31,23 @@ void save_model(const TrainedClassifier& model,
 /// Throws hbrp::Error on I/O failure, bad magic or malformed content.
 TrainedClassifier load_model(const std::filesystem::path& path);
 
-/// Loads `path` if it exists, otherwise invokes `train` (a callable
-/// returning TrainedClassifier), saves and returns its result.
+/// Loads `path` if it holds a valid model, otherwise invokes `train` (a
+/// callable returning TrainedClassifier), saves and returns its result.
+/// A file that fails to load — corrupt, truncated, or written by an older
+/// format version — is treated as a cache miss and falls through to
+/// retraining rather than propagating the error: the cache must never be
+/// able to make a node unbootable. Saves are atomic, so a concurrent or
+/// interrupted writer cannot make this read a half-written file.
 template <typename TrainFn>
 TrainedClassifier load_or_train(const std::filesystem::path& path,
                                 const TrainFn& train) {
-  if (std::filesystem::exists(path)) return load_model(path);
+  if (std::filesystem::exists(path)) {
+    try {
+      return load_model(path);
+    } catch (const Error&) {
+      // Corrupt or stale cache: fall through to retraining below.
+    }
+  }
   TrainedClassifier model = train();
   save_model(model, path);
   return model;

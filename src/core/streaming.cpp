@@ -1,6 +1,7 @@
 #include "core/streaming.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dsp/resample.hpp"
 #include "math/check.hpp"
@@ -11,7 +12,8 @@ StreamingBeatMonitor::StreamingBeatMonitor(
     embedded::EmbeddedClassifier classifier, MonitorConfig cfg)
     : classifier_(std::move(classifier)),
       cfg_(std::move(cfg)),
-      conditioner_(cfg_.filter) {
+      conditioner_(cfg_.filter),
+      sqi_(cfg_.quality) {
   HBRP_REQUIRE(cfg_.window_before + cfg_.window_after ==
                    classifier_.projector().expected_window(),
                "StreamingBeatMonitor: window geometry does not match the "
@@ -28,12 +30,116 @@ StreamingBeatMonitor::StreamingBeatMonitor(
                "plus the refractory period");
   HBRP_REQUIRE(chunk_samples_ > 2 * overlap_samples_,
                "StreamingBeatMonitor: chunk must exceed twice the overlap");
+  last_raw_ = static_cast<dsp::Sample>(
+      (static_cast<std::int64_t>(cfg_.quality.rail_low) +
+       cfg_.quality.rail_high) /
+      2);
+}
+
+std::vector<MonitorBeat> StreamingBeatMonitor::push(double x) {
+  if (!std::isfinite(x)) {
+    // Reject the value but keep the timeline, the conditioner and the SQI
+    // chunking aligned: sample-hold the last accepted code. A sustained
+    // non-finite burst thereby turns into a flat-line the quality
+    // estimator degrades on, which is exactly the right escalation.
+    ++stats_.rejected_nonfinite;
+    return push(last_raw_);
+  }
+  const auto lo = static_cast<double>(cfg_.quality.rail_low);
+  const auto hi = static_cast<double>(cfg_.quality.rail_high);
+  if (x < lo || x > hi) {
+    ++stats_.clamped;
+    x = std::clamp(x, lo, hi);
+  }
+  return push(static_cast<dsp::Sample>(std::lround(x)));
 }
 
 std::vector<MonitorBeat> StreamingBeatMonitor::push(dsp::Sample x) {
+  ++stats_.samples_in;
+  if (x < cfg_.quality.rail_low || x > cfg_.quality.rail_high) {
+    ++stats_.clamped;
+    x = std::clamp(x, cfg_.quality.rail_low, cfg_.quality.rail_high);
+  }
+  last_raw_ = x;
+  const std::size_t idx = input_index_++;
+
+  std::vector<MonitorBeat> out;
+  if (cfg_.quality_gating) {
+    const bool was_bad = quality_state_ == dsp::SignalQuality::Bad;
+    if (const auto update = sqi_.push(x)) on_quality_update(*update, out);
+    if (was_bad || quality_state_ == dsp::SignalQuality::Bad) {
+      // Suppressed: consumed while in (or entering / just leaving) the Bad
+      // state. Recovery re-arms on the next accepted sample.
+      ++stats_.bad_signal_samples;
+      return out;
+    }
+    if (needs_rearm_) rearm(idx);
+  }
+
   if (const auto y = conditioner_.push(x)) buffer_.push_back(*y);
-  if (buffer_.size() < chunk_samples_) return {};
-  return scan(/*final_pass=*/false);
+  if (buffer_.size() >= chunk_samples_) {
+    const auto beats = scan(/*final_pass=*/false);
+    out.insert(out.end(), beats.begin(), beats.end());
+  }
+  return out;
+}
+
+void StreamingBeatMonitor::rearm(std::size_t at_absolute) {
+  // The conditioner was rebuilt when the signal went Bad; its first output
+  // after warm-up corresponds to this sample, so the rolling buffer
+  // restarts here. The peak detector's adaptive threshold re-seeds from
+  // the fresh buffer on the next scan — no pre-fault statistics survive.
+  buffer_base_ = at_absolute;
+  emitted_up_to_ = std::max(emitted_up_to_, at_absolute);
+  needs_rearm_ = false;
+}
+
+void StreamingBeatMonitor::on_quality_update(dsp::SignalQuality next,
+                                             std::vector<MonitorBeat>& out) {
+  if (next == quality_state_) return;
+  const std::size_t qchunk = sqi_.chunk_samples();
+  const bool demotion = next > quality_state_;
+  // A demotion describes samples already consumed: it retro-covers the
+  // chunk that tripped it. A promotion only applies from here on.
+  const std::size_t effective =
+      demotion ? (input_index_ > qchunk ? input_index_ - qchunk : 0)
+               : input_index_;
+
+  const bool entering_bad = next == dsp::SignalQuality::Bad;
+  const bool leaving_bad = quality_state_ == dsp::SignalQuality::Bad;
+  quality_state_ = next;
+  transitions_.emplace_back(effective, next);
+
+  if (entering_bad) {
+    ++stats_.degradations;
+    // Drop the buffer tail from two SQI chunks before the detection point:
+    // the fault typically began mid-way through the previous chunk, and
+    // the transition edge itself must not fabricate beats. Everything
+    // older is salvaged with a final-style scan before the buffer dies.
+    const std::size_t margin = 2 * qchunk;
+    const std::size_t cut =
+        input_index_ > margin ? input_index_ - margin : 0;
+    if (buffer_base_ + buffer_.size() > cut)
+      buffer_.resize(cut > buffer_base_ ? cut - buffer_base_ : 0);
+    if (!buffer_.empty()) {
+      const auto salvaged = scan(/*final_pass=*/true);
+      out.insert(out.end(), salvaged.begin(), salvaged.end());
+    }
+    buffer_.clear();
+    conditioner_ = dsp::StreamingConditioner(cfg_.filter);
+    needs_rearm_ = true;
+  }
+  if (leaving_bad) ++stats_.recoveries;
+}
+
+dsp::SignalQuality StreamingBeatMonitor::quality_at(
+    std::size_t absolute) const {
+  dsp::SignalQuality q = baseline_quality_;
+  for (const auto& [index, state] : transitions_) {
+    if (index > absolute) break;
+    q = state;
+  }
+  return q;
 }
 
 std::vector<MonitorBeat> StreamingBeatMonitor::scan(bool final_pass) {
@@ -57,10 +163,36 @@ std::vector<MonitorBeat> StreamingBeatMonitor::scan(bool final_pass) {
       continue;
     const std::size_t absolute = buffer_base_ + local_peak;
     if (absolute < emitted_up_to_) continue;  // already reported last chunk
-    const dsp::Signal window = dsp::extract_window(
-        buffer_, local_peak, cfg_.window_before, cfg_.window_after);
-    out.push_back({absolute, classifier_.classify_window(window)});
+
+    MonitorBeat beat;
+    beat.r_peak = absolute;
+    beat.quality = cfg_.quality_gating ? quality_at(absolute)
+                                       : dsp::SignalQuality::Good;
+    if (beat.quality == dsp::SignalQuality::Bad) {
+      // Defensive: suppressed regions should never reach here, but a beat
+      // straddling a degradation boundary is dropped, not reported.
+      emitted_up_to_ = absolute + 1;
+      continue;
+    }
+    if (beat.quality == dsp::SignalQuality::Suspect) {
+      // Safe default under doubtful signal: report Unknown, which counts
+      // as pathological and escalates to full delineation downstream.
+      beat.predicted = ecg::BeatClass::Unknown;
+      ++stats_.suspect_beats;
+    } else {
+      const dsp::Signal window = dsp::extract_window(
+          buffer_, local_peak, cfg_.window_before, cfg_.window_after);
+      beat.predicted = classifier_.classify_window(window);
+    }
+    out.push_back(beat);
     emitted_up_to_ = absolute + 1;
+  }
+
+  // Transitions entirely behind the reporting frontier can never be looked
+  // up again; fold them into the baseline.
+  while (transitions_.size() >= 2 && transitions_[1].first <= emitted_up_to_) {
+    baseline_quality_ = transitions_.front().second;
+    transitions_.pop_front();
   }
 
   if (!final_pass) {
@@ -84,11 +216,21 @@ std::vector<MonitorBeat> StreamingBeatMonitor::flush() {
   buffer_.clear();
   buffer_base_ = 0;
   emitted_up_to_ = 0;
+  input_index_ = 0;
+  conditioner_ = dsp::StreamingConditioner(cfg_.filter);
+  sqi_.reset();
+  quality_state_ = dsp::SignalQuality::Good;
+  baseline_quality_ = dsp::SignalQuality::Good;
+  transitions_.clear();
+  needs_rearm_ = false;
   return out;
 }
 
 std::size_t StreamingBeatMonitor::memory_samples() const {
   // Buffer high-water mark is one full chunk; conditioner state on top.
+  // The SQI estimator is O(1) (a handful of accumulators) and the
+  // transition history is bounded by the handful of state changes a chunk
+  // can witness, so neither moves the figure.
   return chunk_samples_ + conditioner_.memory_samples();
 }
 

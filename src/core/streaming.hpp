@@ -12,12 +12,26 @@
 // The monitor covers the classification sub-system (1) of the paper's
 // Fig. 6 — the decision *whether* a beat needs the detailed multi-lead
 // analysis; the delineation stage itself consumes these flags downstream.
+//
+// Fault tolerance: a streaming signal-quality estimator (dsp/quality.hpp)
+// grades the raw input and drives a Good / Suspect / Bad degradation
+// machine. Beats detected during Suspect segments are escalated to the
+// safe default (Unknown ⇒ pathological ⇒ full delineation); during Bad
+// segments (lead-off, saturation) detection is suppressed entirely and the
+// conditioner plus rolling buffer are re-armed on recovery, so no stale
+// filter state or poisoned adaptive threshold touches the first beats
+// after a reconnect. The raw-ADC boundary itself is defended: the
+// push(double) overload rejects non-finite samples and both overloads
+// clamp out-of-range codes, with every intervention counted in
+// MonitorStats.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <vector>
 
 #include "dsp/peak_detect.hpp"
+#include "dsp/quality.hpp"
 #include "dsp/streaming.hpp"
 #include "embedded/bundle.hpp"
 
@@ -29,6 +43,20 @@ struct MonitorBeat {
   /// input timeline; availability lags by StreamingBeatMonitor::latency()).
   std::size_t r_peak = 0;
   ecg::BeatClass predicted = ecg::BeatClass::N;
+  /// Acquisition quality at the beat's position. Suspect beats are always
+  /// reported as Unknown (safe default: escalate to detailed analysis).
+  dsp::SignalQuality quality = dsp::SignalQuality::Good;
+};
+
+/// Cumulative acquisition/robustness counters (never reset by flush()).
+struct MonitorStats {
+  std::size_t samples_in = 0;         ///< raw samples offered to push()
+  std::size_t rejected_nonfinite = 0; ///< NaN/Inf dropped at the boundary
+  std::size_t clamped = 0;            ///< out-of-range codes clamped to rails
+  std::size_t bad_signal_samples = 0; ///< samples discarded while Bad
+  std::size_t suspect_beats = 0;      ///< beats escalated to Unknown
+  std::size_t degradations = 0;       ///< entries into the Bad state
+  std::size_t recoveries = 0;         ///< re-arms after leaving Bad
 };
 
 struct MonitorConfig {
@@ -42,6 +70,11 @@ struct MonitorConfig {
   /// Overlap carried between consecutive scans (s); must exceed one beat
   /// window plus the detector refractory so boundary beats are not lost.
   double overlap_s = 2.0;
+  /// Signal-quality gating (SQI chunking, thresholds, hysteresis).
+  dsp::QualityConfig quality;
+  /// Disables the degradation machine (every beat reports Good and nothing
+  /// is suppressed) — the pre-robustness behaviour, kept for A/B tests.
+  bool quality_gating = true;
 };
 
 class StreamingBeatMonitor {
@@ -53,7 +86,12 @@ class StreamingBeatMonitor {
   /// (usually empty, occasionally a handful when a chunk completes).
   std::vector<MonitorBeat> push(dsp::Sample x);
 
-  /// Finalizes everything still buffered and resets the monitor.
+  /// Untrusted raw front-end entry point: rejects non-finite values and
+  /// clamps the rest into the ADC range before the integer path sees them.
+  std::vector<MonitorBeat> push(double x);
+
+  /// Finalizes everything still buffered and resets the monitor (the
+  /// cumulative stats() survive).
   std::vector<MonitorBeat> flush();
 
   /// Worst-case number of samples held across all internal state.
@@ -63,21 +101,43 @@ class StreamingBeatMonitor {
   /// full analysis chunk).
   std::size_t latency() const;
 
+  /// Current acquisition-quality state of the degradation machine.
+  dsp::SignalQuality quality() const { return quality_state_; }
+
+  /// Cumulative robustness counters.
+  const MonitorStats& stats() const { return stats_; }
+
   const embedded::EmbeddedClassifier& classifier() const {
     return classifier_;
   }
 
  private:
   std::vector<MonitorBeat> scan(bool final_pass);
+  void on_quality_update(dsp::SignalQuality next,
+                         std::vector<MonitorBeat>& out);
+  dsp::SignalQuality quality_at(std::size_t absolute) const;
+  void rearm(std::size_t at_absolute);
 
   embedded::EmbeddedClassifier classifier_;
   MonitorConfig cfg_;
   dsp::StreamingConditioner conditioner_;
+  dsp::SignalQualityEstimator sqi_;
   dsp::Signal buffer_;           // rolling conditioned samples
   std::size_t buffer_base_ = 0;  // absolute index of buffer_[0]
   std::size_t emitted_up_to_ = 0;  // absolute index: peaks below are reported
   std::size_t chunk_samples_ = 0;
   std::size_t overlap_samples_ = 0;
+
+  // Degradation machine (see header comment).
+  dsp::SignalQuality quality_state_ = dsp::SignalQuality::Good;
+  std::size_t input_index_ = 0;  // raw samples accepted onto the timeline
+  dsp::Sample last_raw_ = 0;     // sample-hold value for rejected inputs
+  bool needs_rearm_ = false;     // recovery pending: restart timeline anchors
+  // Sparse (absolute index, state-from-there) history so beats finalized
+  // several seconds later are tagged with the quality at *their* position.
+  std::deque<std::pair<std::size_t, dsp::SignalQuality>> transitions_;
+  dsp::SignalQuality baseline_quality_ = dsp::SignalQuality::Good;
+  MonitorStats stats_;
 };
 
 }  // namespace hbrp::core

@@ -1,0 +1,143 @@
+// Streaming signal-quality estimation (SQI) for the acquisition front-end.
+//
+// A field-deployed WBSN sees lead-off intervals (electrode detached: the
+// front-end rails or flat-lines), amplifier/ADC saturation, motion bursts
+// and electrosurgery impulses. Classifying beats through those segments
+// produces garbage labels at best and poisons the adaptive detector
+// threshold at worst. This module grades the raw ADC stream in fixed-length
+// chunks using four integer-only checks — rail clipping, flat-line runs,
+// chunk variance (lead-off collapse) and impulsive sample-to-sample jumps —
+// and drives a three-state machine with hysteresis:
+//
+//   Good ──(suspect/bad chunk)──▶ Suspect ──(bad chunk)──▶ Bad
+//   Bad  ──(N clean chunks)────▶ Suspect ──(N clean chunks)──▶ Good
+//
+// Demotion is immediate (one offending chunk), promotion requires
+// `recover_chunks` consecutive clean chunks, so a flapping electrode cannot
+// oscillate the consumer. All per-sample work is integer compares and
+// 64-bit accumulation — affordable on the 6 MHz target next to the
+// morphological conditioner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "dsp/signal.hpp"
+
+namespace hbrp::dsp {
+
+/// Acquisition-quality grade of a signal segment.
+enum class SignalQuality : std::uint8_t {
+  Good = 0,     ///< trust detections and classifications
+  Suspect = 1,  ///< detect, but escalate beats to the safe default (Unknown)
+  Bad = 2,      ///< suppress detection entirely (lead-off / saturation)
+};
+
+constexpr const char* to_string(SignalQuality q) {
+  switch (q) {
+    case SignalQuality::Good: return "good";
+    case SignalQuality::Suspect: return "suspect";
+    case SignalQuality::Bad: return "bad";
+  }
+  return "?";
+}
+
+struct QualityConfig {
+  int fs_hz = kMitBihFs;
+  /// SQI evaluation granularity (s). Short enough that one bad chunk costs
+  /// little signal, long enough to hold a statistically meaningful count.
+  double chunk_s = 0.5;
+
+  /// ADC rails (MIT-BIH-style 11-bit front end). Samples outside are
+  /// clamped to the rails before accumulation, so arbitrarily corrupt
+  /// int32 garbage degrades into detectable clipping instead of overflow.
+  Sample rail_low = 0;
+  Sample rail_high = 2047;
+  /// A sample within this distance of a rail counts as clipped.
+  Sample rail_margin = 8;
+
+  /// |x[n] - x[n-1]| <= flat_delta counts toward the flat-line fraction.
+  /// Zero means exact repeats only: a detached electrode is *exactly*
+  /// constant, whereas clean quantized ECG dithers by ±1 adu even in quiet
+  /// diastole, so this separates the two without false alarms.
+  Sample flat_delta = 0;
+  /// |x[n] - x[n-1]| >= impulse_delta counts toward the impulse fraction.
+  Sample impulse_delta = 700;
+
+  /// Chunk fractions that demote to Bad.
+  double clip_bad_frac = 0.10;
+  double flat_bad_frac = 0.80;
+  /// Chunk variance (adu^2) at or below which the chunk is a flat-line /
+  /// lead-off chunk regardless of the run-length check.
+  double bad_variance = 2.0;
+
+  /// Chunk fractions that demote to (at least) Suspect.
+  double clip_suspect_frac = 0.02;
+  double flat_suspect_frac = 0.50;
+  double impulse_suspect_frac = 0.02;
+
+  /// Consecutive clean chunks required to step one state toward Good.
+  int recover_chunks = 2;
+};
+
+/// Integer summary of one graded chunk (exposed for tests and telemetry).
+struct QualityMetrics {
+  std::size_t samples = 0;
+  std::size_t clipped = 0;
+  std::size_t flat = 0;
+  std::size_t impulses = 0;
+  double variance = 0.0;
+  SignalQuality grade = SignalQuality::Good;
+};
+
+class SignalQualityEstimator {
+ public:
+  explicit SignalQualityEstimator(const QualityConfig& cfg = {});
+
+  /// Feeds one raw ADC sample. Returns the (possibly unchanged) machine
+  /// state whenever a chunk boundary is crossed, nullopt otherwise.
+  std::optional<SignalQuality> push(Sample x);
+
+  /// Current state of the hysteresis machine.
+  SignalQuality state() const { return state_; }
+
+  /// Metrics of the most recently completed chunk.
+  const QualityMetrics& last_chunk() const { return last_; }
+
+  /// Samples per grading chunk.
+  std::size_t chunk_samples() const { return chunk_samples_; }
+
+  /// Returns to the initial (Good, empty-chunk) state.
+  void reset();
+
+ private:
+  SignalQuality grade_chunk();
+
+  QualityConfig cfg_;
+  std::size_t chunk_samples_ = 0;
+
+  // Per-chunk integer accumulators.
+  std::size_t n_ = 0;
+  std::size_t clipped_ = 0;
+  std::size_t flat_ = 0;
+  std::size_t impulses_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t sum_sq_ = 0;
+  Sample prev_ = 0;
+  bool has_prev_ = false;
+
+  // Precomputed integer thresholds (counts per chunk), so the per-chunk
+  // grading is compare-only.
+  std::size_t clip_bad_count_ = 0;
+  std::size_t flat_bad_count_ = 0;
+  std::size_t clip_suspect_count_ = 0;
+  std::size_t flat_suspect_count_ = 0;
+  std::size_t impulse_suspect_count_ = 0;
+
+  SignalQuality state_ = SignalQuality::Good;
+  int clean_streak_ = 0;
+  QualityMetrics last_;
+};
+
+}  // namespace hbrp::dsp

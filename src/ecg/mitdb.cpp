@@ -14,6 +14,13 @@ namespace {
 
 constexpr int kSkipCode = 59;
 
+// Bounds for header fields: a corrupt or hostile .hea file must fail a
+// cheap check instead of driving a multi-gigabyte allocation or an
+// out-of-bounds read loop.
+constexpr std::size_t kMaxSignals = 64;
+constexpr std::size_t kMaxSamples = 100'000'000;  // ~77 h at 360 Hz
+constexpr int kMaxFsHz = 100'000;
+
 void require_stream(const std::ios& s, const std::string& what) {
   HBRP_REQUIRE(s.good(), "mitdb: I/O failure while " + what);
 }
@@ -219,7 +226,12 @@ Record read_record(const std::filesystem::path& dir, const std::string& name) {
     std::string rec_name;
     head >> rec_name >> n_signals >> rec.fs_hz >> n_samples;
     HBRP_REQUIRE(!head.fail(), "mitdb: malformed record line");
-    HBRP_REQUIRE(n_signals >= 1, "mitdb: header declares no signals");
+    HBRP_REQUIRE(n_signals >= 1 && n_signals <= kMaxSignals,
+                 "mitdb: implausible signal count in header");
+    HBRP_REQUIRE(rec.fs_hz > 0 && rec.fs_hz <= kMaxFsHz,
+                 "mitdb: implausible sampling rate in header");
+    HBRP_REQUIRE(n_samples <= kMaxSamples,
+                 "mitdb: implausible sample count in header");
     for (std::size_t s = 0; s < n_signals; ++s) {
       std::getline(hea, line);
       require_stream(hea, "reading signal lines");
@@ -240,7 +252,20 @@ Record read_record(const std::filesystem::path& dir, const std::string& name) {
                "mitdb: format 212 requires two signals");
 
   {
-    std::ifstream dat(dir / (name + ".dat"), std::ios::binary);
+    const std::filesystem::path dat_path = dir / (name + ".dat");
+    // Bounded read: the declared sample count must be backed by actual
+    // bytes on disk *before* any buffer is sized from it, so a truncated
+    // or length-inflated header throws instead of allocating garbage.
+    std::error_code ec;
+    const auto dat_size = std::filesystem::file_size(dat_path, ec);
+    HBRP_REQUIRE(!ec, "mitdb: cannot stat signal file " + name + ".dat");
+    const std::size_t needed =
+        fmt == 212 ? n_samples * 3 : n_samples * n_signals * 2;
+    HBRP_REQUIRE(dat_size >= needed,
+                 "mitdb: signal file shorter than header declares: " + name +
+                     ".dat");
+
+    std::ifstream dat(dat_path, std::ios::binary);
     HBRP_REQUIRE(dat.good(), "mitdb: cannot open signal file " + name + ".dat");
     rec.leads.resize(n_signals);
     if (fmt == 212)
@@ -266,9 +291,15 @@ Record read_record(const std::filesystem::path& dir, const std::string& name) {
         const std::uint16_t lo = get_word(atr, eof);
         HBRP_REQUIRE(!eof, "mitdb: truncated SKIP annotation");
         t += (static_cast<std::size_t>(hi) << 16) | lo;
+        HBRP_REQUIRE(t <= n_samples,
+                     "mitdb: SKIP interval beyond end of record in " + name +
+                         ".atr");
         continue;
       }
       t += delta;
+      HBRP_REQUIRE(t <= n_samples,
+                   "mitdb: annotation beyond end of record in " + name +
+                       ".atr");
       if (const auto cls = beat_class_from_code(code)) {
         BeatAnnotation ann;
         ann.sample = t;

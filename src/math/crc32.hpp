@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used to guard persisted artefacts (trained models) against silent flash /
+// filesystem corruption: a single flipped bit anywhere in the payload is
+// detected before any length field is trusted. Table-driven, one lookup per
+// byte — negligible next to the file I/O it protects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hbrp::math {
+
+/// Incremental CRC-32: pass the previous return value as `seed` to continue
+/// a running checksum (initial call uses the default seed).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace hbrp::math

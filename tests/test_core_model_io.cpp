@@ -3,11 +3,15 @@
 
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <vector>
 
 #include "core/model_io.hpp"
 #include "math/check.hpp"
+#include "math/crc32.hpp"
 #include "math/rng.hpp"
 
 namespace {
@@ -98,6 +102,160 @@ TEST(ModelIo, TruncatedFileRejected) {
   const auto size = fs::file_size(path);
   fs::resize_file(path, size / 2);
   EXPECT_THROW(load_model(path), hbrp::Error);
+  fs::remove(path);
+}
+
+// --- corruption robustness (fuzz-style sweeps, cf. test_mitdb_fuzz) ------
+
+std::vector<char> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const fs::path& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool models_equal(const TrainedClassifier& a, const TrainedClassifier& b) {
+  if (a.projector.matrix() != b.projector.matrix()) return false;
+  if (a.projector.downsample_factor() != b.projector.downsample_factor())
+    return false;
+  if (a.alpha_train != b.alpha_train) return false;
+  for (std::size_t k = 0; k < a.nfc.coefficients(); ++k)
+    for (std::size_t l = 0; l < 3; ++l)
+      if (a.nfc.mf(k, l).center != b.nfc.mf(k, l).center ||
+          a.nfc.mf(k, l).sigma != b.nfc.mf(k, l).sigma)
+        return false;
+  return true;
+}
+
+TEST(ModelIo, SingleByteCorruptionSweepNeverMisloads) {
+  // Acceptance criterion: a model file with any single corrupted byte
+  // either loads identically (unused padding) or throws hbrp::Error —
+  // never crashes, never silently yields a different model.
+  const auto path = temp_path("sweep");
+  const TrainedClassifier model = make_model(6);
+  save_model(model, path);
+  const std::vector<char> original = slurp(path);
+  ASSERT_FALSE(original.empty());
+
+  std::size_t rejected = 0, identical = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    std::vector<char> corrupt = original;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5A);
+    spit(path, corrupt);
+    try {
+      const TrainedClassifier back = load_model(path);
+      EXPECT_TRUE(models_equal(back, model))
+          << "silent misload with byte " << i << " corrupted";
+      ++identical;
+    } catch (const hbrp::Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected + identical, original.size());
+  // The v2 format has no unchecked padding: everything is covered by the
+  // magic, the size fields or the payload CRC.
+  EXPECT_EQ(rejected, original.size());
+  fs::remove(path);
+}
+
+TEST(ModelIo, TruncationSweepRejected) {
+  const auto path = temp_path("truncsweep");
+  const TrainedClassifier model = make_model(7);
+  save_model(model, path);
+  const auto size = fs::file_size(path);
+  for (const std::uintmax_t keep :
+       {std::uintmax_t{0}, std::uintmax_t{1}, std::uintmax_t{7},
+        std::uintmax_t{8}, std::uintmax_t{12}, std::uintmax_t{15},
+        std::uintmax_t{16}, size / 4, size / 2, size - 1}) {
+    const TrainedClassifier fresh = make_model(7);
+    save_model(fresh, path);
+    fs::resize_file(path, keep);
+    EXPECT_THROW(load_model(path), hbrp::Error) << "kept " << keep << " bytes";
+  }
+  fs::remove(path);
+}
+
+TEST(ModelIo, InflatedLengthFieldsRejectedBeforeAllocation) {
+  const auto path = temp_path("inflate");
+  const TrainedClassifier model = make_model(8);
+  save_model(model, path);
+  std::vector<char> bytes = slurp(path);
+
+  // Payload-size field (offset 8): huge declared size must be rejected by
+  // the file-size cross-check, long before any allocation.
+  auto patch_u32 = [](std::vector<char>& buf, std::size_t at,
+                      std::uint32_t v) {
+    std::memcpy(buf.data() + at, &v, sizeof(v));
+  };
+  std::vector<char> corrupt = bytes;
+  patch_u32(corrupt, 8, 0x7FFFFFFFu);
+  spit(path, corrupt);
+  EXPECT_THROW(load_model(path), hbrp::Error);
+
+  // Rows field (payload offset 0 => file offset 16), with the CRC redone
+  // so only the bounds / consistency checks stand between the attacker
+  // and a multi-gigabyte allocation.
+  corrupt = bytes;
+  patch_u32(corrupt, 16, 0x00FFFFFFu);
+  const std::uint32_t crc = hbrp::math::crc32(corrupt.data() + 16,
+                                              corrupt.size() - 16);
+  patch_u32(corrupt, 12, crc);
+  spit(path, corrupt);
+  EXPECT_THROW(load_model(path), hbrp::Error);
+
+  // Same for cols (file offset 20).
+  corrupt = bytes;
+  patch_u32(corrupt, 20, 0x00FFFFFFu);
+  patch_u32(corrupt, 12,
+            hbrp::math::crc32(corrupt.data() + 16, corrupt.size() - 16));
+  spit(path, corrupt);
+  EXPECT_THROW(load_model(path), hbrp::Error);
+
+  fs::remove(path);
+}
+
+TEST(ModelIo, SaveIsAtomicAndLeavesNoTempFile) {
+  const auto path = temp_path("atomic");
+  const TrainedClassifier model = make_model(9);
+  save_model(model, path);
+  // No temp sibling left behind, and overwriting an existing (even
+  // corrupt) file works.
+  fs::path tmp = path;
+  tmp += ".tmp";
+  EXPECT_FALSE(fs::exists(tmp));
+  spit(path, std::vector<char>{'j', 'u', 'n', 'k'});
+  save_model(model, path);
+  EXPECT_FALSE(fs::exists(tmp));
+  EXPECT_TRUE(models_equal(load_model(path), model));
+  fs::remove(path);
+}
+
+TEST(ModelIo, LoadOrTrainFallsBackOnCorruptCache) {
+  // A corrupt cache file is a cache miss, not a fatal error: the node
+  // retrains and repairs the cache in place.
+  const auto path = temp_path("fallback");
+  const TrainedClassifier model = make_model(10);
+  save_model(model, path);
+  auto bytes = slurp(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  spit(path, bytes);
+
+  int train_calls = 0;
+  auto trainer = [&train_calls]() {
+    ++train_calls;
+    return make_model(11);
+  };
+  const auto repaired = load_or_train(path, trainer);
+  EXPECT_EQ(train_calls, 1);  // corrupt file fell through to training
+  EXPECT_TRUE(models_equal(repaired, make_model(11)));
+  // The cache is healthy again: a second call serves from disk.
+  const auto cached = load_or_train(path, trainer);
+  EXPECT_EQ(train_calls, 1);
+  EXPECT_TRUE(models_equal(cached, repaired));
   fs::remove(path);
 }
 

@@ -2,6 +2,8 @@
 // chunk-boundary behaviour, memory/latency bounds.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/pipeline.hpp"
 #include "core/streaming.hpp"
 #include "core/trainer.hpp"
@@ -144,6 +146,119 @@ TEST_F(StreamingMonitorTest, FlushFinalizesTailBeats) {
   EXPECT_EQ(emitted_during, 0u);
   const auto tail = monitor.flush();
   EXPECT_GT(tail.size(), 3u);
+}
+
+TEST_F(StreamingMonitorTest, FlushOnEmptyMonitorIsSafeAndEmpty) {
+  StreamingBeatMonitor monitor(*bundle_);
+  EXPECT_TRUE(monitor.flush().empty());
+  EXPECT_TRUE(monitor.flush().empty());  // idempotent
+  // A handful of samples (far less than one beat window) also yields none.
+  for (int i = 0; i < 10; ++i) monitor.push(1024);
+  EXPECT_TRUE(monitor.flush().empty());
+  // And the monitor is still usable afterwards.
+  const auto rec = monitor_record(6, 30.0);
+  std::vector<MonitorBeat> beats;
+  for (const auto x : rec.leads[0]) {
+    auto b = monitor.push(x);
+    beats.insert(beats.end(), b.begin(), b.end());
+  }
+  auto tail = monitor.flush();
+  beats.insert(beats.end(), tail.begin(), tail.end());
+  EXPECT_GT(beats.size(), 15u);
+}
+
+TEST_F(StreamingMonitorTest, FlushRightAfterChunkSlideLosesNothing) {
+  // Feed exactly up to the first chunk scan, flush immediately, and check
+  // the combined output against an uninterrupted run of the same prefix:
+  // beats straddling the freshly-slid overlap region must be reported
+  // exactly once.
+  const auto rec = monitor_record(7, 60.0);
+  StreamingBeatMonitor probe(*bundle_);
+
+  // Find the sample index at which the first scan fires.
+  std::size_t first_scan_end = 0;
+  for (std::size_t i = 0; i < rec.leads[0].size(); ++i) {
+    if (!probe.push(rec.leads[0][i]).empty()) {
+      first_scan_end = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(first_scan_end, 0u) << "record never filled a chunk";
+  probe.flush();
+
+  StreamingBeatMonitor monitor(*bundle_);
+  std::vector<MonitorBeat> interrupted;
+  for (std::size_t i = 0; i < first_scan_end; ++i) {
+    auto b = monitor.push(rec.leads[0][i]);
+    interrupted.insert(interrupted.end(), b.begin(), b.end());
+  }
+  auto tail = monitor.flush();
+  interrupted.insert(interrupted.end(), tail.begin(), tail.end());
+
+  // Nothing double-reported across the slide...
+  for (std::size_t i = 1; i < interrupted.size(); ++i)
+    EXPECT_GT(interrupted[i].r_peak, interrupted[i - 1].r_peak + 30)
+        << "duplicate across slide+flush at " << i;
+  // ...nothing beyond the data fed...
+  for (const auto& b : interrupted) EXPECT_LT(b.r_peak, first_scan_end);
+  // ...and nothing lost: every beat the full-record run reports well
+  // inside the prefix must also be reported by the interrupted run.
+  const auto full = run_monitor(rec.leads[0]);
+  std::size_t expected = 0, found = 0;
+  for (const auto& b : full) {
+    if (b.r_peak + 400 >= first_scan_end) continue;
+    ++expected;
+    for (const auto& other : interrupted)
+      if (other.r_peak + 5 >= b.r_peak && other.r_peak <= b.r_peak + 5) {
+        ++found;
+        break;
+      }
+  }
+  ASSERT_GT(expected, 5u);
+  EXPECT_EQ(found, expected);
+}
+
+TEST_F(StreamingMonitorTest, BeatsStraddlingOverlapAgreeAcrossChunkSizes) {
+  // Different chunk lengths place the overlap regions at different spots;
+  // any beat lost or duplicated at a boundary shows up as a disagreement
+  // between the two runs.
+  const auto rec = monitor_record(8, 60.0);
+  MonitorConfig small_chunks;
+  small_chunks.chunk_s = 5.5;
+  const auto a = run_monitor(rec.leads[0]);
+  const auto b = run_monitor(rec.leads[0], small_chunks);
+
+  EXPECT_LE(a.size() > b.size() ? a.size() - b.size() : b.size() - a.size(),
+            1u);
+  std::size_t matched = 0;
+  for (const auto& beat : a)
+    for (const auto& other : b)
+      if (other.r_peak + 5 >= beat.r_peak &&
+          other.r_peak <= beat.r_peak + 5) {
+        matched += other.predicted == beat.predicted;
+        break;
+      }
+  ASSERT_GT(a.size(), 40u);
+  EXPECT_GE(matched + 1, a.size());
+}
+
+TEST_F(StreamingMonitorTest, StatsCountSanitizedInputs) {
+  StreamingBeatMonitor monitor(*bundle_);
+  monitor.push(std::numeric_limits<double>::quiet_NaN());
+  monitor.push(std::numeric_limits<double>::infinity());
+  monitor.push(-std::numeric_limits<double>::infinity());
+  monitor.push(1e9);    // clamped high
+  monitor.push(-1e9);   // clamped low
+  monitor.push(1024.0); // fine
+  monitor.push(4000);   // integer path, clamped
+  const auto& stats = monitor.stats();
+  EXPECT_EQ(stats.samples_in, 7u);
+  EXPECT_EQ(stats.rejected_nonfinite, 3u);
+  EXPECT_EQ(stats.clamped, 3u);
+  // Stats survive flush(); the quality machine resets.
+  monitor.flush();
+  EXPECT_EQ(monitor.stats().samples_in, 7u);
+  EXPECT_EQ(monitor.quality(), hbrp::dsp::SignalQuality::Good);
 }
 
 TEST_F(StreamingMonitorTest, ReusableAfterFlush) {
