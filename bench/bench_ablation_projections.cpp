@@ -16,7 +16,10 @@
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, "ablation_projections");
+  bench::JsonReport report("ablation_projections");
+  const bench::WallTimer timer;
   const auto splits = bench::load_splits(args);
 
   const auto cfg = bench::trainer_config(args, 8);
@@ -69,5 +72,18 @@ int main(int argc, char** argv) {
       0.97);
   std::printf("\nGA winner on test set: NDR %.2f%% at ARR %.2f%%\n",
               100.0 * cm.ndr(), 100.0 * cm.arr());
+
+  report.set("random_draws", draws);
+  report.set("random_fitness_min", fitness.front());
+  report.set("random_fitness_median", fitness[fitness.size() / 2]);
+  report.set("random_fitness_max", fitness.back());
+  report.set("ga_fitness", ga_fitness);
+  report.set("random_search_fitness", random_best);
+  report.set("ga_history", std::span<const double>(history));
+  report.set("test_ndr_pct", 100.0 * cm.ndr());
+  report.set("test_arr_pct", 100.0 * cm.arr());
+  report.set("threads", args.threads);
+  report.set("wall_s", timer.seconds());
+  report.write(args.json_path);
   return 0;
 }

@@ -13,7 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args = bench::BenchArgs::parse(argc, argv, "ablation_training");
+  bench::JsonReport report("ablation_training");
+  const bench::WallTimer timer;
   const auto splits = bench::load_splits(args);
 
   // One fixed random projection: the comparison is about the NFC trainer.
@@ -76,5 +78,12 @@ int main(int argc, char** argv) {
               100.0 * cm_init.ndr(), 100.0 * cm_init.arr());
   std::printf("%-22s %10.2f %10.2f\n", "init + SCG",
               100.0 * cm_scg.ndr(), 100.0 * cm_scg.arr());
+
+  report.set("init_only_ndr_pct", 100.0 * cm_init.ndr());
+  report.set("init_only_arr_pct", 100.0 * cm_init.arr());
+  report.set("init_scg_ndr_pct", 100.0 * cm_scg.ndr());
+  report.set("init_scg_arr_pct", 100.0 * cm_scg.arr());
+  report.set("wall_s", timer.seconds());
+  report.write(args.json_path);
   return 0;
 }

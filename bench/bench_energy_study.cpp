@@ -15,8 +15,12 @@
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args = bench::BenchArgs::parse(argc, argv, "energy_study");
+  bench::JsonReport report("energy_study");
+  const bench::WallTimer timer;
   const auto splits = bench::load_splits(args);
+  const core::BeatBatch test_batch = core::BeatBatch::from_dataset(splits.test);
+  const core::Executor executor(args.threads);
 
   const auto cfg = bench::trainer_config(args, 8);
   const core::TwoStepTrainer trainer(splits.training1, splits.training2, cfg);
@@ -25,7 +29,7 @@ int main(int argc, char** argv) {
   const auto cm = bench::at_min_arr(
       [&](double alpha) {
         bundle.set_alpha_q16(math::to_q16(alpha));
-        return core::evaluate_embedded(bundle, splits.test);
+        return core::evaluate_embedded(bundle, test_batch, &executor);
       },
       0.97);
 
@@ -76,5 +80,18 @@ int main(int argc, char** argv) {
                 100.0 * platform::relative_saving(b.radio_w, p.radio_w),
                 100.0 * platform::relative_saving(b.total_w(), p.total_w()));
   }
+
+  report.set("flagged_fraction", scenario.flagged_fraction);
+  report.set("arr", cm.arr());
+  report.set("compute_saving_pct",
+             100.0 * platform::relative_saving(base.compute_w, prop.compute_w));
+  report.set("radio_saving_pct",
+             100.0 * platform::relative_saving(base.radio_w, prop.radio_w));
+  report.set("total_saving_pct",
+             100.0 * platform::relative_saving(base.total_w(), prop.total_w()));
+  report.set("test_beats", test_batch.size());
+  report.set("threads", executor.threads());
+  report.set("wall_s", timer.seconds());
+  report.write(args.json_path);
   return 0;
 }

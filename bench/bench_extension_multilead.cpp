@@ -25,7 +25,10 @@ hbrp::ecg::BeatDataset build_split(const hbrp::ecg::DatasetSpec& spec,
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, "extension_multilead");
+  bench::JsonReport report("extension_multilead");
+  const bench::WallTimer timer;
 
   // Multi-lead windows are not part of the standard cached splits; build
   // moderate-size splits for both arms from identical seeds so the only
@@ -60,8 +63,16 @@ int main(int argc, char** argv) {
     std::printf("%-12zu %10.2f %10.2f %16zu\n", leads, 100.0 * cm.ndr(),
                 100.0 * cm.arr(),
                 trained.projector.packed().memory_bytes());
+    const std::string p = "leads" + std::to_string(leads) + "_";
+    report.set(p + "ndr_pct", 100.0 * cm.ndr());
+    report.set(p + "arr_pct", 100.0 * cm.arr());
+    report.set(p + "matrix_bytes", trained.projector.packed().memory_bytes());
   }
   std::printf("\n[18] reports multi-lead RP features improving class "
               "separation at the cost of a 3x larger stored matrix.\n");
+
+  report.set("threads", args.threads);
+  report.set("wall_s", timer.seconds());
+  report.write(args.json_path);
   return 0;
 }

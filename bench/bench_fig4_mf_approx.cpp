@@ -11,8 +11,11 @@
 #include "bench/common.hpp"
 #include "embedded/linear_mf.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace hbrp;
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig4_mf_approx");
+  bench::JsonReport report("fig4_mf_approx");
+  const bench::WallTimer timer;
   bench::print_header(
       "Figure 4 — Gaussian vs linearized vs triangular MF shapes");
 
@@ -56,5 +59,14 @@ int main(int, char**) {
               "(grade at 3S = %u), triangular zero beyond 2S "
               "(grade at 3S = %u)\n",
               lin.eval(3 * s), tri.eval(3 * s));
+
+  report.set("linearized_mean_err", lin_mean_err);
+  report.set("linearized_max_err", lin_max_err);
+  report.set("triangular_mean_err", tri_mean_err);
+  report.set("triangular_max_err", tri_max_err);
+  report.set("linearized_grade_at_3s", lin.eval(3 * s));
+  report.set("triangular_grade_at_3s", tri.eval(3 * s));
+  report.set("wall_s", timer.seconds());
+  report.write(args.json_path);
   return 0;
 }

@@ -33,12 +33,18 @@ const PaperRow kPaper32 = {93.05, 93.04, 89.75};
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const auto args = bench::BenchArgs::parse(argc, argv);
   bool downsample_sweep = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--downsample-sweep") downsample_sweep = true;
+  const bench::BenchFlag extra[] = {
+      {"--downsample-sweep", "also sweep the input downsampling factor",
+       &downsample_sweep}};
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, "table2_coefficients", extra);
+  bench::JsonReport report("table2_coefficients");
+  const bench::WallTimer timer;
 
   const auto splits = bench::load_splits(args);
+  const core::BeatBatch test_batch = core::BeatBatch::from_dataset(splits.test);
+  const core::Executor executor(args.threads);
   constexpr double kMinArr = 0.97;
 
   bench::print_header(
@@ -58,7 +64,7 @@ int main(int argc, char** argv) {
         core::project_dataset(splits.test, trained.projector);
     const auto float_cm = bench::at_min_arr(
         [&](double alpha) {
-          return core::evaluate(trained.nfc, test_proj, alpha);
+          return core::evaluate(trained.nfc, test_proj, alpha, &executor);
         },
         kMinArr);
     ndr_pc.push_back(100.0 * float_cm.ndr());
@@ -68,7 +74,7 @@ int main(int argc, char** argv) {
     const auto int_cm = bench::at_min_arr(
         [&](double alpha) {
           bundle.set_alpha_q16(math::to_q16(alpha));
-          return core::evaluate_embedded(bundle, splits.test);
+          return core::evaluate_embedded(bundle, test_batch, &executor);
         },
         kMinArr);
     ndr_wbsn.push_back(100.0 * int_cm.ndr());
@@ -105,6 +111,13 @@ int main(int argc, char** argv) {
               "(b) 8 -> 32 coefficients brings no tangible gain;\n"
               "(c) PC / WBSN / PCA differ by a few points at most.\n");
 
+  const double ks[] = {8.0, 16.0, 32.0};
+  report.set("coefficients", std::span<const double>(ks));
+  report.set("ndr_pc_pct", std::span<const double>(ndr_pc));
+  report.set("ndr_wbsn_pct", std::span<const double>(ndr_wbsn));
+  report.set("ndr_pca_pct", std::span<const double>(ndr_pca));
+  report.set("test_beats", test_batch.size());
+
   if (downsample_sweep) {
     bench::print_header(
         "Ablation — NDR at k = 8 vs input downsampling factor");
@@ -125,7 +138,13 @@ int main(int argc, char** argv) {
           kMinArr);
       std::printf("%-12zu %10.2f %14zu %16zu\n", ds, 100.0 * cm.ndr(),
                   200 / ds, trained.projector.packed().memory_bytes());
+      report.set("ndr_downsample_" + std::to_string(ds) + "_pct",
+                 100.0 * cm.ndr());
     }
   }
+
+  report.set("threads", executor.threads());
+  report.set("wall_s", timer.seconds());
+  report.write(args.json_path);
   return 0;
 }

@@ -25,7 +25,8 @@
 namespace {
 
 void print_rows(const hbrp::platform::KernelCosts& costs,
-                const hbrp::platform::ScenarioParams& scenario) {
+                const hbrp::platform::ScenarioParams& scenario,
+                hbrp::bench::JsonReport& report, const char* report_prefix) {
   using namespace hbrp::platform;
   const IcyHeartSpec soc;
   const CodeSizeModel code;
@@ -56,18 +57,31 @@ void print_rows(const hbrp::platform::KernelCosts& costs,
   std::printf("\nrun-time of system (3) vs always-on delineation (2): "
               "%.0f%% lower (paper: 63%%)\n",
               100.0 * saving);
+
+  const std::string p = report_prefix;
+  report.set(p + "duty_rp_classifier", rows[0].duty);
+  report.set(p + "duty_subsystem1", rows[1].duty);
+  report.set(p + "duty_subsystem2", rows[2].duty);
+  report.set(p + "duty_system3", rows[3].duty);
+  report.set(p + "runtime_saving_pct", 100.0 * saving);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const auto args = bench::BenchArgs::parse(argc, argv);
   bool deque_ablation = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--deque") deque_ablation = true;
+  const bench::BenchFlag extra[] = {
+      {"--deque", "re-run duty cycles with O(1) monotonic-deque morphology",
+       &deque_ablation}};
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, "table3_runtime", extra);
+  bench::JsonReport report("table3_runtime");
+  const bench::WallTimer timer;
 
   const auto splits = bench::load_splits(args);
+  const core::BeatBatch test_batch = core::BeatBatch::from_dataset(splits.test);
+  const core::Executor executor(args.threads);
 
   // Train the k = 8 classifier and measure the workload it induces on the
   // test set: beat rate and flagged fraction at the ARR >= 97% operating
@@ -79,7 +93,7 @@ int main(int argc, char** argv) {
   const auto cm = bench::at_min_arr(
       [&](double alpha) {
         bundle.set_alpha_q16(math::to_q16(alpha));
-        return core::evaluate_embedded(bundle, splits.test);
+        return core::evaluate_embedded(bundle, test_batch, &executor);
       },
       0.97);
 
@@ -96,7 +110,7 @@ int main(int argc, char** argv) {
       "(8 coefficients)");
   const platform::KernelCosts naive(platform::CycleModel{}, 360,
                                     platform::MorphologyImpl::NaivePerSample);
-  print_rows(naive, scenario);
+  print_rows(naive, scenario, report, "");
 
   if (deque_ablation) {
     bench::print_header(
@@ -104,7 +118,7 @@ int main(int argc, char** argv) {
     const platform::KernelCosts deq(
         platform::CycleModel{}, 360,
         platform::MorphologyImpl::MonotonicDeque);
-    print_rows(deq, scenario);
+    print_rows(deq, scenario, report, "deque_");
   }
 
   std::printf("\nclassifier parameter memory: %zu bytes "
@@ -112,5 +126,14 @@ int main(int argc, char** argv) {
               bundle.memory_bytes(),
               bundle.projector().packed().memory_bytes(),
               bundle.classifier().memory_bytes());
+
+  report.set("flagged_fraction", cm.flagged_fraction());
+  report.set("arr", cm.arr());
+  report.set("ndr", cm.ndr());
+  report.set("classifier_memory_bytes", bundle.memory_bytes());
+  report.set("test_beats", test_batch.size());
+  report.set("threads", executor.threads());
+  report.set("wall_s", timer.seconds());
+  report.write(args.json_path);
   return 0;
 }

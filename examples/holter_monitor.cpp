@@ -127,15 +127,15 @@ int main(int argc, char** argv) {
   core::StreamingBeatMonitor monitor(trained.quantize());
   std::size_t beats_total = 0, beats_suspect = 0;
   testing::FaultInjector injector(fcfg);
-  auto consume = [&](const std::vector<core::MonitorBeat>& batch) {
-    for (const auto& b : batch) {
-      ++beats_total;
-      beats_suspect += b.quality == dsp::SignalQuality::Suspect;
-    }
+  // Beats stream straight into the sink as they finalize — no per-sample
+  // result vectors on the monitoring loop.
+  const core::BeatSink sink = [&](const core::MonitorBeat& b) {
+    ++beats_total;
+    beats_suspect += b.quality == dsp::SignalQuality::Suspect;
   };
   for (const auto x : lead)
-    for (const double y : injector.feed(x)) consume(monitor.push(y));
-  consume(monitor.flush());
+    for (const double y : injector.feed(x)) monitor.push(y, sink);
+  monitor.flush(sink);
   const auto& stats = monitor.stats();  // cumulative: survives flush()
 
   std::printf(

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Full CI sweep: tier-1 build + tests, then the sanitizer matrix.
+#
+#   1. default (Release) build, full ctest suite — the tier-1 gate;
+#   2. ASan + UBSan build (-DENABLE_SANITIZERS=ON), full ctest suite;
+#   3. TSan build (-DENABLE_TSAN=ON), executor/engine-focused ctest subset —
+#      races in core::Executor, the parallel GA fitness fan-out and the
+#      chunked metric merges would surface here.
+#
+# Usage: scripts/ci.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZERS=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    *)
+      echo "usage: scripts/ci.sh [--skip-sanitizers]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  local cmake_flags=("$@")
+  echo "==== configure ${build_dir} (${cmake_flags[*]:-default})"
+  cmake -B "${build_dir}" -S . "${cmake_flags[@]}"
+  echo "==== build ${build_dir}"
+  cmake --build "${build_dir}" -j
+}
+
+# --- 1. tier-1: default build + full suite --------------------------------
+run_suite build
+ctest --test-dir build --output-on-failure -j
+
+if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
+  echo "==== sanitizer jobs skipped"
+  exit 0
+fi
+
+# --- 2. ASan + UBSan ------------------------------------------------------
+run_suite build-asan -DENABLE_SANITIZERS=ON
+ctest --test-dir build-asan --output-on-failure -j
+
+# --- 3. TSan: executor + engine + determinism tests -----------------------
+run_suite build-tsan -DENABLE_TSAN=ON
+ctest --test-dir build-tsan --output-on-failure -j \
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.'
+
+echo "==== CI sweep complete"

@@ -1,0 +1,50 @@
+#include "core/batch.hpp"
+
+#include "math/check.hpp"
+
+namespace hbrp::core {
+
+BeatBatch::BeatBatch(std::size_t window_length)
+    : window_length_(window_length) {
+  HBRP_REQUIRE(window_length >= 1, "BeatBatch: window length must be >= 1");
+}
+
+BeatBatch BeatBatch::from_dataset(const ecg::BeatDataset& ds) {
+  HBRP_REQUIRE(!ds.beats.empty(), "BeatBatch::from_dataset(): empty dataset");
+  BeatBatch batch(ds.window_size());
+  batch.reserve(ds.beats.size());
+  for (const ecg::BeatWindow& b : ds.beats) batch.append(b.samples, b.label);
+  return batch;
+}
+
+void BeatBatch::reserve(std::size_t beats) {
+  samples_.reserve(beats * window_length_);
+  labels_.reserve(beats);
+}
+
+void BeatBatch::clear() {
+  samples_.clear();
+  labels_.clear();
+}
+
+void BeatBatch::append(std::span<const dsp::Sample> window,
+                       ecg::BeatClass label) {
+  HBRP_REQUIRE(window_length_ >= 1,
+               "BeatBatch::append(): batch has no window length set");
+  HBRP_REQUIRE(window.size() == window_length_,
+               "BeatBatch::append(): window size mismatch");
+  samples_.insert(samples_.end(), window.begin(), window.end());
+  labels_.push_back(label);
+}
+
+std::span<const dsp::Sample> BeatBatch::window(std::size_t i) const {
+  HBRP_REQUIRE(i < size(), "BeatBatch::window(): index out of range");
+  return {samples_.data() + i * window_length_, window_length_};
+}
+
+ecg::BeatClass BeatBatch::label(std::size_t i) const {
+  HBRP_REQUIRE(i < size(), "BeatBatch::label(): index out of range");
+  return labels_[i];
+}
+
+}  // namespace hbrp::core

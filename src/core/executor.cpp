@@ -1,0 +1,127 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "math/check.hpp"
+
+namespace hbrp::core {
+
+namespace {
+// Set while the current thread is executing items of some job; nested
+// parallel_for calls run inline instead of re-entering the pool.
+thread_local bool t_in_job = false;
+}  // namespace
+
+struct Executor::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> pending_workers{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+std::size_t Executor::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+Executor::Executor(std::size_t threads)
+    : threads_(threads == 0 ? hardware_threads() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t t = 1; t < threads_; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Executor::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t begin =
+        job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) return;
+    const std::size_t end = std::min(job.n, begin + job.chunk);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void Executor::worker_loop() {
+  t_in_job = true;  // nested parallel_for from fn must stay inline
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      // Participate in this generation exactly once: the decrement below is
+      // what lets the submitter retire the job.
+      seen = generation_;
+      job = job_;
+    }
+    run_chunks(*job);
+    if (job->pending_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out: take the mutex briefly so the notify cannot slip
+      // between the submitter's predicate check and its wait.
+      { const std::lock_guard<std::mutex> lock(mutex_); }
+      done_.notify_all();
+    }
+  }
+}
+
+void Executor::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  HBRP_REQUIRE(fn != nullptr, "Executor::parallel_for(): null function");
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1 || t_in_job) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Chunked self-serve scheduling: several chunks per thread so uneven item
+  // costs balance out, but chunks big enough that the atomic cursor is not
+  // the bottleneck.
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.chunk = std::max<std::size_t>(1, n / (4 * threads_));
+  job.pending_workers.store(workers_.size(), std::memory_order_relaxed);
+
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  t_in_job = true;
+  run_chunks(job);
+  t_in_job = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job.pending_workers.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace hbrp::core

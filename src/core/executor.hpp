@@ -1,0 +1,75 @@
+// Deterministic parallel execution for the evaluation engine.
+//
+// A fixed pool of worker threads plus the calling thread cooperatively run
+// index-addressed jobs: parallel_for(n, fn) invokes fn(i) exactly once for
+// every i in [0, n), in an unspecified interleaving, on an unspecified
+// thread. Determinism is therefore a *protocol*, not a scheduler property:
+// every fn used in this library (GA fitness evaluation, dataset projection,
+// batch metric computation, multi-record pipeline runs) writes only to the
+// slot addressed by its own index and draws no randomness — all RNG streams
+// are advanced on the serial control thread before the fan-out (see
+// opt::optimize_projection, which breeds offspring serially and only scores
+// them in parallel). Under that discipline the results are bit-identical
+// for any thread count, including 1.
+//
+// Scheduling is chunked self-serve (an atomic cursor over fixed-size index
+// ranges), so an expensive item does not stall the whole pool the way static
+// striping would. Nested parallel_for calls (a worker evaluating a GA
+// candidate that itself evaluates a dataset) are detected via a thread-local
+// flag and run inline on the calling worker — no deadlock, no oversubscription.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbrp::core {
+
+class Executor {
+ public:
+  /// `threads` is the total evaluation concurrency, counting the calling
+  /// thread: 1 means fully serial (no workers are spawned), N spawns N - 1
+  /// workers. 0 picks the hardware concurrency.
+  explicit Executor(std::size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Total concurrency, including the calling thread (>= 1).
+  std::size_t threads() const { return threads_; }
+
+  /// Invokes fn(i) exactly once for each i in [0, n); returns when all have
+  /// completed. The first exception thrown by any fn is rethrown on the
+  /// calling thread (remaining items still run to completion). Safe to call
+  /// concurrently from several threads (jobs are serialized) and reentrantly
+  /// from inside a worker (the nested call runs inline, serially).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) const;
+
+  /// Number of threads an `Executor(0)` would use on this machine.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Job;
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  std::size_t threads_ = 1;
+  mutable std::mutex submit_mutex_;  // one job in flight at a time
+
+  // Pool state guarded by mutex_.
+  mutable std::mutex mutex_;
+  mutable std::condition_variable wake_;
+  mutable std::condition_variable done_;
+  mutable Job* job_ = nullptr;  // non-null while a job is being executed
+  mutable std::uint64_t generation_ = 0;  // bumped once per submitted job
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hbrp::core

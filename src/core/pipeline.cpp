@@ -81,4 +81,18 @@ PipelineResult RealTimePipeline::process(const ecg::Record& record) const {
   return result;
 }
 
+std::vector<PipelineResult> RealTimePipeline::process_all(
+    std::span<const ecg::Record> records, const Executor* executor) const {
+  std::vector<PipelineResult> results(records.size());
+  if (executor == nullptr || executor->threads() <= 1 || records.size() <= 1) {
+    for (std::size_t i = 0; i < records.size(); ++i)
+      results[i] = process(records[i]);
+    return results;
+  }
+  executor->parallel_for(records.size(), [&](std::size_t i) {
+    results[i] = process(records[i]);
+  });
+  return results;
+}
+
 }  // namespace hbrp::core

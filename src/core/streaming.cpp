@@ -36,14 +36,15 @@ StreamingBeatMonitor::StreamingBeatMonitor(
       2);
 }
 
-std::vector<MonitorBeat> StreamingBeatMonitor::push(double x) {
+void StreamingBeatMonitor::push(double x, const BeatSink& sink) {
   if (!std::isfinite(x)) {
     // Reject the value but keep the timeline, the conditioner and the SQI
     // chunking aligned: sample-hold the last accepted code. A sustained
     // non-finite burst thereby turns into a flat-line the quality
     // estimator degrades on, which is exactly the right escalation.
     ++stats_.rejected_nonfinite;
-    return push(last_raw_);
+    push(last_raw_, sink);
+    return;
   }
   const auto lo = static_cast<double>(cfg_.quality.rail_low);
   const auto hi = static_cast<double>(cfg_.quality.rail_high);
@@ -51,10 +52,10 @@ std::vector<MonitorBeat> StreamingBeatMonitor::push(double x) {
     ++stats_.clamped;
     x = std::clamp(x, lo, hi);
   }
-  return push(static_cast<dsp::Sample>(std::lround(x)));
+  push(static_cast<dsp::Sample>(std::lround(x)), sink);
 }
 
-std::vector<MonitorBeat> StreamingBeatMonitor::push(dsp::Sample x) {
+void StreamingBeatMonitor::push(dsp::Sample x, const BeatSink& sink) {
   ++stats_.samples_in;
   if (x < cfg_.quality.rail_low || x > cfg_.quality.rail_high) {
     ++stats_.clamped;
@@ -63,24 +64,31 @@ std::vector<MonitorBeat> StreamingBeatMonitor::push(dsp::Sample x) {
   last_raw_ = x;
   const std::size_t idx = input_index_++;
 
-  std::vector<MonitorBeat> out;
   if (cfg_.quality_gating) {
     const bool was_bad = quality_state_ == dsp::SignalQuality::Bad;
-    if (const auto update = sqi_.push(x)) on_quality_update(*update, out);
+    if (const auto update = sqi_.push(x)) on_quality_update(*update, sink);
     if (was_bad || quality_state_ == dsp::SignalQuality::Bad) {
       // Suppressed: consumed while in (or entering / just leaving) the Bad
       // state. Recovery re-arms on the next accepted sample.
       ++stats_.bad_signal_samples;
-      return out;
+      return;
     }
     if (needs_rearm_) rearm(idx);
   }
 
   if (const auto y = conditioner_.push(x)) buffer_.push_back(*y);
-  if (buffer_.size() >= chunk_samples_) {
-    const auto beats = scan(/*final_pass=*/false);
-    out.insert(out.end(), beats.begin(), beats.end());
-  }
+  if (buffer_.size() >= chunk_samples_) scan(/*final_pass=*/false, sink);
+}
+
+std::vector<MonitorBeat> StreamingBeatMonitor::push(dsp::Sample x) {
+  std::vector<MonitorBeat> out;
+  push(x, [&out](const MonitorBeat& b) { out.push_back(b); });
+  return out;
+}
+
+std::vector<MonitorBeat> StreamingBeatMonitor::push(double x) {
+  std::vector<MonitorBeat> out;
+  push(x, [&out](const MonitorBeat& b) { out.push_back(b); });
   return out;
 }
 
@@ -95,7 +103,7 @@ void StreamingBeatMonitor::rearm(std::size_t at_absolute) {
 }
 
 void StreamingBeatMonitor::on_quality_update(dsp::SignalQuality next,
-                                             std::vector<MonitorBeat>& out) {
+                                             const BeatSink& sink) {
   if (next == quality_state_) return;
   const std::size_t qchunk = sqi_.chunk_samples();
   const bool demotion = next > quality_state_;
@@ -121,10 +129,7 @@ void StreamingBeatMonitor::on_quality_update(dsp::SignalQuality next,
         input_index_ > margin ? input_index_ - margin : 0;
     if (buffer_base_ + buffer_.size() > cut)
       buffer_.resize(cut > buffer_base_ ? cut - buffer_base_ : 0);
-    if (!buffer_.empty()) {
-      const auto salvaged = scan(/*final_pass=*/true);
-      out.insert(out.end(), salvaged.begin(), salvaged.end());
-    }
+    if (!buffer_.empty()) scan(/*final_pass=*/true, sink);
     buffer_.clear();
     conditioner_ = dsp::StreamingConditioner(cfg_.filter);
     needs_rearm_ = true;
@@ -142,7 +147,7 @@ dsp::SignalQuality StreamingBeatMonitor::quality_at(
   return q;
 }
 
-std::vector<MonitorBeat> StreamingBeatMonitor::scan(bool final_pass) {
+void StreamingBeatMonitor::scan(bool final_pass, const BeatSink& sink) {
   dsp::PeakDetectorConfig det_cfg = cfg_.peak;
   const std::vector<std::size_t> peaks =
       dsp::detect_r_peaks(buffer_, det_cfg);
@@ -155,7 +160,6 @@ std::vector<MonitorBeat> StreamingBeatMonitor::scan(bool final_pass) {
       final_pass || buffer_.size() < guard ? buffer_.size()
                                            : buffer_.size() - guard;
 
-  std::vector<MonitorBeat> out;
   for (const std::size_t local_peak : peaks) {
     if (local_peak >= limit) continue;
     if (local_peak < cfg_.window_before ||
@@ -184,7 +188,7 @@ std::vector<MonitorBeat> StreamingBeatMonitor::scan(bool final_pass) {
           buffer_, local_peak, cfg_.window_before, cfg_.window_after);
       beat.predicted = classifier_.classify_window(window);
     }
-    out.push_back(beat);
+    sink(beat);
     emitted_up_to_ = absolute + 1;
   }
 
@@ -206,13 +210,12 @@ std::vector<MonitorBeat> StreamingBeatMonitor::scan(bool final_pass) {
       buffer_base_ += drop;
     }
   }
-  return out;
 }
 
-std::vector<MonitorBeat> StreamingBeatMonitor::flush() {
+void StreamingBeatMonitor::flush(const BeatSink& sink) {
   const std::vector<dsp::Sample> tail = conditioner_.flush();
   buffer_.insert(buffer_.end(), tail.begin(), tail.end());
-  std::vector<MonitorBeat> out = scan(/*final_pass=*/true);
+  scan(/*final_pass=*/true, sink);
   buffer_.clear();
   buffer_base_ = 0;
   emitted_up_to_ = 0;
@@ -223,6 +226,11 @@ std::vector<MonitorBeat> StreamingBeatMonitor::flush() {
   baseline_quality_ = dsp::SignalQuality::Good;
   transitions_.clear();
   needs_rearm_ = false;
+}
+
+std::vector<MonitorBeat> StreamingBeatMonitor::flush() {
+  std::vector<MonitorBeat> out;
+  flush([&out](const MonitorBeat& b) { out.push_back(b); });
   return out;
 }
 

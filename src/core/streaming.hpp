@@ -77,21 +77,35 @@ struct MonitorConfig {
   bool quality_gating = true;
 };
 
+/// Receives each finalized beat as soon as the monitor commits to it.
+using BeatSink = std::function<void(const MonitorBeat&)>;
+
 class StreamingBeatMonitor {
  public:
   StreamingBeatMonitor(embedded::EmbeddedClassifier classifier,
                        MonitorConfig cfg = {});
 
-  /// Feeds one raw ADC sample; returns beats finalized by this sample
-  /// (usually empty, occasionally a handful when a chunk completes).
-  std::vector<MonitorBeat> push(dsp::Sample x);
+  /// Feeds one raw ADC sample; every beat finalized by this sample (usually
+  /// none, occasionally a handful when a chunk completes) is delivered to
+  /// `sink` in report order. No per-sample allocation on the steady-state
+  /// path — this is the firmware-shaped entry point.
+  void push(dsp::Sample x, const BeatSink& sink);
 
   /// Untrusted raw front-end entry point: rejects non-finite values and
   /// clamps the rest into the ADC range before the integer path sees them.
+  void push(double x, const BeatSink& sink);
+
+  /// Finalizes everything still buffered into `sink` and resets the monitor
+  /// (the cumulative stats() survive).
+  void flush(const BeatSink& sink);
+
+  /// Vector-returning convenience wrapper over push(x, sink).
+  std::vector<MonitorBeat> push(dsp::Sample x);
+
+  /// Vector-returning convenience wrapper over push(x, sink).
   std::vector<MonitorBeat> push(double x);
 
-  /// Finalizes everything still buffered and resets the monitor (the
-  /// cumulative stats() survive).
+  /// Vector-returning convenience wrapper over flush(sink).
   std::vector<MonitorBeat> flush();
 
   /// Worst-case number of samples held across all internal state.
@@ -112,9 +126,8 @@ class StreamingBeatMonitor {
   }
 
  private:
-  std::vector<MonitorBeat> scan(bool final_pass);
-  void on_quality_update(dsp::SignalQuality next,
-                         std::vector<MonitorBeat>& out);
+  void scan(bool final_pass, const BeatSink& sink);
+  void on_quality_update(dsp::SignalQuality next, const BeatSink& sink);
   dsp::SignalQuality quality_at(std::size_t absolute) const;
   void rearm(std::size_t at_absolute);
 

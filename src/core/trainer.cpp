@@ -8,6 +8,28 @@
 
 namespace hbrp::core {
 
+namespace {
+
+// Splits [0, n) into roughly even contiguous ranges, one per chunk; chunk
+// boundaries depend only on (n, chunks), never on scheduling, so partial
+// results always merge in the same order.
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t chunks = 1;
+
+  ChunkPlan(std::size_t total, const Executor* executor)
+      : n(total),
+        chunks(executor == nullptr || executor->threads() <= 1
+                   ? 1
+                   : std::min<std::size_t>(std::max<std::size_t>(total, 1),
+                                           executor->threads() * 4)) {}
+
+  std::size_t begin(std::size_t c) const { return c * n / chunks; }
+  std::size_t end(std::size_t c) const { return (c + 1) * n / chunks; }
+};
+
+}  // namespace
+
 ProjectedDataset project_dataset(const ecg::BeatDataset& ds,
                                  const rp::BeatProjector& projector) {
   HBRP_REQUIRE(!ds.beats.empty(), "project_dataset(): empty dataset");
@@ -16,27 +38,88 @@ ProjectedDataset project_dataset(const ecg::BeatDataset& ds,
   ProjectedDataset out;
   out.u = math::Mat(ds.beats.size(), projector.coefficients());
   out.labels.reserve(ds.beats.size());
+  rp::ProjectionScratch scratch;
   for (std::size_t i = 0; i < ds.beats.size(); ++i) {
-    const math::Vec u = projector.project(ds.beats[i].samples);
-    for (std::size_t k = 0; k < u.size(); ++k) out.u.at(i, k) = u[k];
+    projector.project_into(ds.beats[i].samples, out.u.row(i), scratch);
     out.labels.push_back(ds.beats[i].label);
   }
   return out;
 }
 
+ProjectedDataset project_dataset(const BeatBatch& batch,
+                                 const rp::BeatProjector& projector) {
+  HBRP_REQUIRE(!batch.empty(), "project_dataset(): empty batch");
+  HBRP_REQUIRE(batch.window_length() == projector.expected_window(),
+               "project_dataset(): window/projector size mismatch");
+  ProjectedDataset out;
+  out.u = math::Mat(batch.size(), projector.coefficients());
+  out.labels.assign(batch.labels().begin(), batch.labels().end());
+  rp::ProjectionScratch scratch;
+  projector.project_batch(batch.windows(), batch.size(), out.u.flat(),
+                          scratch);
+  return out;
+}
+
 ConfusionMatrix evaluate(const nfc::NeuroFuzzyClassifier& nfc,
-                         const ProjectedDataset& data, double alpha) {
+                         const ProjectedDataset& data, double alpha,
+                         const Executor* executor) {
+  const ChunkPlan plan(data.u.rows(), executor);
+  if (plan.chunks == 1) {
+    ConfusionMatrix cm;
+    for (std::size_t i = 0; i < data.u.rows(); ++i)
+      cm.add(data.labels[i], nfc.classify(data.u.row(i), alpha));
+    return cm;
+  }
+  std::vector<ConfusionMatrix> parts(plan.chunks);
+  executor->parallel_for(plan.chunks, [&](std::size_t c) {
+    for (std::size_t i = plan.begin(c); i < plan.end(c); ++i)
+      parts[c].add(data.labels[i], nfc.classify(data.u.row(i), alpha));
+  });
   ConfusionMatrix cm;
-  for (std::size_t i = 0; i < data.u.rows(); ++i)
-    cm.add(data.labels[i], nfc.classify(data.u.row(i), alpha));
+  for (const ConfusionMatrix& part : parts) cm.merge(part);
   return cm;
 }
 
 ConfusionMatrix evaluate_embedded(const embedded::EmbeddedClassifier& cls,
                                   const ecg::BeatDataset& ds) {
   ConfusionMatrix cm;
-  for (const ecg::BeatWindow& b : ds.beats)
-    cm.add(b.label, cls.classify_window(b.samples));
+  rp::ProjectionScratch scratch;
+  std::vector<std::int32_t> u(cls.projector().coefficients());
+  for (const ecg::BeatWindow& b : ds.beats) {
+    cls.projector().project_int_into(b.samples, u, scratch);
+    cm.add(b.label, cls.classifier().classify(u, cls.alpha_q16()));
+  }
+  return cm;
+}
+
+ConfusionMatrix evaluate_embedded(const embedded::EmbeddedClassifier& cls,
+                                  const BeatBatch& batch,
+                                  const Executor* executor) {
+  const std::size_t w = batch.window_length();
+  const ChunkPlan plan(batch.size(), executor);
+  if (plan.chunks == 1) {
+    embedded::ClassifyScratch scratch;
+    std::vector<ecg::BeatClass> decisions(batch.size());
+    cls.classify_batch(batch.windows(), batch.size(), decisions, scratch);
+    ConfusionMatrix cm;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      cm.add(batch.label(i), decisions[i]);
+    return cm;
+  }
+  std::vector<ConfusionMatrix> parts(plan.chunks);
+  executor->parallel_for(plan.chunks, [&](std::size_t c) {
+    const std::size_t begin = plan.begin(c);
+    const std::size_t count = plan.end(c) - begin;
+    if (count == 0) return;
+    embedded::ClassifyScratch scratch;
+    std::vector<ecg::BeatClass> decisions(count);
+    cls.classify_batch(batch.windows().subspan(begin * w, count * w), count,
+                       decisions, scratch);
+    for (std::size_t i = 0; i < count; ++i)
+      parts[c].add(batch.label(begin + i), decisions[i]);
+  });
+  ConfusionMatrix cm;
+  for (const ConfusionMatrix& part : parts) cm.merge(part);
   return cm;
 }
 
@@ -95,7 +178,11 @@ embedded::EmbeddedClassifier TrainedClassifier::quantize(
 
 TwoStepTrainer::TwoStepTrainer(const ecg::BeatDataset& ts1,
                                const ecg::BeatDataset& ts2, TwoStepConfig cfg)
-    : ts1_(ts1), ts2_(ts2), cfg_(std::move(cfg)) {
+    : ts1_(ts1),
+      ts2_(ts2),
+      batch1_(BeatBatch::from_dataset(ts1)),
+      batch2_(BeatBatch::from_dataset(ts2)),
+      cfg_(std::move(cfg)) {
   HBRP_REQUIRE(ts1.window_size() == ts2.window_size(),
                "TwoStepTrainer: split window geometry mismatch");
   HBRP_REQUIRE(ts1.window_size() % cfg_.downsample == 0,
@@ -106,10 +193,10 @@ TwoStepTrainer::TwoStepTrainer(const ecg::BeatDataset& ts1,
 TrainedClassifier TwoStepTrainer::train_with_projection(
     const rp::TernaryMatrix& p) const {
   rp::BeatProjector projector(p, cfg_.downsample);
-  const ProjectedDataset d1 = project_dataset(ts1_, projector);
+  const ProjectedDataset d1 = project_dataset(batch1_, projector);
   nfc::NeuroFuzzyClassifier classifier(cfg_.coefficients);
   nfc::train(classifier, d1.u, d1.labels, cfg_.nfc_train);
-  const ProjectedDataset d2 = project_dataset(ts2_, projector);
+  const ProjectedDataset d2 = project_dataset(batch2_, projector);
   const double alpha = calibrate_alpha(classifier, d2, cfg_.min_arr);
   return TrainedClassifier{std::move(projector), std::move(classifier),
                            alpha};
@@ -117,7 +204,7 @@ TrainedClassifier TwoStepTrainer::train_with_projection(
 
 double TwoStepTrainer::fitness(const rp::TernaryMatrix& p) const {
   const TrainedClassifier trained = train_with_projection(p);
-  const ProjectedDataset d2 = project_dataset(ts2_, trained.projector);
+  const ProjectedDataset d2 = project_dataset(batch2_, trained.projector);
   return evaluate(trained.nfc, d2, trained.alpha_train).ndr();
 }
 
@@ -125,6 +212,11 @@ TrainedClassifier TwoStepTrainer::run() const {
   const std::size_t d = ts1_.window_size() / cfg_.downsample;
   opt::GaOptions ga = cfg_.ga;
   ga.seed = cfg_.seed;
+  // Candidate evaluations fan out across the executor; breeding stays on
+  // this thread, so the GA's RNG stream — and therefore the result — is
+  // bit-identical for any thread count.
+  const Executor executor(cfg_.threads);
+  ga.executor = &executor;
   const opt::GaResult result = opt::optimize_projection(
       cfg_.coefficients, d,
       [this](const rp::TernaryMatrix& p) { return fitness(p); }, ga);

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/batch.hpp"
+#include "core/executor.hpp"
 #include "core/metrics.hpp"
 #include "ecg/dataset.hpp"
 #include "embedded/bundle.hpp"
@@ -37,14 +39,29 @@ struct ProjectedDataset {
 ProjectedDataset project_dataset(const ecg::BeatDataset& ds,
                                  const rp::BeatProjector& projector);
 
+/// Batch-engine form: projects a contiguous BeatBatch arena in one sweep
+/// (rp::BeatProjector::project_batch; no per-beat allocation).
+ProjectedDataset project_dataset(const BeatBatch& batch,
+                                 const rp::BeatProjector& projector);
+
 /// Evaluates a float NFC at threshold `alpha` over a projected dataset.
+/// With an executor, beats are scored in parallel chunks whose partial
+/// confusion matrices merge in chunk order — the result is identical to a
+/// serial run for any thread count.
 ConfusionMatrix evaluate(const nfc::NeuroFuzzyClassifier& nfc,
-                         const ProjectedDataset& data, double alpha);
+                         const ProjectedDataset& data, double alpha,
+                         const Executor* executor = nullptr);
 
 /// Evaluates an integer classifier at `alpha_q16` over beat windows
 /// (runs the full embedded path: downsample, packed projection, int NFC).
 ConfusionMatrix evaluate_embedded(const embedded::EmbeddedClassifier& cls,
                                   const ecg::BeatDataset& ds);
+
+/// Batch-engine form over a contiguous BeatBatch, optionally parallel.
+/// Bit-identical to the per-beat form for any thread count.
+ConfusionMatrix evaluate_embedded(const embedded::EmbeddedClassifier& cls,
+                                  const BeatBatch& batch,
+                                  const Executor* executor = nullptr);
 
 /// Smallest alpha such that ARR >= min_arr on `data` (1.0 if unreachable).
 double calibrate_alpha(const nfc::NeuroFuzzyClassifier& nfc,
@@ -58,6 +75,10 @@ struct TwoStepConfig {
   nfc::TrainOptions nfc_train;
   opt::GaOptions ga;  // paper defaults: population 20, 30 generations
   std::uint64_t seed = 1;
+  /// Executor threads for the GA's candidate fitness evaluations during
+  /// run(). 0 = hardware concurrency, 1 = fully serial. The trained model
+  /// and every metric are bit-identical for any value (see core::Executor).
+  std::size_t threads = 0;
 };
 
 /// The trained artefact of the framework.
@@ -94,6 +115,10 @@ class TwoStepTrainer {
  private:
   const ecg::BeatDataset& ts1_;
   const ecg::BeatDataset& ts2_;
+  // Both splits copied once into contiguous arenas; every candidate
+  // evaluation then runs the batched, allocation-free path over them.
+  BeatBatch batch1_;
+  BeatBatch batch2_;
   TwoStepConfig cfg_;
   mutable std::vector<double> history_;
 };

@@ -6,11 +6,12 @@
 
 namespace hbrp::dsp {
 
-Signal downsample_avg(const Signal& x, std::size_t factor) {
-  HBRP_REQUIRE(factor >= 1, "downsample_avg(): factor must be >= 1");
-  if (factor == 1) return x;
-  Signal out;
-  out.reserve((x.size() + factor - 1) / factor);
+std::size_t downsample_avg_into(std::span<const Sample> x, std::size_t factor,
+                                std::span<Sample> out) {
+  HBRP_REQUIRE(factor >= 1, "downsample_avg_into(): factor must be >= 1");
+  const std::size_t n = downsampled_size(x.size(), factor);
+  HBRP_REQUIRE(out.size() >= n, "downsample_avg_into(): output too small");
+  std::size_t o = 0;
   for (std::size_t start = 0; start < x.size(); start += factor) {
     const std::size_t end = std::min(x.size(), start + factor);
     std::int64_t acc = 0;
@@ -19,8 +20,16 @@ Signal downsample_avg(const Signal& x, std::size_t factor) {
     // Round-to-nearest signed division.
     const std::int64_t rounded =
         acc >= 0 ? (acc + len / 2) / len : -((-acc + len / 2) / len);
-    out.push_back(static_cast<Sample>(rounded));
+    out[o++] = static_cast<Sample>(rounded);
   }
+  return n;
+}
+
+Signal downsample_avg(const Signal& x, std::size_t factor) {
+  HBRP_REQUIRE(factor >= 1, "downsample_avg(): factor must be >= 1");
+  if (factor == 1) return x;
+  Signal out(downsampled_size(x.size(), factor));
+  downsample_avg_into(x, factor, out);
   return out;
 }
 

@@ -10,14 +10,26 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "dsp/signal.hpp"
 
 namespace hbrp::dsp {
 
+/// Number of samples downsample_avg() produces for an n-sample input.
+constexpr std::size_t downsampled_size(std::size_t n, std::size_t factor) {
+  return (n + factor - 1) / factor;
+}
+
 /// Box-filtered downsampling: output[i] = round(mean(x[i*f .. i*f+f-1])).
 /// A trailing partial group is averaged over its actual length.
 Signal downsample_avg(const Signal& x, std::size_t factor);
+
+/// Allocation-free form of downsample_avg() for batch hot paths: writes
+/// exactly downsampled_size(x.size(), factor) samples into `out` (which must
+/// be at least that large) and returns that count.
+std::size_t downsample_avg_into(std::span<const Sample> x, std::size_t factor,
+                                std::span<Sample> out);
 
 /// Plain decimation: output[i] = x[i * factor].
 Signal decimate(const Signal& x, std::size_t factor);

@@ -17,6 +17,14 @@
 
 namespace hbrp::embedded {
 
+/// Reusable workspace for EmbeddedClassifier::classify_batch. The projected-
+/// coefficient buffer grows to the largest batch seen and is then reused:
+/// steady-state batch classification performs no heap allocation.
+struct ClassifyScratch {
+  rp::ProjectionScratch projection;
+  std::vector<std::int32_t> u;
+};
+
 class EmbeddedClassifier {
  public:
   EmbeddedClassifier(rp::BeatProjector projector, IntClassifier classifier,
@@ -25,6 +33,13 @@ class EmbeddedClassifier {
   /// Classifies one beat window at the acquisition rate (e.g. 200 samples
   /// at 360 Hz): downsample -> packed projection -> integer NFC.
   ecg::BeatClass classify_window(const dsp::Signal& window) const;
+
+  /// Batch form of classify_window over `count` windows concatenated in
+  /// `windows` (each projector().expected_window() samples). Equivalent to
+  /// classify_window per beat; all intermediate buffers live in `scratch`.
+  void classify_batch(std::span<const dsp::Sample> windows, std::size_t count,
+                      std::span<ecg::BeatClass> out,
+                      ClassifyScratch& scratch) const;
 
   /// Changes the test-time threshold (paper: alpha_test is tunable
   /// independently of alpha_train).

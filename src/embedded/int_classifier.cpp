@@ -99,6 +99,17 @@ ecg::BeatClass IntClassifier::classify(std::span<const std::int32_t> u,
   return defuzzify(fuzzify(u), alpha_q16);
 }
 
+void IntClassifier::classify_batch(std::span<const std::int32_t> u,
+                                   std::size_t count, std::uint32_t alpha_q16,
+                                   std::span<ecg::BeatClass> out) const {
+  HBRP_REQUIRE(u.size() == count * coefficients_,
+               "IntClassifier::classify_batch(): input size mismatch");
+  HBRP_REQUIRE(out.size() >= count,
+               "IntClassifier::classify_batch(): output too small");
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = classify(u.subspan(i * coefficients_, coefficients_), alpha_q16);
+}
+
 const LinearizedMF& IntClassifier::linear_mf(std::size_t k,
                                              std::size_t cls) const {
   HBRP_REQUIRE(shape_ == MfShape::Linearized,

@@ -57,6 +57,14 @@ class IntClassifier {
   ecg::BeatClass classify(std::span<const std::int32_t> u,
                           std::uint32_t alpha_q16) const;
 
+  /// Batch integer classification: `u` holds `count` beats of
+  /// coefficients() projected values each, row-major; one decision per
+  /// beat is written to `out`. Equivalent to classify() per row and
+  /// allocation-free (accumulators live in registers / stack arrays).
+  void classify_batch(std::span<const std::int32_t> u, std::size_t count,
+                      std::uint32_t alpha_q16,
+                      std::span<ecg::BeatClass> out) const;
+
   /// RAM the parameter tables occupy on the node.
   std::size_t memory_bytes() const;
 

@@ -68,6 +68,17 @@ ecg::BeatClass NeuroFuzzyClassifier::classify(std::span<const double> u,
   return defuzzify(fuzzy(u), alpha);
 }
 
+void NeuroFuzzyClassifier::classify_batch(std::span<const double> u,
+                                          std::size_t count, double alpha,
+                                          std::span<ecg::BeatClass> out) const {
+  HBRP_REQUIRE(u.size() == count * coefficients_,
+               "NeuroFuzzyClassifier::classify_batch(): input size mismatch");
+  HBRP_REQUIRE(out.size() >= count,
+               "NeuroFuzzyClassifier::classify_batch(): output too small");
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = classify(u.subspan(i * coefficients_, coefficients_), alpha);
+}
+
 std::vector<double> NeuroFuzzyClassifier::to_params() const {
   std::vector<double> p;
   p.reserve(param_count());

@@ -48,6 +48,13 @@ class NeuroFuzzyClassifier {
   /// Full forward pass + defuzzification.
   ecg::BeatClass classify(std::span<const double> u, double alpha) const;
 
+  /// Batch forward pass: `u` holds `count` beats of coefficients() values
+  /// each, row-major (e.g. core::ProjectedDataset::u.flat()); one decision
+  /// per beat is written to `out`. Equivalent to classify() per row, with
+  /// no heap allocation (the per-beat state is two stack arrays).
+  void classify_batch(std::span<const double> u, std::size_t count,
+                      double alpha, std::span<ecg::BeatClass> out) const;
+
   /// Flattens parameters for the optimizer: all centers first, then all
   /// log-sigmas (log parameterization keeps sigma positive under SCG).
   std::vector<double> to_params() const;

@@ -1,7 +1,6 @@
 #include "opt/ga.hpp"
 
 #include <algorithm>
-#include <future>
 
 #include "math/check.hpp"
 
@@ -14,23 +13,21 @@ struct Individual {
   double fitness = 0.0;
 };
 
-// Evaluates fitness for every individual in [begin, end), concurrently when
-// requested. Order of results is deterministic either way.
+// Evaluates fitness for every individual in [begin, end), across the
+// executor when one is supplied. Each result is written to its own
+// individual's slot, so the outcome is independent of scheduling.
 void evaluate_all(std::vector<Individual>& pop, std::size_t begin,
-                  const FitnessFn& fitness, bool parallel) {
-  if (!parallel || pop.size() - begin <= 1) {
+                  const FitnessFn& fitness, const core::Executor* executor) {
+  if (executor == nullptr || executor->threads() <= 1 ||
+      pop.size() - begin <= 1) {
     for (std::size_t i = begin; i < pop.size(); ++i)
       pop[i].fitness = fitness(pop[i].matrix);
     return;
   }
-  std::vector<std::future<double>> futures;
-  futures.reserve(pop.size() - begin);
-  for (std::size_t i = begin; i < pop.size(); ++i)
-    futures.push_back(std::async(std::launch::async, [&pop, &fitness, i] {
-      return fitness(pop[i].matrix);
-    }));
-  for (std::size_t i = begin; i < pop.size(); ++i)
-    pop[i].fitness = futures[i - begin].get();
+  executor->parallel_for(pop.size() - begin, [&pop, &fitness,
+                                              begin](std::size_t i) {
+    pop[begin + i].fitness = fitness(pop[begin + i].matrix);
+  });
 }
 
 std::size_t tournament_pick(const std::vector<Individual>& pop,
@@ -82,7 +79,7 @@ GaResult optimize_projection(std::size_t k, std::size_t d,
 
   std::vector<Individual> pop(options.population);
   for (Individual& ind : pop) ind.matrix = rp::make_achlioptas(k, d, rng);
-  evaluate_all(pop, 0, fitness, options.parallel);
+  evaluate_all(pop, 0, fitness, options.executor);
   result.evaluations += pop.size();
 
   auto by_fitness_desc = [](const Individual& a, const Individual& b) {
@@ -109,7 +106,7 @@ GaResult optimize_projection(std::size_t k, std::size_t d,
       mutate(child.matrix, options.mutation_rate, rng);
       next.push_back(std::move(child));
     }
-    evaluate_all(next, first_child, fitness, options.parallel);
+    evaluate_all(next, first_child, fitness, options.executor);
     result.evaluations += next.size() - first_child;
     pop = std::move(next);
   }

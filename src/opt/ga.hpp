@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "rp/achlioptas.hpp"
 
 namespace hbrp::opt {
@@ -29,15 +30,17 @@ struct GaOptions {
   /// Per-element probability of resampling from the Achlioptas distribution.
   double mutation_rate = 0.01;
   std::uint64_t seed = 1;
-  /// Evaluate individuals concurrently (requires a thread-safe fitness
-  /// function; all hbrp trainers are). Deterministic: offspring are bred
-  /// serially from the seeded RNG, only their evaluations run in parallel,
-  /// so results are identical to a serial run.
-  bool parallel = true;
+  /// Executor for concurrent fitness evaluation (null = serial; requires a
+  /// thread-safe fitness function — all hbrp trainers are). Deterministic:
+  /// the population is bred serially from the seeded RNG on the calling
+  /// thread, only the evaluations fan out, and each result lands in its
+  /// individual's slot — so the outcome is bit-identical to a serial run
+  /// for any executor and thread count.
+  const core::Executor* executor = nullptr;
 };
 
 /// Fitness: higher is better. Evaluated once per individual per generation.
-/// With GaOptions::parallel the callable is invoked from multiple threads
+/// With GaOptions::executor the callable is invoked from multiple threads
 /// simultaneously and must be thread-safe (const captures / local state).
 using FitnessFn = std::function<double(const rp::TernaryMatrix&)>;
 

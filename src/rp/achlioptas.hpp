@@ -54,6 +54,16 @@ class TernaryMatrix {
   /// sufficient for d <= 2^20 samples of 11-bit data.
   std::vector<std::int32_t> apply(std::span<const dsp::Sample> v) const;
 
+  /// Allocation-free float-path projection of an integer sample vector:
+  /// writes rows() doubles into `out`. Accumulation is in doubles, in the
+  /// same order as apply(span<const double>), so results are bit-identical
+  /// to converting `v` to doubles first.
+  void apply_into(std::span<const dsp::Sample> v, std::span<double> out) const;
+
+  /// Allocation-free integer-path projection: writes rows() values to `out`.
+  void apply_into(std::span<const dsp::Sample> v,
+                  std::span<std::int32_t> out) const;
+
   /// Fraction of non-zero entries.
   double density() const;
 

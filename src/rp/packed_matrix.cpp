@@ -37,9 +37,17 @@ std::int8_t PackedTernaryMatrix::at(std::size_t r, std::size_t c) const {
 
 std::vector<std::int32_t> PackedTernaryMatrix::apply(
     std::span<const dsp::Sample> v) const {
-  HBRP_REQUIRE(v.size() == cols_,
-               "PackedTernaryMatrix::apply(): size mismatch");
   std::vector<std::int32_t> out(rows_, 0);
+  apply_into(v, out);
+  return out;
+}
+
+void PackedTernaryMatrix::apply_into(std::span<const dsp::Sample> v,
+                                     std::span<std::int32_t> out) const {
+  HBRP_REQUIRE(v.size() == cols_,
+               "PackedTernaryMatrix::apply_into(): size mismatch");
+  HBRP_REQUIRE(out.size() >= rows_,
+               "PackedTernaryMatrix::apply_into(): output too small");
   for (std::size_t r = 0; r < rows_; ++r) {
     std::int32_t acc = 0;
     const std::uint8_t* row_bytes = data_.data() + r * bytes_per_row_;
@@ -53,7 +61,6 @@ std::vector<std::int32_t> PackedTernaryMatrix::apply(
     }
     out[r] = acc;
   }
-  return out;
 }
 
 TernaryMatrix PackedTernaryMatrix::unpack() const {

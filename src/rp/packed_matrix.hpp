@@ -33,6 +33,10 @@ class PackedTernaryMatrix {
   /// u = P v in integer arithmetic (the embedded projection kernel).
   std::vector<std::int32_t> apply(std::span<const dsp::Sample> v) const;
 
+  /// Allocation-free form: writes rows() coefficients into `out`.
+  void apply_into(std::span<const dsp::Sample> v,
+                  std::span<std::int32_t> out) const;
+
   /// Unpacks back to the dense form (exact round trip).
   TernaryMatrix unpack() const;
 

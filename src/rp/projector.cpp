@@ -12,21 +12,66 @@ BeatProjector::BeatProjector(TernaryMatrix p, std::size_t downsample_factor)
 }
 
 math::Vec BeatProjector::project(const dsp::Signal& window) const {
-  HBRP_REQUIRE(window.size() == expected_window(),
-               "BeatProjector::project(): window size mismatch");
-  const dsp::Signal ds = dsp::downsample_avg(window, downsample_);
-  math::Vec v(ds.size());
-  for (std::size_t i = 0; i < ds.size(); ++i)
-    v[i] = static_cast<double>(ds[i]);
-  return dense_.apply(v);
+  math::Vec v(coefficients());
+  ProjectionScratch scratch;
+  project_into(window, v, scratch);
+  return v;
 }
 
 std::vector<std::int32_t> BeatProjector::project_int(
     const dsp::Signal& window) const {
+  std::vector<std::int32_t> out(coefficients());
+  ProjectionScratch scratch;
+  project_int_into(window, out, scratch);
+  return out;
+}
+
+void BeatProjector::project_into(std::span<const dsp::Sample> window,
+                                 std::span<double> out,
+                                 ProjectionScratch& scratch) const {
   HBRP_REQUIRE(window.size() == expected_window(),
-               "BeatProjector::project_int(): window size mismatch");
-  const dsp::Signal ds = dsp::downsample_avg(window, downsample_);
-  return packed_.apply(ds);
+               "BeatProjector::project_into(): window size mismatch");
+  scratch.downsampled.resize(dense_.cols());
+  dsp::downsample_avg_into(window, downsample_, scratch.downsampled);
+  dense_.apply_into(scratch.downsampled, out);
+}
+
+void BeatProjector::project_int_into(std::span<const dsp::Sample> window,
+                                     std::span<std::int32_t> out,
+                                     ProjectionScratch& scratch) const {
+  HBRP_REQUIRE(window.size() == expected_window(),
+               "BeatProjector::project_int_into(): window size mismatch");
+  scratch.downsampled.resize(dense_.cols());
+  dsp::downsample_avg_into(window, downsample_, scratch.downsampled);
+  packed_.apply_into(scratch.downsampled, out);
+}
+
+void BeatProjector::project_batch(std::span<const dsp::Sample> windows,
+                                  std::size_t count, std::span<double> out,
+                                  ProjectionScratch& scratch) const {
+  const std::size_t w = expected_window();
+  const std::size_t k = coefficients();
+  HBRP_REQUIRE(windows.size() == count * w,
+               "BeatProjector::project_batch(): windows size mismatch");
+  HBRP_REQUIRE(out.size() >= count * k,
+               "BeatProjector::project_batch(): output too small");
+  for (std::size_t i = 0; i < count; ++i)
+    project_into(windows.subspan(i * w, w), out.subspan(i * k, k), scratch);
+}
+
+void BeatProjector::project_int_batch(std::span<const dsp::Sample> windows,
+                                      std::size_t count,
+                                      std::span<std::int32_t> out,
+                                      ProjectionScratch& scratch) const {
+  const std::size_t w = expected_window();
+  const std::size_t k = coefficients();
+  HBRP_REQUIRE(windows.size() == count * w,
+               "BeatProjector::project_int_batch(): windows size mismatch");
+  HBRP_REQUIRE(out.size() >= count * k,
+               "BeatProjector::project_int_batch(): output too small");
+  for (std::size_t i = 0; i < count; ++i)
+    project_int_into(windows.subspan(i * w, w), out.subspan(i * k, k),
+                     scratch);
 }
 
 }  // namespace hbrp::rp

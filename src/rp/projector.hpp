@@ -15,6 +15,13 @@
 
 namespace hbrp::rp {
 
+/// Reusable workspace for the allocation-free projection entry points. One
+/// scratch per thread of execution; sized lazily on first use and then
+/// reused, so the steady state performs no heap allocation per beat.
+struct ProjectionScratch {
+  dsp::Signal downsampled;
+};
+
 class BeatProjector {
  public:
   /// `p` has one column per *downsampled* window sample.
@@ -32,6 +39,29 @@ class BeatProjector {
 
   /// Integer path (embedded): downsample then project via the packed matrix.
   std::vector<std::int32_t> project_int(const dsp::Signal& window) const;
+
+  /// Allocation-free float-path projection of one window into `out`
+  /// (coefficients() doubles). Bit-identical to project().
+  void project_into(std::span<const dsp::Sample> window, std::span<double> out,
+                    ProjectionScratch& scratch) const;
+
+  /// Allocation-free integer-path projection of one window into `out`
+  /// (coefficients() values). Bit-identical to project_int().
+  void project_int_into(std::span<const dsp::Sample> window,
+                        std::span<std::int32_t> out,
+                        ProjectionScratch& scratch) const;
+
+  /// Batch float-path projection: `windows` holds `count` windows of
+  /// expected_window() samples each, concatenated; `out` receives count x
+  /// coefficients() doubles, row-major. No per-beat heap allocation: the
+  /// only buffer is scratch.downsampled, reused across beats.
+  void project_batch(std::span<const dsp::Sample> windows, std::size_t count,
+                     std::span<double> out, ProjectionScratch& scratch) const;
+
+  /// Batch integer-path projection, same layout contract as project_batch.
+  void project_int_batch(std::span<const dsp::Sample> windows,
+                         std::size_t count, std::span<std::int32_t> out,
+                         ProjectionScratch& scratch) const;
 
   const TernaryMatrix& matrix() const { return dense_; }
   const PackedTernaryMatrix& packed() const { return packed_; }

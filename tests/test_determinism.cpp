@@ -38,6 +38,52 @@ TEST(Determinism, FullTwoStepTrainingIsBitStable) {
     }
 }
 
+TEST(Determinism, ParallelTrainingBitIdenticalToSerial) {
+  // The engine's core contract: the executor thread count must not change
+  // any trained artefact or metric. Run the full two-step framework fully
+  // serial and with four executor threads and compare everything.
+  const auto ts1 = quick_split({60, 60, 60}, 51, 15);
+  const auto ts2 = quick_split({400, 60, 70}, 52, 60);
+  hbrp::core::TwoStepConfig cfg;
+  cfg.ga.population = 5;
+  cfg.ga.generations = 3;
+  cfg.seed = 53;
+
+  cfg.threads = 1;
+  const hbrp::core::TwoStepTrainer serial(ts1, ts2, cfg);
+  const auto a = serial.run();
+  const auto ha = serial.last_history();
+
+  cfg.threads = 4;
+  const hbrp::core::TwoStepTrainer parallel(ts1, ts2, cfg);
+  const auto b = parallel.run();
+  const auto hb = parallel.last_history();
+
+  EXPECT_EQ(a.projector.matrix(), b.projector.matrix());
+  EXPECT_DOUBLE_EQ(a.alpha_train, b.alpha_train);
+  for (std::size_t k = 0; k < 8; ++k)
+    for (std::size_t l = 0; l < 3; ++l) {
+      EXPECT_DOUBLE_EQ(a.nfc.mf(k, l).center, b.nfc.mf(k, l).center);
+      EXPECT_DOUBLE_EQ(a.nfc.mf(k, l).sigma, b.nfc.mf(k, l).sigma);
+    }
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i)
+    EXPECT_DOUBLE_EQ(ha[i], hb[i]);
+
+  // Metrics on an independent evaluation set agree exactly too, whichever
+  // executor computes them.
+  const auto test = quick_split({300, 50, 60}, 54, 60);
+  const auto proj_a = hbrp::core::project_dataset(test, a.projector);
+  const auto proj_b = hbrp::core::project_dataset(test, b.projector);
+  const hbrp::core::Executor executor(4);
+  const auto cm_serial =
+      hbrp::core::evaluate(a.nfc, proj_a, a.alpha_train);
+  const auto cm_parallel =
+      hbrp::core::evaluate(b.nfc, proj_b, b.alpha_train, &executor);
+  EXPECT_DOUBLE_EQ(cm_serial.ndr(), cm_parallel.ndr());
+  EXPECT_DOUBLE_EQ(cm_serial.arr(), cm_parallel.arr());
+}
+
 TEST(Determinism, FitnessIsAPureFunctionOfTheMatrix) {
   const auto ts1 = quick_split({60, 60, 60}, 31, 15);
   const auto ts2 = quick_split({400, 60, 70}, 32, 60);

@@ -90,9 +90,10 @@ TEST(Ga, ParallelMatchesSerialExactly) {
   opt.population = 10;
   opt.generations = 6;
   opt.seed = 99;
-  opt.parallel = false;
+  opt.executor = nullptr;
   const auto serial = optimize_projection(4, 16, plus_density, opt);
-  opt.parallel = true;
+  const hbrp::core::Executor executor(4);
+  opt.executor = &executor;
   const auto parallel = optimize_projection(4, 16, plus_density, opt);
   EXPECT_EQ(parallel.best, serial.best);
   EXPECT_DOUBLE_EQ(parallel.best_fitness, serial.best_fitness);

@@ -182,6 +182,41 @@ TEST_P(NfcProperties, AlphaMonotonicityOfUnknowns) {
   }
 }
 
+TEST_P(NfcProperties, ClassifyBatchEquivalentToPerBeat) {
+  // The batch forward pass must agree with classify() row by row for any
+  // batch size — including the empty and single-beat edges — on both the
+  // float and the integer path.
+  Rng rng(GetParam() + 200);
+  const std::size_t k = 2 + rng.uniform_index(12);
+  hbrp::nfc::NeuroFuzzyClassifier nfc(k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t l = 0; l < 3; ++l)
+      nfc.mf(i, l) = {rng.normal(0, 100), rng.uniform(5.0, 60.0)};
+  const auto integer = hbrp::embedded::IntClassifier::from_float(nfc);
+
+  for (const std::size_t count :
+       {std::size_t{0}, std::size_t{1}, 2 + rng.uniform_index(60)}) {
+    std::vector<double> u(count * k);
+    std::vector<std::int32_t> ui(count * k);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] = std::round(rng.normal(0, 150));
+      ui[i] = static_cast<std::int32_t>(u[i]);
+    }
+    const double alpha = rng.uniform(0.0, 0.9);
+    const auto alpha_q16 =
+        static_cast<std::uint32_t>(alpha * 65536.0);
+
+    std::vector<hbrp::ecg::BeatClass> out(count), out_int(count);
+    nfc.classify_batch(u, count, alpha, out);
+    integer.classify_batch(ui, count, alpha_q16, out_int);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i], nfc.classify({u.data() + i * k, k}, alpha));
+      EXPECT_EQ(out_int[i],
+                integer.classify({ui.data() + i * k, k}, alpha_q16));
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, NfcProperties,
                          ::testing::Range<std::uint64_t>(1, 6));
 
