@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_projections.dir/bench_ablation_projections.cpp.o"
+  "CMakeFiles/bench_ablation_projections.dir/bench_ablation_projections.cpp.o.d"
+  "bench_ablation_projections"
+  "bench_ablation_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_study.dir/bench_energy_study.cpp.o"
+  "CMakeFiles/bench_energy_study.dir/bench_energy_study.cpp.o.d"
+  "bench_energy_study"
+  "bench_energy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

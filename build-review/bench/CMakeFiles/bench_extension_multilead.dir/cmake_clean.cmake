@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_multilead.dir/bench_extension_multilead.cpp.o"
+  "CMakeFiles/bench_extension_multilead.dir/bench_extension_multilead.cpp.o.d"
+  "bench_extension_multilead"
+  "bench_extension_multilead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multilead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

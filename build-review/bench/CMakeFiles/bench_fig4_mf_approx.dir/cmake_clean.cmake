@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mf_approx.dir/bench_fig4_mf_approx.cpp.o"
+  "CMakeFiles/bench_fig4_mf_approx.dir/bench_fig4_mf_approx.cpp.o.d"
+  "bench_fig4_mf_approx"
+  "bench_fig4_mf_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mf_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

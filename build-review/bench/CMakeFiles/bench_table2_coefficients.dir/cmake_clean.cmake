@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_coefficients.dir/bench_table2_coefficients.cpp.o"
+  "CMakeFiles/bench_table2_coefficients.dir/bench_table2_coefficients.cpp.o.d"
+  "bench_table2_coefficients"
+  "bench_table2_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

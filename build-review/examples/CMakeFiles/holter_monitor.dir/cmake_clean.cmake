@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holter_monitor.dir/holter_monitor.cpp.o"
+  "CMakeFiles/holter_monitor.dir/holter_monitor.cpp.o.d"
+  "holter_monitor"
+  "holter_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holter_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

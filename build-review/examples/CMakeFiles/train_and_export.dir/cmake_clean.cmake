@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_export.dir/train_and_export.cpp.o"
+  "CMakeFiles/train_and_export.dir/train_and_export.cpp.o.d"
+  "train_and_export"
+  "train_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

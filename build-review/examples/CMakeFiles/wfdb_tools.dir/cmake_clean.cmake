@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfdb_tools.dir/wfdb_tools.cpp.o"
+  "CMakeFiles/wfdb_tools.dir/wfdb_tools.cpp.o.d"
+  "wfdb_tools"
+  "wfdb_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfdb_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

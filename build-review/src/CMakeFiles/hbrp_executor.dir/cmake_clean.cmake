@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_executor.dir/core/executor.cpp.o"
+  "CMakeFiles/hbrp_executor.dir/core/executor.cpp.o.d"
+  "libhbrp_executor.a"
+  "libhbrp_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("math")
+subdirs("dsp")
+subdirs("ecg")
+subdirs("rp")
+subdirs("nfc")
+subdirs("opt")
+subdirs("embedded")
+subdirs("delineation")
+subdirs("platform")
+subdirs("core")
+subdirs("testing")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_core.dir/batch.cpp.o"
+  "CMakeFiles/hbrp_core.dir/batch.cpp.o.d"
+  "CMakeFiles/hbrp_core.dir/metrics.cpp.o"
+  "CMakeFiles/hbrp_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/hbrp_core.dir/model_io.cpp.o"
+  "CMakeFiles/hbrp_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/hbrp_core.dir/pca_baseline.cpp.o"
+  "CMakeFiles/hbrp_core.dir/pca_baseline.cpp.o.d"
+  "CMakeFiles/hbrp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hbrp_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hbrp_core.dir/streaming.cpp.o"
+  "CMakeFiles/hbrp_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/hbrp_core.dir/trainer.cpp.o"
+  "CMakeFiles/hbrp_core.dir/trainer.cpp.o.d"
+  "libhbrp_core.a"
+  "libhbrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delineation/mmd.cpp" "src/delineation/CMakeFiles/hbrp_delineation.dir/mmd.cpp.o" "gcc" "src/delineation/CMakeFiles/hbrp_delineation.dir/mmd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/dsp/CMakeFiles/hbrp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ecg/CMakeFiles/hbrp_ecg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/hbrp_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_delineation.dir/mmd.cpp.o"
+  "CMakeFiles/hbrp_delineation.dir/mmd.cpp.o.d"
+  "libhbrp_delineation.a"
+  "libhbrp_delineation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_delineation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

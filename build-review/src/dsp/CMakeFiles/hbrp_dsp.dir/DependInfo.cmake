@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/morphology.cpp" "src/dsp/CMakeFiles/hbrp_dsp.dir/morphology.cpp.o" "gcc" "src/dsp/CMakeFiles/hbrp_dsp.dir/morphology.cpp.o.d"
+  "/root/repo/src/dsp/peak_detect.cpp" "src/dsp/CMakeFiles/hbrp_dsp.dir/peak_detect.cpp.o" "gcc" "src/dsp/CMakeFiles/hbrp_dsp.dir/peak_detect.cpp.o.d"
+  "/root/repo/src/dsp/quality.cpp" "src/dsp/CMakeFiles/hbrp_dsp.dir/quality.cpp.o" "gcc" "src/dsp/CMakeFiles/hbrp_dsp.dir/quality.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/hbrp_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/hbrp_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/streaming.cpp" "src/dsp/CMakeFiles/hbrp_dsp.dir/streaming.cpp.o" "gcc" "src/dsp/CMakeFiles/hbrp_dsp.dir/streaming.cpp.o.d"
+  "/root/repo/src/dsp/wavelet.cpp" "src/dsp/CMakeFiles/hbrp_dsp.dir/wavelet.cpp.o" "gcc" "src/dsp/CMakeFiles/hbrp_dsp.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/math/CMakeFiles/hbrp_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_dsp.dir/morphology.cpp.o"
+  "CMakeFiles/hbrp_dsp.dir/morphology.cpp.o.d"
+  "CMakeFiles/hbrp_dsp.dir/peak_detect.cpp.o"
+  "CMakeFiles/hbrp_dsp.dir/peak_detect.cpp.o.d"
+  "CMakeFiles/hbrp_dsp.dir/quality.cpp.o"
+  "CMakeFiles/hbrp_dsp.dir/quality.cpp.o.d"
+  "CMakeFiles/hbrp_dsp.dir/resample.cpp.o"
+  "CMakeFiles/hbrp_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/hbrp_dsp.dir/streaming.cpp.o"
+  "CMakeFiles/hbrp_dsp.dir/streaming.cpp.o.d"
+  "CMakeFiles/hbrp_dsp.dir/wavelet.cpp.o"
+  "CMakeFiles/hbrp_dsp.dir/wavelet.cpp.o.d"
+  "libhbrp_dsp.a"
+  "libhbrp_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

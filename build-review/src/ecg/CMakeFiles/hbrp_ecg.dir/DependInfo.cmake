@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecg/dataset.cpp" "src/ecg/CMakeFiles/hbrp_ecg.dir/dataset.cpp.o" "gcc" "src/ecg/CMakeFiles/hbrp_ecg.dir/dataset.cpp.o.d"
+  "/root/repo/src/ecg/mitdb.cpp" "src/ecg/CMakeFiles/hbrp_ecg.dir/mitdb.cpp.o" "gcc" "src/ecg/CMakeFiles/hbrp_ecg.dir/mitdb.cpp.o.d"
+  "/root/repo/src/ecg/morphology.cpp" "src/ecg/CMakeFiles/hbrp_ecg.dir/morphology.cpp.o" "gcc" "src/ecg/CMakeFiles/hbrp_ecg.dir/morphology.cpp.o.d"
+  "/root/repo/src/ecg/synth.cpp" "src/ecg/CMakeFiles/hbrp_ecg.dir/synth.cpp.o" "gcc" "src/ecg/CMakeFiles/hbrp_ecg.dir/synth.cpp.o.d"
+  "/root/repo/src/ecg/types.cpp" "src/ecg/CMakeFiles/hbrp_ecg.dir/types.cpp.o" "gcc" "src/ecg/CMakeFiles/hbrp_ecg.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/math/CMakeFiles/hbrp_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/hbrp_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

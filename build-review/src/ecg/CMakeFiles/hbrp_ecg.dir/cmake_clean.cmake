@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_ecg.dir/dataset.cpp.o"
+  "CMakeFiles/hbrp_ecg.dir/dataset.cpp.o.d"
+  "CMakeFiles/hbrp_ecg.dir/mitdb.cpp.o"
+  "CMakeFiles/hbrp_ecg.dir/mitdb.cpp.o.d"
+  "CMakeFiles/hbrp_ecg.dir/morphology.cpp.o"
+  "CMakeFiles/hbrp_ecg.dir/morphology.cpp.o.d"
+  "CMakeFiles/hbrp_ecg.dir/synth.cpp.o"
+  "CMakeFiles/hbrp_ecg.dir/synth.cpp.o.d"
+  "CMakeFiles/hbrp_ecg.dir/types.cpp.o"
+  "CMakeFiles/hbrp_ecg.dir/types.cpp.o.d"
+  "libhbrp_ecg.a"
+  "libhbrp_ecg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_ecg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

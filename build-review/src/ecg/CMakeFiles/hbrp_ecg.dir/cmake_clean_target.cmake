@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbrp_ecg.a"
+)

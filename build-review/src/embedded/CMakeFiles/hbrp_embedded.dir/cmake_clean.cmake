@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_embedded.dir/bundle.cpp.o"
+  "CMakeFiles/hbrp_embedded.dir/bundle.cpp.o.d"
+  "CMakeFiles/hbrp_embedded.dir/int_classifier.cpp.o"
+  "CMakeFiles/hbrp_embedded.dir/int_classifier.cpp.o.d"
+  "CMakeFiles/hbrp_embedded.dir/linear_mf.cpp.o"
+  "CMakeFiles/hbrp_embedded.dir/linear_mf.cpp.o.d"
+  "libhbrp_embedded.a"
+  "libhbrp_embedded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hbrp_embedded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/crc32.cpp" "src/math/CMakeFiles/hbrp_math.dir/crc32.cpp.o" "gcc" "src/math/CMakeFiles/hbrp_math.dir/crc32.cpp.o.d"
+  "/root/repo/src/math/eig.cpp" "src/math/CMakeFiles/hbrp_math.dir/eig.cpp.o" "gcc" "src/math/CMakeFiles/hbrp_math.dir/eig.cpp.o.d"
+  "/root/repo/src/math/mat.cpp" "src/math/CMakeFiles/hbrp_math.dir/mat.cpp.o" "gcc" "src/math/CMakeFiles/hbrp_math.dir/mat.cpp.o.d"
+  "/root/repo/src/math/pca.cpp" "src/math/CMakeFiles/hbrp_math.dir/pca.cpp.o" "gcc" "src/math/CMakeFiles/hbrp_math.dir/pca.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/hbrp_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/hbrp_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/hbrp_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/hbrp_math.dir/stats.cpp.o.d"
+  "/root/repo/src/math/vec.cpp" "src/math/CMakeFiles/hbrp_math.dir/vec.cpp.o" "gcc" "src/math/CMakeFiles/hbrp_math.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_math.dir/crc32.cpp.o"
+  "CMakeFiles/hbrp_math.dir/crc32.cpp.o.d"
+  "CMakeFiles/hbrp_math.dir/eig.cpp.o"
+  "CMakeFiles/hbrp_math.dir/eig.cpp.o.d"
+  "CMakeFiles/hbrp_math.dir/mat.cpp.o"
+  "CMakeFiles/hbrp_math.dir/mat.cpp.o.d"
+  "CMakeFiles/hbrp_math.dir/pca.cpp.o"
+  "CMakeFiles/hbrp_math.dir/pca.cpp.o.d"
+  "CMakeFiles/hbrp_math.dir/rng.cpp.o"
+  "CMakeFiles/hbrp_math.dir/rng.cpp.o.d"
+  "CMakeFiles/hbrp_math.dir/stats.cpp.o"
+  "CMakeFiles/hbrp_math.dir/stats.cpp.o.d"
+  "CMakeFiles/hbrp_math.dir/vec.cpp.o"
+  "CMakeFiles/hbrp_math.dir/vec.cpp.o.d"
+  "libhbrp_math.a"
+  "libhbrp_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_nfc.dir/classifier.cpp.o"
+  "CMakeFiles/hbrp_nfc.dir/classifier.cpp.o.d"
+  "CMakeFiles/hbrp_nfc.dir/objective.cpp.o"
+  "CMakeFiles/hbrp_nfc.dir/objective.cpp.o.d"
+  "CMakeFiles/hbrp_nfc.dir/train.cpp.o"
+  "CMakeFiles/hbrp_nfc.dir/train.cpp.o.d"
+  "libhbrp_nfc.a"
+  "libhbrp_nfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_nfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/ga.cpp" "src/opt/CMakeFiles/hbrp_opt.dir/ga.cpp.o" "gcc" "src/opt/CMakeFiles/hbrp_opt.dir/ga.cpp.o.d"
+  "/root/repo/src/opt/gd.cpp" "src/opt/CMakeFiles/hbrp_opt.dir/gd.cpp.o" "gcc" "src/opt/CMakeFiles/hbrp_opt.dir/gd.cpp.o.d"
+  "/root/repo/src/opt/scg.cpp" "src/opt/CMakeFiles/hbrp_opt.dir/scg.cpp.o" "gcc" "src/opt/CMakeFiles/hbrp_opt.dir/scg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/math/CMakeFiles/hbrp_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rp/CMakeFiles/hbrp_rp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hbrp_executor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/hbrp_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_opt.dir/ga.cpp.o"
+  "CMakeFiles/hbrp_opt.dir/ga.cpp.o.d"
+  "CMakeFiles/hbrp_opt.dir/gd.cpp.o"
+  "CMakeFiles/hbrp_opt.dir/gd.cpp.o.d"
+  "CMakeFiles/hbrp_opt.dir/scg.cpp.o"
+  "CMakeFiles/hbrp_opt.dir/scg.cpp.o.d"
+  "libhbrp_opt.a"
+  "libhbrp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_platform.dir/codesize.cpp.o"
+  "CMakeFiles/hbrp_platform.dir/codesize.cpp.o.d"
+  "CMakeFiles/hbrp_platform.dir/cycles.cpp.o"
+  "CMakeFiles/hbrp_platform.dir/cycles.cpp.o.d"
+  "CMakeFiles/hbrp_platform.dir/energy.cpp.o"
+  "CMakeFiles/hbrp_platform.dir/energy.cpp.o.d"
+  "CMakeFiles/hbrp_platform.dir/icyheart.cpp.o"
+  "CMakeFiles/hbrp_platform.dir/icyheart.cpp.o.d"
+  "libhbrp_platform.a"
+  "libhbrp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rp/achlioptas.cpp" "src/rp/CMakeFiles/hbrp_rp.dir/achlioptas.cpp.o" "gcc" "src/rp/CMakeFiles/hbrp_rp.dir/achlioptas.cpp.o.d"
+  "/root/repo/src/rp/packed_matrix.cpp" "src/rp/CMakeFiles/hbrp_rp.dir/packed_matrix.cpp.o" "gcc" "src/rp/CMakeFiles/hbrp_rp.dir/packed_matrix.cpp.o.d"
+  "/root/repo/src/rp/projector.cpp" "src/rp/CMakeFiles/hbrp_rp.dir/projector.cpp.o" "gcc" "src/rp/CMakeFiles/hbrp_rp.dir/projector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/math/CMakeFiles/hbrp_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/hbrp_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_rp.dir/achlioptas.cpp.o"
+  "CMakeFiles/hbrp_rp.dir/achlioptas.cpp.o.d"
+  "CMakeFiles/hbrp_rp.dir/packed_matrix.cpp.o"
+  "CMakeFiles/hbrp_rp.dir/packed_matrix.cpp.o.d"
+  "CMakeFiles/hbrp_rp.dir/projector.cpp.o"
+  "CMakeFiles/hbrp_rp.dir/projector.cpp.o.d"
+  "libhbrp_rp.a"
+  "libhbrp_rp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_rp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

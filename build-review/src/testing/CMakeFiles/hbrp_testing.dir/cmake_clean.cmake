@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbrp_testing.dir/fault_inject.cpp.o"
+  "CMakeFiles/hbrp_testing.dir/fault_inject.cpp.o.d"
+  "libhbrp_testing.a"
+  "libhbrp_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbrp_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_metrics.dir/test_core_metrics.cpp.o"
+  "CMakeFiles/test_core_metrics.dir/test_core_metrics.cpp.o.d"
+  "test_core_metrics"
+  "test_core_metrics.pdb"
+  "test_core_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

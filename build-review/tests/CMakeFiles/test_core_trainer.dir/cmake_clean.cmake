@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_trainer.dir/test_core_trainer.cpp.o"
+  "CMakeFiles/test_core_trainer.dir/test_core_trainer.cpp.o.d"
+  "test_core_trainer"
+  "test_core_trainer.pdb"
+  "test_core_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delineation.dir/test_delineation.cpp.o"
+  "CMakeFiles/test_delineation.dir/test_delineation.cpp.o.d"
+  "test_delineation"
+  "test_delineation.pdb"
+  "test_delineation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delineation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_morphology.dir/test_dsp_morphology.cpp.o"
+  "CMakeFiles/test_dsp_morphology.dir/test_dsp_morphology.cpp.o.d"
+  "test_dsp_morphology"
+  "test_dsp_morphology.pdb"
+  "test_dsp_morphology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_morphology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

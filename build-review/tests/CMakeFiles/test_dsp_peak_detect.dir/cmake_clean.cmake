@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_peak_detect.dir/test_dsp_peak_detect.cpp.o"
+  "CMakeFiles/test_dsp_peak_detect.dir/test_dsp_peak_detect.cpp.o.d"
+  "test_dsp_peak_detect"
+  "test_dsp_peak_detect.pdb"
+  "test_dsp_peak_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_peak_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_quality.dir/test_dsp_quality.cpp.o"
+  "CMakeFiles/test_dsp_quality.dir/test_dsp_quality.cpp.o.d"
+  "test_dsp_quality"
+  "test_dsp_quality.pdb"
+  "test_dsp_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

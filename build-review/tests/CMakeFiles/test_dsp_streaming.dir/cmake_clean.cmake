@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_streaming.dir/test_dsp_streaming.cpp.o"
+  "CMakeFiles/test_dsp_streaming.dir/test_dsp_streaming.cpp.o.d"
+  "test_dsp_streaming"
+  "test_dsp_streaming.pdb"
+  "test_dsp_streaming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

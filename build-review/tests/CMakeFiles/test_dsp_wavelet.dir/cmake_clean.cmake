@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_wavelet.dir/test_dsp_wavelet.cpp.o"
+  "CMakeFiles/test_dsp_wavelet.dir/test_dsp_wavelet.cpp.o.d"
+  "test_dsp_wavelet"
+  "test_dsp_wavelet.pdb"
+  "test_dsp_wavelet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

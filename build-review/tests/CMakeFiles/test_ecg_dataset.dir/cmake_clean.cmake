@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecg_dataset.dir/test_ecg_dataset.cpp.o"
+  "CMakeFiles/test_ecg_dataset.dir/test_ecg_dataset.cpp.o.d"
+  "test_ecg_dataset"
+  "test_ecg_dataset.pdb"
+  "test_ecg_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecg_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

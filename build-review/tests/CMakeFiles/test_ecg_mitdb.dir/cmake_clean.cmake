@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecg_mitdb.dir/test_ecg_mitdb.cpp.o"
+  "CMakeFiles/test_ecg_mitdb.dir/test_ecg_mitdb.cpp.o.d"
+  "test_ecg_mitdb"
+  "test_ecg_mitdb.pdb"
+  "test_ecg_mitdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecg_mitdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ecg_mitdb.
+# This may be replaced when dependencies are built.

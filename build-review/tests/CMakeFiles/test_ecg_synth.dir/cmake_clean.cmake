@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecg_synth.dir/test_ecg_synth.cpp.o"
+  "CMakeFiles/test_ecg_synth.dir/test_ecg_synth.cpp.o.d"
+  "test_ecg_synth"
+  "test_ecg_synth.pdb"
+  "test_ecg_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

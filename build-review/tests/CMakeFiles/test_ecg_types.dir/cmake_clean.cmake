@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecg_types.dir/test_ecg_types.cpp.o"
+  "CMakeFiles/test_ecg_types.dir/test_ecg_types.cpp.o.d"
+  "test_ecg_types"
+  "test_ecg_types.pdb"
+  "test_ecg_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecg_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedded.dir/test_embedded.cpp.o"
+  "CMakeFiles/test_embedded.dir/test_embedded.cpp.o.d"
+  "test_embedded"
+  "test_embedded.pdb"
+  "test_embedded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

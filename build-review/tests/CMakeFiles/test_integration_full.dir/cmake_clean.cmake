@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_full.dir/test_integration_full.cpp.o"
+  "CMakeFiles/test_integration_full.dir/test_integration_full.cpp.o.d"
+  "test_integration_full"
+  "test_integration_full.pdb"
+  "test_integration_full[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

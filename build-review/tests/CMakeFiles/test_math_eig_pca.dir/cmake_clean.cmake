@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_eig_pca.dir/test_math_eig_pca.cpp.o"
+  "CMakeFiles/test_math_eig_pca.dir/test_math_eig_pca.cpp.o.d"
+  "test_math_eig_pca"
+  "test_math_eig_pca.pdb"
+  "test_math_eig_pca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_eig_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_fixed.dir/test_math_fixed.cpp.o"
+  "CMakeFiles/test_math_fixed.dir/test_math_fixed.cpp.o.d"
+  "test_math_fixed"
+  "test_math_fixed.pdb"
+  "test_math_fixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

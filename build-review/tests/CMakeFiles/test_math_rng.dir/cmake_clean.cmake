@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_rng.dir/test_math_rng.cpp.o"
+  "CMakeFiles/test_math_rng.dir/test_math_rng.cpp.o.d"
+  "test_math_rng"
+  "test_math_rng.pdb"
+  "test_math_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_stats.dir/test_math_stats.cpp.o"
+  "CMakeFiles/test_math_stats.dir/test_math_stats.cpp.o.d"
+  "test_math_stats"
+  "test_math_stats.pdb"
+  "test_math_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

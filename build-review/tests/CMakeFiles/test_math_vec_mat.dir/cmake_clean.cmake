@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_vec_mat.dir/test_math_vec_mat.cpp.o"
+  "CMakeFiles/test_math_vec_mat.dir/test_math_vec_mat.cpp.o.d"
+  "test_math_vec_mat"
+  "test_math_vec_mat.pdb"
+  "test_math_vec_mat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_vec_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_math_vec_mat.
+# This may be replaced when dependencies are built.

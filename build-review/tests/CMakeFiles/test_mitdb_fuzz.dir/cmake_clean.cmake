@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitdb_fuzz.dir/test_mitdb_fuzz.cpp.o"
+  "CMakeFiles/test_mitdb_fuzz.dir/test_mitdb_fuzz.cpp.o.d"
+  "test_mitdb_fuzz"
+  "test_mitdb_fuzz.pdb"
+  "test_mitdb_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitdb_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfc.dir/test_nfc.cpp.o"
+  "CMakeFiles/test_nfc.dir/test_nfc.cpp.o.d"
+  "test_nfc"
+  "test_nfc.pdb"
+  "test_nfc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

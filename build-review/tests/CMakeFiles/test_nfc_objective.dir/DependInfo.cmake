@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_nfc_objective.cpp" "tests/CMakeFiles/test_nfc_objective.dir/test_nfc_objective.cpp.o" "gcc" "tests/CMakeFiles/test_nfc_objective.dir/test_nfc_objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nfc/CMakeFiles/hbrp_nfc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ecg/CMakeFiles/hbrp_ecg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/opt/CMakeFiles/hbrp_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rp/CMakeFiles/hbrp_rp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/hbrp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/hbrp_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/hbrp_executor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

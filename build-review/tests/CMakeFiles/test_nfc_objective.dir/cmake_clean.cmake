@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfc_objective.dir/test_nfc_objective.cpp.o"
+  "CMakeFiles/test_nfc_objective.dir/test_nfc_objective.cpp.o.d"
+  "test_nfc_objective"
+  "test_nfc_objective.pdb"
+  "test_nfc_objective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfc_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

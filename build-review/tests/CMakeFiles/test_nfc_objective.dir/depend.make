@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nfc_objective.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_ga.dir/test_opt_ga.cpp.o"
+  "CMakeFiles/test_opt_ga.dir/test_opt_ga.cpp.o.d"
+  "test_opt_ga"
+  "test_opt_ga.pdb"
+  "test_opt_ga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

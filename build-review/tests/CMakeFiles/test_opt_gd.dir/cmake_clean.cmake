@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_gd.dir/test_opt_gd.cpp.o"
+  "CMakeFiles/test_opt_gd.dir/test_opt_gd.cpp.o.d"
+  "test_opt_gd"
+  "test_opt_gd.pdb"
+  "test_opt_gd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_gd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_scg.dir/test_opt_scg.cpp.o"
+  "CMakeFiles/test_opt_scg.dir/test_opt_scg.cpp.o.d"
+  "test_opt_scg"
+  "test_opt_scg.pdb"
+  "test_opt_scg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_scg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[IntegrationFull.TrainPersistDeployClassify]=]  /root/repo/build-review/tests/test_integration_full [==[--gtest_filter=IntegrationFull.TrainPersistDeployClassify]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[IntegrationFull.TrainPersistDeployClassify]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_integration_full_TESTS IntegrationFull.TrainPersistDeployClassify)
