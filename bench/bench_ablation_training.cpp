@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
   report.set("init_only_arr_pct", 100.0 * cm_init.arr());
   report.set("init_scg_ndr_pct", 100.0 * cm_scg.ndr());
   report.set("init_scg_arr_pct", 100.0 * cm_scg.arr());
+  report.set("threads", args.threads);
   report.set("wall_s", timer.seconds());
   report.write(args.json_path);
   return 0;

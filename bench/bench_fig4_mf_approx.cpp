@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   report.set("triangular_max_err", tri_max_err);
   report.set("linearized_grade_at_3s", lin.eval(3 * s));
   report.set("triangular_grade_at_3s", tri.eval(3 * s));
+  report.set("threads", args.threads);
   report.set("wall_s", timer.seconds());
   report.write(args.json_path);
   return 0;

@@ -1,0 +1,257 @@
+// Fleet service throughput: sessions x threads scaling grid.
+//
+// Replays S concurrent synthetic patient streams through a
+// service::FleetEngine for every (sessions, threads) cell of a grid and
+// reports ingest throughput (samples/s), delivered beats, and per-beat
+// latency quantiles. The replay protocol — round-robin 1024-sample packets,
+// one pump per round, drain, close — is identical in every cell, so the
+// engine's determinism contract applies: for a given session count, every
+// cell must deliver bit-identical per-session result sequences regardless
+// of the thread/shard count. The bench *gates* on that (exit 1 on any
+// divergence); the speedup numbers are reported but not gated, since they
+// depend on the host's core count.
+//
+// Output: BENCH_fleet.json with the full grid plus the speedup of the
+// widest cell over its serial baseline.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/trainer.hpp"
+#include "ecg/synth.hpp"
+#include "service/fleet.hpp"
+
+namespace {
+
+using namespace hbrp;
+using service::SessionId;
+using service::SessionResult;
+
+// Everything that identifies a delivered beat. Two runs are bit-identical
+// iff their per-session signature vectors are equal.
+struct BeatSig {
+  std::uint64_t sequence;
+  std::size_t r_peak;
+  ecg::BeatClass predicted;
+  dsp::SignalQuality quality;
+  bool operator==(const BeatSig&) const = default;
+};
+
+struct CellResult {
+  std::size_t sessions = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double samples_per_s = 0.0;
+  std::uint64_t beats = 0;
+  double p50_us = 0.0;  // worst per-session p50
+  double p99_us = 0.0;  // worst per-session p99
+  std::vector<std::vector<BeatSig>> per_session;
+};
+
+embedded::EmbeddedClassifier train_quick(std::size_t threads) {
+  ecg::DatasetBuilderConfig dcfg;
+  dcfg.record_duration_s = 180.0;
+  dcfg.max_per_record_per_class = 20;
+  dcfg.seed = 301;
+  const auto ts1 = ecg::build_dataset({150, 150, 150}, dcfg);
+  dcfg.max_per_record_per_class = 100;
+  dcfg.seed = 302;
+  const auto ts2 = ecg::build_dataset({2500, 220, 280}, dcfg);
+  core::TwoStepConfig tcfg;
+  tcfg.ga.population = 8;
+  tcfg.ga.generations = 6;
+  tcfg.seed = 303;
+  tcfg.threads = threads;
+  return core::TwoStepTrainer(ts1, ts2, tcfg).run().quantize();
+}
+
+// One grid cell: replay `streams[0..sessions)` through a fresh engine.
+CellResult run_cell(const embedded::EmbeddedClassifier& classifier,
+                    const std::vector<std::vector<double>>& streams,
+                    std::size_t sessions, std::size_t threads) {
+  CellResult cell;
+  cell.sessions = sessions;
+  cell.threads = threads;
+  cell.per_session.resize(sessions);
+
+  service::FleetConfig fcfg;
+  fcfg.threads = threads;
+  fcfg.max_sessions = sessions;
+  service::FleetEngine engine(classifier, fcfg);
+
+  std::vector<SessionId> ids;
+  ids.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto id = engine.open_session([&cell, i](const SessionResult& r) {
+      cell.per_session[i].push_back(
+          {r.sequence, r.beat.r_peak, r.beat.predicted, r.beat.quality});
+    });
+    if (!id) {
+      std::fprintf(stderr, "open_session refused at %zu\n", i);
+      std::exit(1);
+    }
+    ids.push_back(*id);
+  }
+
+  std::uint64_t total_samples = 0;
+  constexpr std::size_t kPacket = 1024;
+  bench::WallTimer timer;
+  std::size_t offset = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t i = 0; i < sessions; ++i) {
+      if (offset >= streams[i].size()) continue;
+      any = true;
+      const std::size_t n = std::min(kPacket, streams[i].size() - offset);
+      std::span<const double> packet(streams[i].data() + offset, n);
+      // Block policy + per-round pump: the queue bound is never hit, so
+      // nothing is ever deferred and the replay is lossless.
+      while (true) {
+        const auto res = engine.offer(ids[i], packet);
+        total_samples += res.accepted;
+        if (res.deferred == 0) break;
+        packet = packet.last(res.deferred);
+        engine.pump();
+      }
+    }
+    offset += kPacket;
+    engine.pump();
+  }
+  engine.drain();
+
+  for (const SessionId id : ids) {
+    const auto* t = engine.session_telemetry(id);
+    cell.p50_us = std::max(cell.p50_us, t->latency.quantile_us(0.50));
+    cell.p99_us = std::max(cell.p99_us, t->latency.quantile_us(0.99));
+  }
+  for (const SessionId id : ids) engine.close_session(id);
+  cell.wall_s = timer.seconds();
+
+  cell.beats = engine.telemetry().beats_out.load();
+  cell.samples_per_s =
+      cell.wall_s > 0.0 ? static_cast<double>(total_samples) / cell.wall_s
+                        : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fleet");
+  bench::JsonReport report("fleet");
+  bench::print_header(
+      "Fleet service layer: multi-session scaling and determinism gate");
+
+  const std::vector<std::size_t> session_axis =
+      args.quick ? std::vector<std::size_t>{1, 8}
+                 : std::vector<std::size_t>{1, 16, 64};
+  const std::vector<std::size_t> thread_axis =
+      args.quick ? std::vector<std::size_t>{1, 2}
+                 : std::vector<std::size_t>{1, 2, 4, 8};
+  const double seconds = args.quick ? 10.0 : 30.0;
+  const std::size_t max_sessions = session_axis.back();
+
+  std::printf("# training classifier (GA %zux%zu, %zu threads)\n",
+              args.ga_population, args.ga_generations, args.threads);
+  const auto classifier = train_quick(args.threads);
+
+  // One stream per patient slot, shared by every cell: the same data must
+  // flow through every configuration for the identity gate to mean
+  // anything. Profiles rotate so the fleet mixes rhythms.
+  const ecg::RecordProfile profiles[] = {
+      ecg::RecordProfile::NormalSinus, ecg::RecordProfile::PvcOccasional,
+      ecg::RecordProfile::PvcBigeminy, ecg::RecordProfile::Lbbb};
+  std::vector<std::vector<double>> streams(max_sessions);
+  for (std::size_t i = 0; i < max_sessions; ++i) {
+    ecg::SynthConfig scfg;
+    scfg.profile = profiles[i % std::size(profiles)];
+    scfg.duration_s = seconds;
+    scfg.num_leads = 1;
+    scfg.seed = 9000 + i;
+    const auto rec = ecg::generate_record(scfg);
+    streams[i].assign(rec.leads[0].begin(), rec.leads[0].end());
+  }
+
+  bench::WallTimer total_timer;
+  std::vector<CellResult> cells;
+  std::printf("\n%9s %8s %10s %14s %8s %10s %10s\n", "sessions", "threads",
+              "wall (s)", "samples/s", "beats", "p50 (us)", "p99 (us)");
+  for (const std::size_t s : session_axis) {
+    for (const std::size_t t : thread_axis) {
+      cells.push_back(run_cell(classifier, streams, s, t));
+      const CellResult& c = cells.back();
+      std::printf("%9zu %8zu %10.3f %14.0f %8llu %10.0f %10.0f\n", c.sessions,
+                  c.threads, c.wall_s, c.samples_per_s,
+                  static_cast<unsigned long long>(c.beats), c.p50_us,
+                  c.p99_us);
+    }
+  }
+
+  // --- the determinism gate: every cell vs its serial baseline ----------
+  // thread_axis[0] == 1, so cells[first cell of each session count] is the
+  // serial (threads=1, one shard) reference.
+  std::size_t mismatches = 0;
+  for (std::size_t si = 0; si < session_axis.size(); ++si) {
+    const CellResult& ref = cells[si * thread_axis.size()];
+    for (std::size_t ti = 1; ti < thread_axis.size(); ++ti) {
+      const CellResult& c = cells[si * thread_axis.size() + ti];
+      for (std::size_t i = 0; i < ref.per_session.size(); ++i) {
+        if (c.per_session[i] != ref.per_session[i]) {
+          ++mismatches;
+          std::fprintf(stderr,
+                       "IDENTITY VIOLATION: sessions=%zu threads=%zu "
+                       "session %zu diverges from serial baseline "
+                       "(%zu vs %zu beats)\n",
+                       c.sessions, c.threads, i, c.per_session[i].size(),
+                       ref.per_session[i].size());
+        }
+      }
+    }
+  }
+  std::printf("\nbit-identity vs serial baseline: %s\n",
+              mismatches == 0 ? "PASS" : "FAIL");
+
+  // Speedup of the widest cell over its serial baseline (reported, not
+  // gated: it is a property of the host's core count).
+  const CellResult& wide_serial =
+      cells[(session_axis.size() - 1) * thread_axis.size()];
+  const CellResult& wide_parallel = cells.back();
+  const double speedup = wide_serial.samples_per_s > 0.0
+                             ? wide_parallel.samples_per_s /
+                                   wide_serial.samples_per_s
+                             : 0.0;
+  std::printf("speedup at %zu sessions, %zu threads vs serial: %.2fx\n",
+              wide_parallel.sessions, wide_parallel.threads, speedup);
+
+  std::vector<double> g_sessions, g_threads, g_wall, g_rate, g_beats, g_p50,
+      g_p99;
+  for (const CellResult& c : cells) {
+    g_sessions.push_back(static_cast<double>(c.sessions));
+    g_threads.push_back(static_cast<double>(c.threads));
+    g_wall.push_back(c.wall_s);
+    g_rate.push_back(c.samples_per_s);
+    g_beats.push_back(static_cast<double>(c.beats));
+    g_p50.push_back(c.p50_us);
+    g_p99.push_back(c.p99_us);
+  }
+  report.set("quick", args.quick);
+  report.set("stream_seconds", seconds);
+  report.set("grid_sessions", std::span<const double>(g_sessions));
+  report.set("grid_threads", std::span<const double>(g_threads));
+  report.set("grid_wall_s", std::span<const double>(g_wall));
+  report.set("grid_samples_per_s", std::span<const double>(g_rate));
+  report.set("grid_beats", std::span<const double>(g_beats));
+  report.set("grid_p50_us", std::span<const double>(g_p50));
+  report.set("grid_p99_us", std::span<const double>(g_p99));
+  report.set("speedup_widest_vs_serial", speedup);
+  report.set("identity_mismatches", mismatches);
+  report.set("identity_pass", mismatches == 0);
+  report.set("wall_s", total_timer.seconds());
+  report.write(args.json_path);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
                 args.test_scale);
 
   report.set("test_scale", args.test_scale);
+  report.set("threads", args.threads);
   report.set("wall_s", timer.seconds());
   report.write(args.json_path);
   return 0;

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -154,8 +155,21 @@ class WallTimer {
 /// its value in place.
 class JsonReport {
  public:
+  /// Every report opens with its provenance: which bench, which commit the
+  /// binary was configured from, and when the run started (UTC). The per-run
+  /// thread count is stamped by each bench main next to its own figures.
   explicit JsonReport(const std::string& bench_name) {
     set("bench", bench_name);
+#ifdef HBRP_GIT_COMMIT
+    set("git_commit", HBRP_GIT_COMMIT);
+#else
+    set("git_commit", "unknown");
+#endif
+    const std::time_t now = std::time(nullptr);
+    char stamp[32] = "unknown";
+    if (std::tm tm{}; gmtime_r(&now, &tm) != nullptr)
+      std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    set("started_utc", stamp);
   }
 
   void set(const std::string& key, double v) {

@@ -3,9 +3,13 @@
 #
 #   1. default (Release) build, full ctest suite — the tier-1 gate;
 #   2. ASan + UBSan build (-DENABLE_SANITIZERS=ON), full ctest suite;
-#   3. TSan build (-DENABLE_TSAN=ON), executor/engine-focused ctest subset —
-#      races in core::Executor, the parallel GA fitness fan-out and the
-#      chunked metric merges would surface here.
+#   3. TSan build (-DENABLE_TSAN=ON), executor/engine/fleet-focused ctest
+#      subset — races in core::Executor, the parallel GA fitness fan-out,
+#      the chunked metric merges and the fleet engine's producer/pump
+#      concurrency would surface here;
+#   4. fleet soak smoke: bench_fleet --quick --threads=0 — the scaling grid
+#      with its serial-vs-sharded bit-identity gate (exits non-zero on any
+#      per-session sequence divergence).
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -36,6 +40,10 @@ run_suite() {
 run_suite build
 ctest --test-dir build --output-on-failure -j
 
+# --- 1b. fleet soak smoke: scaling grid + bit-identity gate ---------------
+echo "==== fleet soak smoke (bench_fleet --quick)"
+./build/bench/bench_fleet --quick --threads=0 --json=BENCH_fleet_quick.json
+
 if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
   echo "==== sanitizer jobs skipped"
   exit 0
@@ -45,9 +53,9 @@ fi
 run_suite build-asan -DENABLE_SANITIZERS=ON
 ctest --test-dir build-asan --output-on-failure -j
 
-# --- 3. TSan: executor + engine + determinism tests -----------------------
+# --- 3. TSan: executor + engine + determinism + fleet tests ---------------
 run_suite build-tsan -DENABLE_TSAN=ON
 ctest --test-dir build-tsan --output-on-failure -j \
-  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.'
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet'
 
 echo "==== CI sweep complete"

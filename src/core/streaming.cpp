@@ -36,14 +36,15 @@ StreamingBeatMonitor::StreamingBeatMonitor(
       2);
 }
 
-void StreamingBeatMonitor::push(double x, const BeatSink& sink) {
+void StreamingBeatMonitor::push_impl(double x, const BeatSink* beats,
+                                     const PendingBeatSink* pending) {
   if (!std::isfinite(x)) {
     // Reject the value but keep the timeline, the conditioner and the SQI
     // chunking aligned: sample-hold the last accepted code. A sustained
     // non-finite burst thereby turns into a flat-line the quality
     // estimator degrades on, which is exactly the right escalation.
     ++stats_.rejected_nonfinite;
-    push(last_raw_, sink);
+    push_impl(last_raw_, beats, pending);
     return;
   }
   const auto lo = static_cast<double>(cfg_.quality.rail_low);
@@ -52,10 +53,11 @@ void StreamingBeatMonitor::push(double x, const BeatSink& sink) {
     ++stats_.clamped;
     x = std::clamp(x, lo, hi);
   }
-  push(static_cast<dsp::Sample>(std::lround(x)), sink);
+  push_impl(static_cast<dsp::Sample>(std::lround(x)), beats, pending);
 }
 
-void StreamingBeatMonitor::push(dsp::Sample x, const BeatSink& sink) {
+void StreamingBeatMonitor::push_impl(dsp::Sample x, const BeatSink* beats,
+                                     const PendingBeatSink* pending) {
   ++stats_.samples_in;
   if (x < cfg_.quality.rail_low || x > cfg_.quality.rail_high) {
     ++stats_.clamped;
@@ -66,7 +68,8 @@ void StreamingBeatMonitor::push(dsp::Sample x, const BeatSink& sink) {
 
   if (cfg_.quality_gating) {
     const bool was_bad = quality_state_ == dsp::SignalQuality::Bad;
-    if (const auto update = sqi_.push(x)) on_quality_update(*update, sink);
+    if (const auto update = sqi_.push(x))
+      on_quality_update(*update, beats, pending);
     if (was_bad || quality_state_ == dsp::SignalQuality::Bad) {
       // Suppressed: consumed while in (or entering / just leaving) the Bad
       // state. Recovery re-arms on the next accepted sample.
@@ -77,7 +80,24 @@ void StreamingBeatMonitor::push(dsp::Sample x, const BeatSink& sink) {
   }
 
   if (const auto y = conditioner_.push(x)) buffer_.push_back(*y);
-  if (buffer_.size() >= chunk_samples_) scan(/*final_pass=*/false, sink);
+  if (buffer_.size() >= chunk_samples_)
+    scan(/*final_pass=*/false, beats, pending);
+}
+
+void StreamingBeatMonitor::push(dsp::Sample x, const BeatSink& sink) {
+  push_impl(x, &sink, nullptr);
+}
+
+void StreamingBeatMonitor::push(double x, const BeatSink& sink) {
+  push_impl(x, &sink, nullptr);
+}
+
+void StreamingBeatMonitor::push(dsp::Sample x, const PendingBeatSink& sink) {
+  push_impl(x, nullptr, &sink);
+}
+
+void StreamingBeatMonitor::push(double x, const PendingBeatSink& sink) {
+  push_impl(x, nullptr, &sink);
 }
 
 std::vector<MonitorBeat> StreamingBeatMonitor::push(dsp::Sample x) {
@@ -103,7 +123,8 @@ void StreamingBeatMonitor::rearm(std::size_t at_absolute) {
 }
 
 void StreamingBeatMonitor::on_quality_update(dsp::SignalQuality next,
-                                             const BeatSink& sink) {
+                                             const BeatSink* beats,
+                                             const PendingBeatSink* pending) {
   if (next == quality_state_) return;
   const std::size_t qchunk = sqi_.chunk_samples();
   const bool demotion = next > quality_state_;
@@ -129,7 +150,7 @@ void StreamingBeatMonitor::on_quality_update(dsp::SignalQuality next,
         input_index_ > margin ? input_index_ - margin : 0;
     if (buffer_base_ + buffer_.size() > cut)
       buffer_.resize(cut > buffer_base_ ? cut - buffer_base_ : 0);
-    if (!buffer_.empty()) scan(/*final_pass=*/true, sink);
+    if (!buffer_.empty()) scan(/*final_pass=*/true, beats, pending);
     buffer_.clear();
     conditioner_ = dsp::StreamingConditioner(cfg_.filter);
     needs_rearm_ = true;
@@ -147,7 +168,8 @@ dsp::SignalQuality StreamingBeatMonitor::quality_at(
   return q;
 }
 
-void StreamingBeatMonitor::scan(bool final_pass, const BeatSink& sink) {
+void StreamingBeatMonitor::scan(bool final_pass, const BeatSink* beats,
+                                const PendingBeatSink* pending) {
   dsp::PeakDetectorConfig det_cfg = cfg_.peak;
   const std::vector<std::size_t> peaks =
       dsp::detect_r_peaks(buffer_, det_cfg);
@@ -183,12 +205,24 @@ void StreamingBeatMonitor::scan(bool final_pass, const BeatSink& sink) {
       // as pathological and escalates to full delineation downstream.
       beat.predicted = ecg::BeatClass::Unknown;
       ++stats_.suspect_beats;
-    } else {
+      if (beats != nullptr)
+        (*beats)(beat);
+      else
+        (*pending)({beat, {}, /*needs_classification=*/false});
+    } else if (beats != nullptr) {
       const dsp::Signal window = dsp::extract_window(
           buffer_, local_peak, cfg_.window_before, cfg_.window_after);
       beat.predicted = classifier_.classify_window(window);
+      (*beats)(beat);
+    } else {
+      // Deferred path: the scan guards above guarantee the full window is
+      // inside the buffer, so the span view is sample-exact with
+      // extract_window's copy on the classifying path.
+      const std::span<const dsp::Sample> window{
+          buffer_.data() + (local_peak - cfg_.window_before),
+          cfg_.window_before + cfg_.window_after};
+      (*pending)({beat, window, /*needs_classification=*/true});
     }
-    sink(beat);
     emitted_up_to_ = absolute + 1;
   }
 
@@ -213,9 +247,18 @@ void StreamingBeatMonitor::scan(bool final_pass, const BeatSink& sink) {
 }
 
 void StreamingBeatMonitor::flush(const BeatSink& sink) {
+  flush_impl(&sink, nullptr);
+}
+
+void StreamingBeatMonitor::flush(const PendingBeatSink& sink) {
+  flush_impl(nullptr, &sink);
+}
+
+void StreamingBeatMonitor::flush_impl(const BeatSink* beats,
+                                      const PendingBeatSink* pending) {
   const std::vector<dsp::Sample> tail = conditioner_.flush();
   buffer_.insert(buffer_.end(), tail.begin(), tail.end());
-  scan(/*final_pass=*/true, sink);
+  scan(/*final_pass=*/true, beats, pending);
   buffer_.clear();
   buffer_base_ = 0;
   emitted_up_to_ = 0;

@@ -28,6 +28,7 @@
 
 #include <deque>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "dsp/peak_detect.hpp"
@@ -80,6 +81,24 @@ struct MonitorConfig {
 /// Receives each finalized beat as soon as the monitor commits to it.
 using BeatSink = std::function<void(const MonitorBeat&)>;
 
+/// A finalized beat whose classification has been *deferred*: the hook the
+/// fleet service layer (src/service) uses to batch beat windows across many
+/// sessions into one core::BeatBatch and classify them centrally.
+///
+/// When `needs_classification` is true, `window` views the monitor's rolling
+/// buffer (window_before + window_after samples around the R peak) and is
+/// valid only for the duration of the sink call — copy it out. When false
+/// the monitor has already decided (Suspect signal escalates straight to
+/// Unknown, exactly as on the BeatSink path) and `window` is empty.
+struct PendingBeat {
+  MonitorBeat beat;
+  std::span<const dsp::Sample> window;
+  bool needs_classification = false;
+};
+
+/// Receives each finalized-but-unclassified beat (see PendingBeat).
+using PendingBeatSink = std::function<void(const PendingBeat&)>;
+
 class StreamingBeatMonitor {
  public:
   StreamingBeatMonitor(embedded::EmbeddedClassifier classifier,
@@ -98,6 +117,16 @@ class StreamingBeatMonitor {
   /// Finalizes everything still buffered into `sink` and resets the monitor
   /// (the cumulative stats() survive).
   void flush(const BeatSink& sink);
+
+  /// Deferred-classification variants of push/flush: beats that would have
+  /// been classified are surrendered as PendingBeat windows instead, so a
+  /// host-side aggregator can batch them across sessions. Beat order,
+  /// quality tagging and the Suspect ⇒ Unknown escalation are identical to
+  /// the BeatSink path; running the embedded classifier over each emitted
+  /// window reproduces that path bit-exactly.
+  void push(dsp::Sample x, const PendingBeatSink& sink);
+  void push(double x, const PendingBeatSink& sink);
+  void flush(const PendingBeatSink& sink);
 
   /// Vector-returning convenience wrapper over push(x, sink).
   std::vector<MonitorBeat> push(dsp::Sample x);
@@ -126,8 +155,18 @@ class StreamingBeatMonitor {
   }
 
  private:
-  void scan(bool final_pass, const BeatSink& sink);
-  void on_quality_update(dsp::SignalQuality next, const BeatSink& sink);
+  // Exactly one of `beats` / `pending` is non-null: the classifying sink and
+  // the deferred sink share one implementation of the whole scan/gating
+  // machinery so the two paths cannot drift apart.
+  void push_impl(dsp::Sample x, const BeatSink* beats,
+                 const PendingBeatSink* pending);
+  void push_impl(double x, const BeatSink* beats,
+                 const PendingBeatSink* pending);
+  void flush_impl(const BeatSink* beats, const PendingBeatSink* pending);
+  void scan(bool final_pass, const BeatSink* beats,
+            const PendingBeatSink* pending);
+  void on_quality_update(dsp::SignalQuality next, const BeatSink* beats,
+                         const PendingBeatSink* pending);
   dsp::SignalQuality quality_at(std::size_t absolute) const;
   void rearm(std::size_t at_absolute);
 

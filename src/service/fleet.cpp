@@ -1,0 +1,205 @@
+#include "service/fleet.hpp"
+
+#include <algorithm>
+
+#include "math/check.hpp"
+
+namespace hbrp::service {
+
+FleetEngine::FleetEngine(embedded::EmbeddedClassifier classifier,
+                         FleetConfig cfg)
+    : classifier_(std::move(classifier)),
+      cfg_(std::move(cfg)),
+      executor_(cfg_.threads) {
+  HBRP_REQUIRE(cfg_.max_sessions >= 1, "FleetEngine: max_sessions must be >= 1");
+  const std::size_t shards =
+      std::max<std::size_t>(1, cfg_.shards != 0 ? cfg_.shards
+                                                : executor_.threads());
+  const std::size_t window = classifier_.projector().expected_window();
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) shards_.emplace_back(window);
+}
+
+FleetEngine::~FleetEngine() {
+  const std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+  for (auto& [id, session] : sessions_) {
+    // Sinks may capture state that outlives the engine only if the caller
+    // closed the session explicitly; at destruction they must not fire.
+    session->sink_ = nullptr;
+    session->close();
+    fleet_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  sessions_.clear();
+}
+
+std::optional<SessionId> FleetEngine::open_session(ResultSink sink) {
+  return open_session(std::move(sink), cfg_.session);
+}
+
+std::optional<SessionId> FleetEngine::open_session(ResultSink sink,
+                                                   SessionConfig cfg) {
+  const std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+  if (sessions_.size() >= cfg_.max_sessions) {
+    fleet_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::make_unique<Session>(id, classifier_,
+                                                  std::move(cfg),
+                                                  std::move(sink)));
+  fleet_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool FleetEngine::close_session(SessionId id) {
+  std::unique_ptr<Session> victim;
+  {
+    const std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    victim = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // The tail flush classifies and delivers on the calling thread, outside
+  // the registry lock so producers and the pump are not stalled by it.
+  const std::uint64_t before = victim->delivered();
+  const std::size_t removed = victim->close();
+  queued_samples_.fetch_sub(removed, std::memory_order_relaxed);
+  fleet_.beats_out.fetch_add(victim->delivered() - before,
+                             std::memory_order_relaxed);
+  fleet_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+OfferOutcome FleetEngine::offer(SessionId id,
+                                std::span<const double> samples) {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto it = sessions_.find(id);
+  OfferOutcome out;
+  if (it == sessions_.end()) {
+    out.rejected = samples.size();
+    return out;
+  }
+  Session& session = *it->second;
+  if (queued_samples_.load(std::memory_order_relaxed) + samples.size() >
+      cfg_.max_queued_samples) {
+    fleet_.offers_rejected.fetch_add(1, std::memory_order_relaxed);
+    session.telemetry_.samples_offered.fetch_add(samples.size(),
+                                                 std::memory_order_relaxed);
+    session.telemetry_.samples_rejected.fetch_add(samples.size(),
+                                                  std::memory_order_relaxed);
+    out.rejected = samples.size();
+    return out;
+  }
+  std::ptrdiff_t delta = 0;
+  out = session.enqueue(samples, Session::Clock::now(), &delta);
+  if (delta >= 0)
+    queued_samples_.fetch_add(static_cast<std::uint64_t>(delta),
+                              std::memory_order_relaxed);
+  else
+    queued_samples_.fetch_sub(static_cast<std::uint64_t>(-delta),
+                              std::memory_order_relaxed);
+  return out;
+}
+
+OfferOutcome FleetEngine::offer(SessionId id,
+                                std::span<const dsp::Sample> samples) {
+  std::vector<double> as_double(samples.begin(), samples.end());
+  return offer(id, std::span<const double>(as_double));
+}
+
+std::size_t FleetEngine::pump() {
+  const std::lock_guard<std::mutex> pump_lock(pump_mutex_);
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  fleet_.pumps.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<Session*> active;
+  active.reserve(sessions_.size());
+  for (auto& [id, session] : sessions_) active.push_back(session.get());
+  if (active.empty()) return 0;
+
+  const std::size_t nshards = std::min(shards_.size(), active.size());
+  for (std::size_t s = 0; s < nshards; ++s) {
+    shards_[s].sessions.clear();
+    shards_[s].batch.clear();
+  }
+  for (std::size_t i = 0; i < active.size(); ++i)
+    shards_[i % nshards].sessions.push_back(active[i]);
+
+  // Phases 1 + 2: drain, window, and classify per shard. Each session is
+  // touched by exactly one shard and each shard writes only its own batch
+  // and scratch — the core::Executor single-writer discipline.
+  std::atomic<std::uint64_t> drained{0};
+  executor_.parallel_for(nshards, [&](std::size_t s) {
+    Shard& shard = shards_[s];
+    std::uint64_t shard_drained = 0;
+    for (Session* session : shard.sessions) {
+      shard_drained += session->begin_drain();
+      session->process_drained(shard.batch);
+    }
+    drained.fetch_add(shard_drained, std::memory_order_relaxed);
+    shard.classes.resize(shard.batch.size());
+    if (!shard.batch.empty())
+      classifier_.classify_batch(shard.batch.windows(), shard.batch.size(),
+                                 shard.classes, shard.scratch);
+  });
+  queued_samples_.fetch_sub(drained.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+
+  // Phase 3: serial in-order delivery, sessions in id order.
+  std::size_t beats = 0;
+  for (std::size_t i = 0; i < active.size(); ++i)
+    beats += active[i]->deliver(shards_[i % nshards].classes);
+
+  for (std::size_t s = 0; s < nshards; ++s) {
+    if (shards_[s].batch.empty()) continue;
+    fleet_.batches.fetch_add(1, std::memory_order_relaxed);
+    fleet_.batched_beats.fetch_add(shards_[s].batch.size(),
+                                   std::memory_order_relaxed);
+  }
+  fleet_.beats_out.fetch_add(beats, std::memory_order_relaxed);
+  return beats;
+}
+
+std::size_t FleetEngine::drain() {
+  std::size_t beats = 0;
+  std::uint64_t before = queued_samples();
+  while (before > 0) {
+    const std::size_t delivered = pump();
+    beats += delivered;
+    const std::uint64_t after = queued_samples();
+    // Defensive: a round that consumed nothing and delivered nothing means
+    // the gauge and the queues disagree — stop instead of spinning.
+    if (after >= before && delivered == 0) break;
+    before = after;
+  }
+  return beats;
+}
+
+std::size_t FleetEngine::session_count() const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  return sessions_.size();
+}
+
+const SessionTelemetry* FleetEngine::session_telemetry(SessionId id) const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second->telemetry();
+}
+
+std::string FleetEngine::telemetry_json() const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  std::string out = "{\n  \"fleet\": ";
+  out += fleet_.json(sessions_.size(), queued_samples());
+  out += ",\n  \"sessions\": [";
+  bool first = true;
+  for (const auto& [id, session] : sessions_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += session->telemetry().json(id, session->queued());
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace hbrp::service

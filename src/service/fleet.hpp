@@ -1,0 +1,144 @@
+// FleetEngine: the host-side multi-session streaming service.
+//
+// The paper's deployment story is a fleet of WBSN nodes, each running the
+// embedded classifier and shipping beats to a collector. This engine is the
+// collector's ingest path: it multiplexes N concurrent patient sessions —
+// each an independent fault-tolerant core::StreamingBeatMonitor with its own
+// SQI/degradation state — over a sharded core::Executor worker pool.
+//
+// One pump() round is a deterministic three-phase schedule:
+//   1. shard fan-out (parallel): every session is assigned to exactly one
+//      shard; the shard drains up to the session's rate cap from its ingest
+//      queue, runs the monitor in deferred-classification mode, and appends
+//      every finalized beat window to the shard's core::BeatBatch — the
+//      cross-session batch that is this layer's throughput headline;
+//   2. batch classification (parallel, same fan-out): each shard classifies
+//      its batch in one embedded::classify_batch sweep with reusable
+//      per-shard scratch — zero per-beat allocation in steady state;
+//   3. in-order delivery (serial): sessions are visited in id order and each
+//      delivers its pending beats to its result sink with a dense,
+//      strictly increasing per-session sequence number.
+//
+// Determinism: a session's stream is consumed identically regardless of the
+// shard/thread count (the rate cap and queue state are caller-driven, and
+// each beat's classification depends only on its own window), so per-session
+// result sequences are bit-identical for any threads/shards setting —
+// bench_fleet gates on exactly this.
+//
+// Admission control: open_session() refuses beyond max_sessions; offer()
+// refuses when the fleet-wide queued-sample gauge would exceed
+// max_queued_samples (a soft bound under concurrent producers); within a
+// session the bounded queue applies its BackpressurePolicy (see
+// session.hpp). Telemetry for all of it is lock-free (telemetry.hpp) and
+// snapshot-able as JSON while the engine runs.
+//
+// Threading contract: offer() is safe from any number of producer threads
+// concurrently with one pump()/drain() driver; open/close are serialized
+// against both. Result sinks run on the pump (or close) thread and must not
+// call back into the engine.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/executor.hpp"
+#include "service/session.hpp"
+#include "service/telemetry.hpp"
+
+namespace hbrp::service {
+
+struct FleetConfig {
+  /// Executor threads (0 = hardware concurrency, 1 = fully serial).
+  std::size_t threads = 1;
+  /// Session shards per pump round (0 = one per executor thread).
+  std::size_t shards = 0;
+  /// Admission: maximum concurrently open sessions.
+  std::size_t max_sessions = 64;
+  /// Admission: fleet-wide bound on queued samples across all sessions.
+  std::size_t max_queued_samples = 1u << 22;
+  /// Per-session defaults for open_session() (queue bound, backpressure
+  /// policy, rate cap, monitor geometry).
+  SessionConfig session;
+};
+
+class FleetEngine {
+ public:
+  explicit FleetEngine(embedded::EmbeddedClassifier classifier,
+                       FleetConfig cfg = {});
+  /// Closes every remaining session WITHOUT invoking result sinks (their
+  /// captures may already be dead). Close explicitly to get the tail beats.
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Admits a new session with the fleet-default SessionConfig; nullopt
+  /// when the fleet is at max_sessions.
+  std::optional<SessionId> open_session(ResultSink sink);
+  std::optional<SessionId> open_session(ResultSink sink, SessionConfig cfg);
+
+  /// Flushes the session's remaining stream through the classifier,
+  /// delivers the tail in order, and frees the slot. False if unknown.
+  bool close_session(SessionId id);
+
+  /// Enqueues raw samples for `id`, applying fleet admission control and
+  /// the session's backpressure policy. The double overload is the
+  /// untrusted front-end boundary (non-finite samples survive the queue
+  /// and are sanitized by the monitor). Safe from any thread.
+  OfferOutcome offer(SessionId id, std::span<const double> samples);
+  OfferOutcome offer(SessionId id, std::span<const dsp::Sample> samples);
+
+  /// Runs one scheduling round (see file header); returns beats delivered.
+  std::size_t pump();
+
+  /// Pumps until every ingest queue is empty; returns beats delivered.
+  /// Deferred (Block-policy) samples live on the producer side and are not
+  /// waited for.
+  std::size_t drain();
+
+  std::size_t session_count() const;
+  std::size_t queued_samples() const {
+    return queued_samples_.load(std::memory_order_relaxed);
+  }
+  const FleetTelemetry& telemetry() const { return fleet_; }
+  /// Live per-session counters; nullptr if unknown. The pointer is valid
+  /// until the session is closed.
+  const SessionTelemetry* session_telemetry(SessionId id) const;
+  /// Full snapshot: {"fleet": {...}, "sessions": [{...}, ...]}.
+  std::string telemetry_json() const;
+
+  const core::Executor& executor() const { return executor_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t window_length) : batch(window_length) {}
+    core::BeatBatch batch;
+    std::vector<ecg::BeatClass> classes;
+    embedded::ClassifyScratch scratch;
+    std::vector<Session*> sessions;  // this round's assignment
+  };
+
+  embedded::EmbeddedClassifier classifier_;
+  FleetConfig cfg_;
+  core::Executor executor_;
+  std::vector<Shard> shards_;
+
+  mutable std::shared_mutex registry_mutex_;
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;  // id order
+  SessionId next_id_ = 1;
+
+  std::mutex pump_mutex_;  // one pump round at a time
+  std::atomic<std::uint64_t> queued_samples_{0};
+  FleetTelemetry fleet_;
+};
+
+}  // namespace hbrp::service

@@ -1,0 +1,214 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+
+#include "math/check.hpp"
+
+namespace hbrp::service {
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::Block: return "block";
+    case BackpressurePolicy::DropOldest: return "drop-oldest";
+    case BackpressurePolicy::Reject: return "reject";
+  }
+  return "?";
+}
+
+Session::Session(SessionId id, const embedded::EmbeddedClassifier& classifier,
+                 SessionConfig cfg, ResultSink sink)
+    : id_(id),
+      cfg_(std::move(cfg)),
+      monitor_(classifier, cfg_.monitor),
+      sink_(std::move(sink)) {
+  HBRP_REQUIRE(cfg_.queue_capacity >= 1, "Session: queue_capacity must be >= 1");
+  HBRP_REQUIRE(cfg_.max_samples_per_pump >= 1,
+               "Session: max_samples_per_pump must be >= 1");
+}
+
+std::size_t Session::queued() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+OfferOutcome Session::enqueue(std::span<const double> samples,
+                              Clock::time_point now,
+                              std::ptrdiff_t* queue_delta) {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  const std::size_t depth_before = queue_.size();
+  OfferOutcome out;
+  const std::size_t n = samples.size();
+  telemetry_.samples_offered.fetch_add(n, std::memory_order_relaxed);
+
+  std::size_t free = cfg_.queue_capacity - queue_.size();
+  std::span<const double> accept = samples;
+  switch (cfg_.backpressure) {
+    case BackpressurePolicy::Block: {
+      const std::size_t take = std::min(n, free);
+      accept = samples.first(take);
+      out.deferred = n - take;
+      break;
+    }
+    case BackpressurePolicy::Reject: {
+      const std::size_t take = std::min(n, free);
+      accept = samples.first(take);
+      out.rejected = n - take;
+      break;
+    }
+    case BackpressurePolicy::DropOldest: {
+      if (n > free) {
+        const std::size_t evict =
+            std::min(n - free, queue_.size());
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(evict));
+        front_pos_ += evict;
+        out.evicted = evict;
+        while (!stamps_.empty() && stamps_.front().upto <= front_pos_)
+          stamps_.pop_front();
+        free = cfg_.queue_capacity - queue_.size();
+        if (n > free) {
+          // The offer alone exceeds the whole queue: the overflowing prefix
+          // of the *incoming* samples is the oldest data, so it is evicted.
+          accept = samples.last(free);
+          out.evicted += n - free;
+        }
+      }
+      break;
+    }
+  }
+
+  out.accepted = accept.size();
+  if (!accept.empty()) {
+    queue_.insert(queue_.end(), accept.begin(), accept.end());
+    ingested_ += accept.size();
+    stamps_.push_back({ingested_, now});
+  }
+
+  telemetry_.samples_accepted.fetch_add(out.accepted,
+                                        std::memory_order_relaxed);
+  telemetry_.samples_deferred.fetch_add(out.deferred,
+                                        std::memory_order_relaxed);
+  telemetry_.samples_rejected.fetch_add(out.rejected,
+                                        std::memory_order_relaxed);
+  telemetry_.samples_evicted.fetch_add(out.evicted,
+                                       std::memory_order_relaxed);
+  telemetry_.queue_high_water.note(queue_.size());
+  if (queue_delta != nullptr)
+    *queue_delta = static_cast<std::ptrdiff_t>(queue_.size()) -
+                   static_cast<std::ptrdiff_t>(depth_before);
+  return out;
+}
+
+std::size_t Session::begin_drain() {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  const std::size_t take = std::min(cfg_.max_samples_per_pump, queue_.size());
+  drain_buf_.assign(queue_.begin(),
+                    queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  drain_base_ = front_pos_;
+  front_pos_ += take;
+  drain_stamps_.clear();
+  for (const Stamp& s : stamps_) {
+    drain_stamps_.push_back(s);
+    if (s.upto >= front_pos_) break;
+  }
+  while (!stamps_.empty() && stamps_.front().upto <= front_pos_)
+    stamps_.pop_front();
+  return take;
+}
+
+void Session::process_drained(core::BeatBatch& shard_batch) {
+  std::size_t stamp_i = 0;
+  Clock::time_point current_stamp{};
+  if (!drain_stamps_.empty()) current_stamp = drain_stamps_.front().at;
+  const core::PendingBeatSink sink = [&](const core::PendingBeat& pb) {
+    Pending p;
+    p.beat = pb.beat;
+    p.needs_classification = pb.needs_classification;
+    p.enqueued_at = current_stamp;
+    if (pb.needs_classification) {
+      p.slot = static_cast<std::uint32_t>(shard_batch.size());
+      shard_batch.append(pb.window, ecg::BeatClass::Unknown);
+    }
+    pending_.push_back(p);
+  };
+  for (std::size_t i = 0; i < drain_buf_.size(); ++i) {
+    const std::uint64_t absolute = drain_base_ + i;
+    while (stamp_i < drain_stamps_.size() &&
+           drain_stamps_[stamp_i].upto <= absolute)
+      ++stamp_i;
+    if (stamp_i < drain_stamps_.size())
+      current_stamp = drain_stamps_[stamp_i].at;
+    monitor_.push(drain_buf_[i], sink);
+  }
+  telemetry_.samples_processed.fetch_add(drain_buf_.size(),
+                                         std::memory_order_relaxed);
+  drain_buf_.clear();
+}
+
+std::size_t Session::deliver(std::span<const ecg::BeatClass> shard_classes) {
+  for (Pending& p : pending_) {
+    if (p.needs_classification) p.beat.predicted = shard_classes[p.slot];
+    deliver_one(p.beat, p.enqueued_at);
+  }
+  const std::size_t n = pending_.size();
+  pending_.clear();
+  mirror_monitor_stats();
+  return n;
+}
+
+void Session::deliver_one(const core::MonitorBeat& beat,
+                          Clock::time_point enqueued_at) {
+  SessionResult result;
+  result.session = id_;
+  result.sequence = next_sequence_++;
+  result.beat = beat;
+  telemetry_.beats_out.fetch_add(1, std::memory_order_relaxed);
+  if (ecg::is_pathological(beat.predicted))
+    telemetry_.pathological_beats.fetch_add(1, std::memory_order_relaxed);
+  const double us =
+      std::chrono::duration<double, std::micro>(Clock::now() - enqueued_at)
+          .count();
+  telemetry_.latency.record_us(us);
+  if (sink_) sink_(result);
+}
+
+void Session::mirror_monitor_stats() {
+  const core::MonitorStats& stats = monitor_.stats();
+  telemetry_.suspect_beats.store(stats.suspect_beats,
+                                 std::memory_order_relaxed);
+  telemetry_.sqi_degradations.store(stats.degradations,
+                                    std::memory_order_relaxed);
+  telemetry_.sqi_recoveries.store(stats.recoveries,
+                                  std::memory_order_relaxed);
+  telemetry_.nonfinite_rejected.store(stats.rejected_nonfinite,
+                                      std::memory_order_relaxed);
+}
+
+std::size_t Session::close() {
+  std::size_t removed = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    removed = queue_.size();
+    drain_buf_.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    stamps_.clear();
+    front_pos_ += removed;
+  }
+  // The close path classifies serially through the monitor's own sink —
+  // the tail is tiny and there is no batch to share with other sessions.
+  const Clock::time_point now = Clock::now();
+  const core::BeatSink sink = [&](const core::MonitorBeat& b) {
+    deliver_one(b, now);
+  };
+  for (const double x : drain_buf_) monitor_.push(x, sink);
+  telemetry_.samples_processed.fetch_add(drain_buf_.size(),
+                                         std::memory_order_relaxed);
+  drain_buf_.clear();
+  monitor_.flush(sink);
+  mirror_monitor_stats();
+  return removed;
+}
+
+}  // namespace hbrp::service

@@ -1,0 +1,163 @@
+// One patient stream inside the fleet engine.
+//
+// A Session owns everything that is per-patient: the fault-tolerant
+// StreamingBeatMonitor (with its own SQI/degradation state), a bounded
+// MPSC ingest queue of raw samples with an explicit backpressure policy,
+// the monotonically sequenced result log, and the session's telemetry
+// counters. Producers (radio threads, replay harnesses) call
+// FleetEngine::offer() from any thread; the engine's pump() drains each
+// session on exactly one shard per round, so all monitor state is
+// single-writer and needs no lock — only the ingest queue itself is
+// mutex-guarded, and only for the few microseconds of a bulk enqueue or
+// dequeue.
+//
+// Backpressure policies when an offer does not fit the bounded queue:
+//   Block      — accept the prefix that fits; the remainder is *deferred*
+//                (returned un-consumed) so a lossless producer stalls its
+//                stream and retries after the next pump. Nothing is lost.
+//   DropOldest — evict the oldest queued samples to make room and accept
+//                everything; the eviction count is telemetered. The splice
+//                is exactly the DropSamples acquisition fault the monitor
+//                is already hardened against (testing/fault_inject).
+//   Reject     — tail-drop: accept the prefix that fits, permanently
+//                discard the overflow (counted as rejected).
+//
+// Per-beat latency is measured end to end (sample enqueued -> result
+// delivered): each offer is stamped with its arrival time and the stamp
+// rides along until the beat it finalizes is handed to the result sink.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/streaming.hpp"
+#include "service/telemetry.hpp"
+
+namespace hbrp::service {
+
+using SessionId = std::uint64_t;
+
+enum class BackpressurePolicy : std::uint8_t { Block, DropOldest, Reject };
+
+const char* to_string(BackpressurePolicy policy);
+
+struct SessionConfig {
+  core::MonitorConfig monitor;
+  /// Ingest queue bound, in samples (default ~45 s at 360 Hz).
+  std::size_t queue_capacity = 1u << 14;
+  BackpressurePolicy backpressure = BackpressurePolicy::Block;
+  /// Per-session rate cap: at most this many queued samples are serviced
+  /// per FleetEngine::pump() round, so one chatty node cannot starve the
+  /// rest of its shard.
+  std::size_t max_samples_per_pump = 1u << 13;
+};
+
+/// What happened to the `n` samples of one offer: accepted + deferred +
+/// rejected == n, and `evicted` older samples were lost making room.
+struct OfferOutcome {
+  std::size_t accepted = 0;
+  std::size_t deferred = 0;
+  std::size_t evicted = 0;
+  std::size_t rejected = 0;
+};
+
+/// One classified beat leaving the fleet engine. `sequence` is dense and
+/// strictly increasing per session — the delivery order contract.
+struct SessionResult {
+  SessionId session = 0;
+  std::uint64_t sequence = 0;
+  core::MonitorBeat beat;
+};
+
+using ResultSink = std::function<void(const SessionResult&)>;
+
+class Session {
+ public:
+  Session(SessionId id, const embedded::EmbeddedClassifier& classifier,
+          SessionConfig cfg, ResultSink sink);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  SessionId id() const { return id_; }
+  const SessionConfig& config() const { return cfg_; }
+  const SessionTelemetry& telemetry() const { return telemetry_; }
+  /// Current ingest queue depth (thread-safe).
+  std::size_t queued() const;
+  /// Results delivered so far (single-writer: pump/close thread).
+  std::uint64_t delivered() const { return next_sequence_; }
+
+ private:
+  friend class FleetEngine;
+
+  using Clock = std::chrono::steady_clock;
+
+  /// A beat finalized during this pump round, awaiting classification
+  /// and in-order delivery. `slot` indexes the owning shard's BeatBatch.
+  struct Pending {
+    core::MonitorBeat beat;
+    std::uint32_t slot = 0;
+    bool needs_classification = false;
+    Clock::time_point enqueued_at;
+  };
+
+  /// Enqueues under the queue lock, applying the backpressure policy.
+  /// `queue_delta` receives the net change in queue depth (accepted minus
+  /// samples evicted *from the queue* — DropOldest may also count incoming
+  /// samples as evicted, which never touch the queue), so the engine can
+  /// maintain the fleet-wide gauge exactly.
+  OfferOutcome enqueue(std::span<const double> samples, Clock::time_point now,
+                       std::ptrdiff_t* queue_delta);
+  /// Moves up to max_samples_per_pump queued samples (and their arrival
+  /// stamps) into the drain buffers; returns how many.
+  std::size_t begin_drain();
+  /// Feeds the drained samples through the monitor, appending windows that
+  /// need classification to `shard_batch` and recording a Pending for every
+  /// finalized beat. Called from the owning pump shard only.
+  void process_drained(core::BeatBatch& shard_batch);
+  /// Delivers this round's pending beats in order, patching predictions
+  /// from `shard_classes` (the shard batch's classify_batch output).
+  /// Serial phase; returns the number of beats delivered.
+  std::size_t deliver(std::span<const ecg::BeatClass> shard_classes);
+  /// Drains whatever is still queued through the classifying path, flushes
+  /// the monitor tail and delivers everything; returns the number of
+  /// queued samples consumed (for the fleet-wide gauge).
+  std::size_t close();
+
+  void deliver_one(const core::MonitorBeat& beat, Clock::time_point enq);
+  void mirror_monitor_stats();
+
+  const SessionId id_;
+  const SessionConfig cfg_;
+  core::StreamingBeatMonitor monitor_;
+  ResultSink sink_;
+  SessionTelemetry telemetry_;
+
+  // Ingest queue. `front_pos_` is the absolute stream index of queue_[0];
+  // stamps_ maps absolute index ranges (everything up to `upto`) to the
+  // offer arrival time, compressed to one entry per offer call.
+  mutable std::mutex queue_mutex_;
+  std::deque<double> queue_;
+  struct Stamp {
+    std::uint64_t upto = 0;
+    Clock::time_point at;
+  };
+  std::deque<Stamp> stamps_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t front_pos_ = 0;
+
+  // Drain buffers, touched only by the owning pump shard.
+  std::vector<double> drain_buf_;
+  std::vector<Stamp> drain_stamps_;
+  std::uint64_t drain_base_ = 0;
+  std::vector<Pending> pending_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace hbrp::service

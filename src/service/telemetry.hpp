@@ -1,0 +1,103 @@
+// Lock-free telemetry for the fleet service layer.
+//
+// Every counter a production collector wants from a multi-patient streaming
+// deployment, with the constraint that recording must never serialize the
+// hot path: all state is relaxed std::atomic — per-session counters are
+// written only by the pump shard that owns the session (so they are
+// uncontended in steady state) and read by snapshot_json() from any thread
+// without stopping the engine. Latencies go into a fixed power-of-two
+// bucket histogram (no allocation, no locks) from which p50/p99 are read
+// as bucket upper edges — exact enough for fleet dashboards, O(1) to
+// record, and safely concurrent.
+//
+// Snapshots are emitted as JSON (see DESIGN.md §9 for the schema) so a
+// host-side collector can scrape the engine without linking against it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hbrp::service {
+
+/// Relaxed-atomic running maximum (queue-depth high-water marks).
+class AtomicMax {
+ public:
+  void note(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Fixed-bucket latency histogram: bucket 0 holds [0, 1) us, bucket i >= 1
+/// holds [2^(i-1), 2^i) us, the last bucket saturates (~33 s). Quantiles
+/// are reported as the upper edge of the bucket containing the requested
+/// rank, so they are conservative (never under-report latency).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 26;
+
+  void record_us(double us);
+  std::uint64_t count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// Upper bucket edge (us) at quantile q in (0, 1]; 0 when empty.
+  double quantile_us(double q) const;
+  double mean_us() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// Per-session counters. Ingest-side fields are updated under the session's
+/// queue lock (offer path); processing-side fields are written only by the
+/// pump shard currently servicing the session.
+struct SessionTelemetry {
+  std::atomic<std::uint64_t> samples_offered{0};
+  std::atomic<std::uint64_t> samples_accepted{0};
+  std::atomic<std::uint64_t> samples_deferred{0};  ///< Block: retry later
+  std::atomic<std::uint64_t> samples_rejected{0};  ///< Reject/admission loss
+  std::atomic<std::uint64_t> samples_evicted{0};   ///< DropOldest loss
+  std::atomic<std::uint64_t> samples_processed{0};
+  std::atomic<std::uint64_t> beats_out{0};
+  std::atomic<std::uint64_t> pathological_beats{0};
+  std::atomic<std::uint64_t> suspect_beats{0};
+  /// Mirrored from core::MonitorStats after each pump round.
+  std::atomic<std::uint64_t> sqi_degradations{0};
+  std::atomic<std::uint64_t> sqi_recoveries{0};
+  std::atomic<std::uint64_t> nonfinite_rejected{0};
+  AtomicMax queue_high_water;
+  LatencyHistogram latency;  ///< sample-ingest to result-delivery, per beat
+
+  /// Fraction of delivered beats flagged pathological (V/L/Unknown).
+  double pathological_rate() const;
+  /// One JSON object (no trailing newline); `id` and the live queue depth
+  /// are supplied by the engine.
+  std::string json(std::uint64_t id, std::uint64_t queue_depth) const;
+};
+
+/// Fleet-level counters (admission control and pump activity).
+struct FleetTelemetry {
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> sessions_closed{0};
+  std::atomic<std::uint64_t> sessions_rejected{0};  ///< admission: max_sessions
+  std::atomic<std::uint64_t> offers_rejected{0};    ///< admission: queue bound
+  std::atomic<std::uint64_t> pumps{0};
+  std::atomic<std::uint64_t> batches{0};        ///< non-empty BeatBatch runs
+  std::atomic<std::uint64_t> batched_beats{0};  ///< windows classified in batch
+  std::atomic<std::uint64_t> beats_out{0};
+
+  std::string json(std::uint64_t sessions_open,
+                   std::uint64_t queued_samples) const;
+};
+
+}  // namespace hbrp::service

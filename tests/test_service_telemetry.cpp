@@ -1,0 +1,117 @@
+// Fleet telemetry primitives: histogram bucketing/quantiles, atomic
+// maxima, JSON snapshots, and concurrency-safety of recording.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "service/telemetry.hpp"
+
+namespace {
+
+using hbrp::service::AtomicMax;
+using hbrp::service::FleetTelemetry;
+using hbrp::service::LatencyHistogram;
+using hbrp::service::SessionTelemetry;
+
+TEST(FleetTelemetry, HistogramEmptyReportsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_us(0.5), 0.0);
+  EXPECT_EQ(h.mean_us(), 0.0);
+}
+
+TEST(FleetTelemetry, HistogramQuantilesAreConservativeBucketEdges) {
+  LatencyHistogram h;
+  for (int us = 1; us <= 1000; ++us) h.record_us(static_cast<double>(us));
+  EXPECT_EQ(h.count(), 1000u);
+  // Quantiles come back as power-of-two upper bucket edges and must never
+  // under-report the true quantile.
+  const double p50 = h.quantile_us(0.50);
+  const double p99 = h.quantile_us(0.99);
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_GE(p99, 990.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_NEAR(h.mean_us(), 500.5, 1.0);
+}
+
+TEST(FleetTelemetry, HistogramSaturatesExtremes) {
+  LatencyHistogram h;
+  h.record_us(-5.0);   // clamped into the first bucket
+  h.record_us(0.25);   // sub-microsecond
+  h.record_us(1e12);   // beyond the last bucket: saturates, no overflow
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GT(h.quantile_us(1.0), 1e6);
+}
+
+TEST(FleetTelemetry, AtomicMaxTracksRunningMaximum) {
+  AtomicMax m;
+  EXPECT_EQ(m.value(), 0u);
+  m.note(7);
+  m.note(3);
+  EXPECT_EQ(m.value(), 7u);
+  m.note(123);
+  EXPECT_EQ(m.value(), 123u);
+}
+
+TEST(FleetTelemetry, SessionJsonHasSchemaFields) {
+  SessionTelemetry t;
+  t.samples_offered.store(100);
+  t.beats_out.store(7);
+  t.pathological_beats.store(3);
+  t.latency.record_us(250.0);
+  const std::string json = t.json(42, 17);
+  for (const char* key :
+       {"\"id\": 42", "\"queue_depth\": 17", "\"samples_offered\": 100",
+        "\"beats_out\": 7", "\"pathological_rate\"", "\"queue_high_water\"",
+        "\"beat_latency_p50_us\"", "\"beat_latency_p99_us\"",
+        "\"sqi_degradations\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 1);
+}
+
+TEST(FleetTelemetry, FleetJsonHasSchemaFields) {
+  FleetTelemetry t;
+  t.sessions_opened.store(9);
+  t.pumps.store(4);
+  const std::string json = t.json(3, 1234);
+  for (const char* key :
+       {"\"sessions_open\": 3", "\"queued_samples\": 1234",
+        "\"sessions_opened\": 9", "\"pumps\": 4", "\"offers_rejected\"",
+        "\"batched_beats\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+}
+
+TEST(FleetTelemetry, ConcurrentRecordingLosesNothing) {
+  // The lock-free contract: concurrent writers from many threads, a reader
+  // snapshotting mid-flight, and an exact total at the end.
+  LatencyHistogram h;
+  SessionTelemetry t;
+  constexpr int kThreads = 4, kPerThread = 25000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record_us(static_cast<double>((w * kPerThread + i) % 4096));
+        t.beats_out.fetch_add(1, std::memory_order_relaxed);
+        t.queue_high_water.note(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  std::string snapshot;
+  for (int i = 0; i < 50; ++i) snapshot = t.json(1, 0);  // racing reader
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(t.beats_out.load(), static_cast<std::uint64_t>(kThreads *
+                                                           kPerThread));
+  EXPECT_EQ(t.queue_high_water.value(),
+            static_cast<std::uint64_t>(kPerThread - 1));
+  EXPECT_FALSE(snapshot.empty());
+}
+
+}  // namespace
