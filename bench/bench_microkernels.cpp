@@ -1,9 +1,24 @@
 // Kernel micro-benchmarks (google-benchmark): throughput of every stage of
-// the embedded chain on the host, plus the packed-vs-dense projection and
-// naive-vs-deque morphology ablations. These do not reproduce a paper
-// table; they document the computational profile of this implementation.
+// the embedded chain on the host, plus the storage-vs-execution projection
+// ablation (packed decode vs sparse index lists) and the scalar-vs-SIMD
+// fuzzification kernels. These do not reproduce a paper table; they document
+// the computational profile of this implementation and feed the CI perf gate
+// (scripts/perf_gate.py) through BENCH_microkernels.json.
+//
+// Unlike the table/figure benches this binary is driven by google-benchmark,
+// so it takes the usual --benchmark_* flags; the one extra flag is
+// --json=PATH (default BENCH_microkernels.json), which writes every
+// benchmark's per-iteration CPU time as a flat `<name>_ns_per_op` key plus the
+// derived packed-vs-sparse and scalar-vs-SIMD speedup ratios, stamped with
+// the machine provenance from bench::JsonReport.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
 #include "core/trainer.hpp"
 #include "delineation/mmd.hpp"
 #include "dsp/morphology.hpp"
@@ -12,6 +27,9 @@
 #include "dsp/wavelet.hpp"
 #include "ecg/synth.hpp"
 #include "embedded/int_classifier.hpp"
+#include "kernels/cpu.hpp"
+#include "kernels/fuzzify.hpp"
+#include "kernels/sparse_ternary.hpp"
 #include "rp/packed_matrix.hpp"
 
 namespace {
@@ -59,27 +77,189 @@ void BM_PeakDetect(benchmark::State& state) {
 }
 BENCHMARK(BM_PeakDetect)->Unit(benchmark::kMillisecond);
 
+// --- Projection: storage format (packed decode) vs execution format
+// (sparse index lists). Same matrix, same input, same int32 results; the
+// allocating packed.apply() is kept as the pre-existing baseline and the
+// apply_into forms isolate the kernel from the allocator.
+
+struct ProjectionFixture {
+  rp::TernaryMatrix dense;
+  rp::PackedTernaryMatrix packed;
+  kernels::SparseTernary sparse;
+  dsp::Signal v;
+
+  explicit ProjectionFixture(std::size_t k)
+      : dense([&] {
+          math::Rng rng(1);
+          return rp::make_achlioptas(k, 50, rng);
+        }()),
+        packed(dense),
+        sparse(kernels::SparseTernary::build(
+            dense.rows(), dense.cols(),
+            [this](std::size_t r, std::size_t c) { return dense.at(r, c); })),
+        v(50) {
+    math::Rng rng(7);
+    for (auto& x : v) x = static_cast<int>(rng.uniform_int(-1024, 1023));
+  }
+};
+
 void BM_ProjectionPacked(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  math::Rng rng(1);
-  const rp::TernaryMatrix p = rp::make_achlioptas(k, 50, rng);
-  const rp::PackedTernaryMatrix packed(p);
-  dsp::Signal v(50);
-  for (auto& x : v) x = static_cast<int>(rng.uniform_int(-1024, 1023));
-  for (auto _ : state) benchmark::DoNotOptimize(packed.apply(v));
+  const ProjectionFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(fx.packed.apply(fx.v));
 }
 BENCHMARK(BM_ProjectionPacked)->Arg(8)->Arg(16)->Arg(32);
 
+void BM_ProjectionPackedInto(benchmark::State& state) {
+  const ProjectionFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int32_t> out(fx.dense.rows());
+  for (auto _ : state) {
+    fx.packed.apply_into(fx.v, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProjectionPackedInto)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ProjectionSparseInt(benchmark::State& state) {
+  const ProjectionFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int32_t> out(fx.dense.rows());
+  for (auto _ : state) {
+    fx.sparse.apply_into(std::span<const dsp::Sample>(fx.v),
+                         std::span<std::int32_t>(out));
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProjectionSparseInt)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ProjectionSparseFloat(benchmark::State& state) {
+  const ProjectionFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> out(fx.dense.rows());
+  for (auto _ : state) {
+    fx.sparse.apply_into(std::span<const dsp::Sample>(fx.v),
+                         std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProjectionSparseFloat)->Arg(8)->Arg(16)->Arg(32);
+
 void BM_ProjectionDense(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  math::Rng rng(1);
-  const rp::TernaryMatrix p = rp::make_achlioptas(k, 50, rng);
-  dsp::Signal v(50);
-  for (auto& x : v) x = static_cast<int>(rng.uniform_int(-1024, 1023));
+  const ProjectionFixture fx(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state)
-    benchmark::DoNotOptimize(p.apply(std::span<const dsp::Sample>(v)));
+    benchmark::DoNotOptimize(
+        fx.dense.apply(std::span<const dsp::Sample>(fx.v)));
 }
 BENCHMARK(BM_ProjectionDense)->Arg(8)->Arg(16)->Arg(32);
+
+// --- Fuzzification: scalar vs AVX2 batch kernels, bound directly (not via
+// the dispatcher) so both sides are measurable on one machine. One op = one
+// batch of kFuzzifyBeats beats at k = 16 coefficients.
+
+constexpr std::size_t kFuzzifyBeats = 256;
+constexpr std::size_t kFuzzifyK = 16;
+
+struct FuzzifyFloatFixture {
+  std::vector<double> u;        // [kFuzzifyBeats][kFuzzifyK]
+  std::vector<double> centers;  // [3][kFuzzifyK]
+  std::vector<double> nhiv;     // [3][kFuzzifyK]
+  std::vector<double> out;      // [kFuzzifyBeats][3]
+
+  FuzzifyFloatFixture()
+      : u(kFuzzifyBeats * kFuzzifyK),
+        centers(3 * kFuzzifyK),
+        nhiv(3 * kFuzzifyK),
+        out(kFuzzifyBeats * 3) {
+    math::Rng rng(11);
+    for (auto& x : u) x = rng.normal(0.0, 300.0);
+    for (auto& c : centers) c = rng.normal(0.0, 300.0);
+    for (auto& h : nhiv) {
+      const double sigma = rng.uniform(20.0, 200.0);
+      h = -0.5 / (sigma * sigma);
+    }
+  }
+};
+
+void BM_FuzzifyFloatScalar(benchmark::State& state) {
+  FuzzifyFloatFixture fx;
+  for (auto _ : state) {
+    kernels::log_fuzzy_batch_scalar(fx.u.data(), kFuzzifyBeats, kFuzzifyK,
+                                    fx.centers.data(), fx.nhiv.data(),
+                                    fx.out.data());
+    benchmark::DoNotOptimize(fx.out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFuzzifyBeats));
+}
+BENCHMARK(BM_FuzzifyFloatScalar);
+
+#if HBRP_KERNELS_X86
+void BM_FuzzifyFloatSimd(benchmark::State& state) {
+  if (!kernels::cpu_supports_avx2()) {
+    state.SkipWithError("AVX2 not available on this host");
+    return;
+  }
+  FuzzifyFloatFixture fx;
+  for (auto _ : state) {
+    kernels::log_fuzzy_batch_avx2(fx.u.data(), kFuzzifyBeats, kFuzzifyK,
+                                  fx.centers.data(), fx.nhiv.data(),
+                                  fx.out.data());
+    benchmark::DoNotOptimize(fx.out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFuzzifyBeats));
+}
+BENCHMARK(BM_FuzzifyFloatSimd);
+#endif
+
+// One op = one linearized-MF sweep over a 128-value column (the tile length
+// IntClassifier::classify_batch uses).
+
+constexpr std::size_t kMfTile = 128;
+
+struct IntMfFixture {
+  std::vector<std::int32_t> x;
+  std::vector<std::uint16_t> grades;
+
+  IntMfFixture() : x(kMfTile), grades(kMfTile) {
+    math::Rng rng(13);
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.normal(0.0, 300.0));
+  }
+};
+
+void BM_IntMfScalar(benchmark::State& state) {
+  IntMfFixture fx;
+  for (auto _ : state) {
+    kernels::linearized_eval_batch_scalar(42, 100, fx.x.data(), kMfTile,
+                                          fx.grades.data());
+    benchmark::DoNotOptimize(fx.grades.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMfTile));
+}
+BENCHMARK(BM_IntMfScalar);
+
+#if HBRP_KERNELS_X86
+void BM_IntMfSimd(benchmark::State& state) {
+  if (!kernels::cpu_supports_avx2()) {
+    state.SkipWithError("AVX2 not available on this host");
+    return;
+  }
+  IntMfFixture fx;
+  for (auto _ : state) {
+    kernels::linearized_eval_batch_avx2(42, 100, fx.x.data(), kMfTile,
+                                        fx.grades.data());
+    benchmark::DoNotOptimize(fx.grades.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMfTile));
+}
+BENCHMARK(BM_IntMfSimd);
+#endif
 
 embedded::IntClassifier bench_classifier(std::size_t k,
                                          embedded::MfShape shape) {
@@ -100,6 +280,27 @@ void BM_IntClassify(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(cls.classify(u, 6554));
 }
 BENCHMARK(BM_IntClassify)->Arg(8)->Arg(16)->Arg(32);
+
+// One op = one 256-beat classify_batch call with warm scratch (the steady
+// state of the engine/fleet batched paths).
+void BM_IntClassifyBatch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto cls = bench_classifier(k, embedded::MfShape::Linearized);
+  constexpr std::size_t kBeats = 256;
+  math::Rng rng(3);
+  std::vector<std::int32_t> u(kBeats * k);
+  for (auto& x : u) x = static_cast<std::int32_t>(rng.normal(0.0, 300.0));
+  std::vector<ecg::BeatClass> out(kBeats);
+  embedded::FuzzifyScratch scratch;
+  for (auto _ : state) {
+    cls.classify_batch(u, kBeats, 6554, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBeats));
+}
+BENCHMARK(BM_IntClassifyBatch)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_MorphologyDeque(benchmark::State& state) {
   const auto& sig = conditioned_30s();
@@ -144,6 +345,100 @@ void BM_SynthRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthRecord)->Unit(benchmark::kMillisecond);
 
+/// "BM_ProjectionSparseInt/16" -> "ProjectionSparseInt_16": the stable key
+/// stem used in BENCH_microkernels.json (and matched by perf_gate.py).
+std::string json_key_stem(const std::string& name) {
+  std::string stem = name;
+  if (stem.rfind("BM_", 0) == 0) stem.erase(0, 3);
+  for (char& c : stem)
+    if (c == '/') c = '_';
+  return stem;
+}
+
+/// Prints the normal console table AND collects every per-iteration time so
+/// main() can emit the flat JSON report the perf gate consumes.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations <= 0)
+        continue;
+      // CPU time, not wall time: the perf gate compares these across runs,
+      // and on a shared/virtualized host wall time absorbs scheduler noise
+      // that CPU time does not.
+      const double ns_per_op = run.cpu_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e9;
+      results_.emplace_back(json_key_stem(run.benchmark_name()), ns_per_op);
+    }
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+  double find(const std::string& stem) const {
+    for (const auto& [k, v] : results_)
+      if (k == stem) return v;
+    return 0.0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json=PATH (ours) before handing the rest to google-benchmark,
+  // whose own parser rejects flags it does not know.
+  std::string json_path = "BENCH_microkernels.json";
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(static_cast<std::size_t>(argc));
+  if (argc > 0) bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      if (argv[i][7] == '\0') {
+        std::fprintf(stderr, "%s: empty path in '%s'\n", argv[0], argv[i]);
+        return 2;
+      }
+      json_path = argv[i] + 7;
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
+    return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  hbrp::bench::JsonReport report("microkernels");
+  for (const auto& [stem, ns] : reporter.results())
+    report.set(stem + "_ns_per_op", ns);
+
+  // Derived headline ratios. sparse_speedup_k* is the tentpole number: the
+  // same apply_into contract executed from the packed storage format vs the
+  // sparse execution format.
+  for (const int k : {8, 16, 32}) {
+    const std::string suffix = std::to_string(k);
+    const double packed = reporter.find("ProjectionPackedInto_" + suffix);
+    const double sparse = reporter.find("ProjectionSparseInt_" + suffix);
+    if (packed > 0.0 && sparse > 0.0)
+      report.set("sparse_speedup_k" + suffix, packed / sparse);
+  }
+  const double fz_scalar = reporter.find("FuzzifyFloatScalar");
+  const double fz_simd = reporter.find("FuzzifyFloatSimd");
+  if (fz_scalar > 0.0 && fz_simd > 0.0)
+    report.set("fuzzify_simd_speedup", fz_scalar / fz_simd);
+  const double mf_scalar = reporter.find("IntMfScalar");
+  const double mf_simd = reporter.find("IntMfSimd");
+  if (mf_scalar > 0.0 && mf_simd > 0.0)
+    report.set("intmf_simd_speedup", mf_scalar / mf_simd);
+
+  return report.write(json_path) ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 
 #include "core/trainer.hpp"
 #include "ecg/dataset.hpp"
+#include "kernels/cpu.hpp"
 
 namespace hbrp::bench {
 
@@ -156,8 +157,14 @@ class WallTimer {
 class JsonReport {
  public:
   /// Every report opens with its provenance: which bench, which commit the
-  /// binary was configured from, and when the run started (UTC). The per-run
-  /// thread count is stamped by each bench main next to its own figures.
+  /// binary was configured from, when the run started (UTC), and the machine
+  /// context a perf number is meaningless without — CPU model, the SIMD
+  /// level the kernel dispatcher actually selected at startup (so a report
+  /// produced under HBRP_FORCE_SCALAR=1 is self-describing), whether the
+  /// host looks virtualized, and the compiler flags the binary was built
+  /// with. scripts/perf_gate.py keys off cpu_model/virtualized to decide
+  /// whether two reports are comparable. The per-run thread count is stamped
+  /// by each bench main next to its own figures.
   explicit JsonReport(const std::string& bench_name) {
     set("bench", bench_name);
 #ifdef HBRP_GIT_COMMIT
@@ -170,6 +177,14 @@ class JsonReport {
     if (std::tm tm{}; gmtime_r(&now, &tm) != nullptr)
       std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
     set("started_utc", stamp);
+    set("cpu_model", kernels::cpu_model_name());
+    set("simd_level", kernels::to_string(kernels::active_level()));
+    set("virtualized", kernels::cpu_is_virtualized());
+#ifdef HBRP_CXX_FLAGS
+    set("cxx_flags", HBRP_CXX_FLAGS);
+#else
+    set("cxx_flags", "unknown");
+#endif
   }
 
   void set(const std::string& key, double v) {

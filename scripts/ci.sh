@@ -9,7 +9,12 @@
 #      concurrency would surface here;
 #   4. fleet soak smoke: bench_fleet --quick --threads=0 — the scaling grid
 #      with its serial-vs-sharded bit-identity gate (exits non-zero on any
-#      per-session sequence divergence).
+#      per-session sequence divergence);
+#   5. perf gate: a quick bench_microkernels pass compared against the
+#      committed BENCH_microkernels.json by scripts/perf_gate.py — fails on
+#      >15% per-op CPU-time regression (tolerance doubled on virtualized
+#      hosts, skipped outright when the CPU model is unknown or differs
+#      from the baseline's). One retry absorbs a noisy first pass.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -43,6 +48,19 @@ ctest --test-dir build --output-on-failure -j
 # --- 1b. fleet soak smoke: scaling grid + bit-identity gate ---------------
 echo "==== fleet soak smoke (bench_fleet --quick)"
 ./build/bench/bench_fleet --quick --threads=0 --json=BENCH_fleet_quick.json
+
+# --- 1c. perf gate: microkernels vs committed baseline --------------------
+echo "==== perf gate (bench_microkernels vs BENCH_microkernels.json)"
+run_perf_gate() {
+  ./build/bench/bench_microkernels --benchmark_min_time=0.05 \
+    --json=build/BENCH_microkernels_fresh.json >/dev/null
+  python3 scripts/perf_gate.py BENCH_microkernels.json \
+    build/BENCH_microkernels_fresh.json
+}
+if ! run_perf_gate; then
+  echo "==== perf gate failed; retrying once to rule out timing noise"
+  run_perf_gate
+fi
 
 if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
   echo "==== sanitizer jobs skipped"

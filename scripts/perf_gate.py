@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the committed micro-benchmark baseline.
+
+Usage: perf_gate.py BASELINE_JSON FRESH_JSON [--tolerance=0.15]
+
+Compares every ``*_ns_per_op`` key the two reports share (per-op CPU time,
+written by bench_microkernels --json=...) and fails when any fresh number is
+more than ``tolerance`` slower than the committed baseline.
+
+Comparability rules (the gate must never fail on numbers that were never
+comparable in the first place):
+  - if either report's ``cpu_model`` is missing or "unknown", or the two
+    models differ, the gate SKIPS (exit 0) with a clear message — a baseline
+    recorded on one machine says nothing about another;
+  - if either report says ``virtualized: true`` the tolerance is doubled and
+    a notice is printed — VM timing is noisy even for CPU time;
+  - keys present in only one report are listed but never fatal, so adding or
+    retiring a benchmark does not require regenerating the baseline in the
+    same commit.
+
+Exit codes: 0 pass/skip, 1 regression, 2 usage or unreadable input.
+"""
+
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    tolerance = DEFAULT_TOLERANCE
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            try:
+                tolerance = float(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"perf_gate: bad value in '{arg}'", file=sys.stderr)
+                return 2
+            if not 0.0 < tolerance < 10.0:
+                print(f"perf_gate: tolerance out of range in '{arg}'",
+                      file=sys.stderr)
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+
+    base = load_report(paths[0])
+    fresh = load_report(paths[1])
+
+    base_cpu = base.get("cpu_model", "unknown")
+    fresh_cpu = fresh.get("cpu_model", "unknown")
+    if base_cpu == "unknown" or fresh_cpu == "unknown":
+        print("perf_gate: SKIP — cpu_model unknown "
+              f"(baseline: '{base_cpu}', fresh: '{fresh_cpu}'); "
+              "numbers are not comparable on an unidentified machine")
+        return 0
+    if base_cpu != fresh_cpu:
+        print("perf_gate: SKIP — baseline was recorded on a different CPU\n"
+              f"  baseline: {base_cpu}\n  fresh:    {fresh_cpu}")
+        return 0
+
+    if base.get("virtualized") or fresh.get("virtualized"):
+        tolerance *= 2.0
+        print(f"perf_gate: virtualized host — tolerance widened to "
+              f"{tolerance:.0%}")
+
+    keys = sorted(k for k in base if k.endswith("_ns_per_op"))
+    shared = [k for k in keys if k in fresh]
+    only_base = [k for k in keys if k not in fresh]
+    only_fresh = sorted(k for k in fresh
+                        if k.endswith("_ns_per_op") and k not in base)
+    if only_base:
+        print(f"perf_gate: note — {len(only_base)} baseline key(s) missing "
+              f"from fresh run: {', '.join(only_base)}")
+    if only_fresh:
+        print(f"perf_gate: note — {len(only_fresh)} new key(s) not in "
+              f"baseline yet: {', '.join(only_fresh)}")
+    if not shared:
+        print("perf_gate: SKIP — no shared *_ns_per_op keys to compare")
+        return 0
+
+    regressions = []
+    for key in shared:
+        b, f = base[key], fresh[key]
+        if not (isinstance(b, (int, float)) and isinstance(f, (int, float))
+                and b > 0):
+            continue
+        ratio = f / b
+        marker = ""
+        if ratio > 1.0 + tolerance:
+            regressions.append((key, b, f, ratio))
+            marker = "  <-- REGRESSION"
+        print(f"  {key:<40} {b:>12.1f} -> {f:>12.1f} ns/op "
+              f"({ratio - 1.0:+7.1%}){marker}")
+
+    if regressions:
+        print(f"\nperf_gate: FAIL — {len(regressions)} benchmark(s) more "
+              f"than {tolerance:.0%} slower than {paths[0]}:")
+        for key, b, f, ratio in regressions:
+            print(f"  {key}: {b:.1f} -> {f:.1f} ns/op ({ratio - 1.0:+.1%})")
+        print("If the slowdown is intentional, regenerate the baseline with\n"
+              "  ./build/bench/bench_microkernels --json=BENCH_microkernels.json\n"
+              "and commit it with the change that explains it.")
+        return 1
+
+    print(f"perf_gate: PASS — {len(shared)} benchmark(s) within "
+          f"{tolerance:.0%} of {paths[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -210,9 +210,13 @@ void StreamingBeatMonitor::scan(bool final_pass, const BeatSink* beats,
       else
         (*pending)({beat, {}, /*needs_classification=*/false});
     } else if (beats != nullptr) {
-      const dsp::Signal window = dsp::extract_window(
-          buffer_, local_peak, cfg_.window_before, cfg_.window_after);
-      beat.predicted = classifier_.classify_window(window);
+      // The guards above guarantee the full window is inside the buffer, so
+      // classify straight off a span view through the member scratch: no
+      // window copy and no coefficient allocation per beat.
+      const std::span<const dsp::Sample> window{
+          buffer_.data() + (local_peak - cfg_.window_before),
+          cfg_.window_before + cfg_.window_after};
+      beat.predicted = classifier_.classify_window(window, classify_scratch_);
       (*beats)(beat);
     } else {
       // Deferred path: the scan guards above guarantee the full window is

@@ -171,6 +171,8 @@ class StreamingBeatMonitor {
   void rearm(std::size_t at_absolute);
 
   embedded::EmbeddedClassifier classifier_;
+  // Reused across beats on the classifying path (no per-beat allocation).
+  embedded::ClassifyScratch classify_scratch_;
   MonitorConfig cfg_;
   dsp::StreamingConditioner conditioner_;
   dsp::SignalQualityEstimator sqi_;

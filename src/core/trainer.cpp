@@ -63,17 +63,26 @@ ProjectedDataset project_dataset(const BeatBatch& batch,
 ConfusionMatrix evaluate(const nfc::NeuroFuzzyClassifier& nfc,
                          const ProjectedDataset& data, double alpha,
                          const Executor* executor) {
+  const std::size_t k = data.u.cols();
   const ChunkPlan plan(data.u.rows(), executor);
   if (plan.chunks == 1) {
+    std::vector<ecg::BeatClass> decisions(data.u.rows());
+    nfc.classify_batch(data.u.flat(), data.u.rows(), alpha, decisions);
     ConfusionMatrix cm;
     for (std::size_t i = 0; i < data.u.rows(); ++i)
-      cm.add(data.labels[i], nfc.classify(data.u.row(i), alpha));
+      cm.add(data.labels[i], decisions[i]);
     return cm;
   }
   std::vector<ConfusionMatrix> parts(plan.chunks);
   executor->parallel_for(plan.chunks, [&](std::size_t c) {
-    for (std::size_t i = plan.begin(c); i < plan.end(c); ++i)
-      parts[c].add(data.labels[i], nfc.classify(data.u.row(i), alpha));
+    const std::size_t begin = plan.begin(c);
+    const std::size_t count = plan.end(c) - begin;
+    if (count == 0) return;
+    std::vector<ecg::BeatClass> decisions(count);
+    nfc.classify_batch(data.u.flat().subspan(begin * k, count * k), count,
+                       alpha, decisions);
+    for (std::size_t i = 0; i < count; ++i)
+      parts[c].add(data.labels[begin + i], decisions[i]);
   });
   ConfusionMatrix cm;
   for (const ConfusionMatrix& part : parts) cm.merge(part);

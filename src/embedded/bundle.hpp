@@ -23,6 +23,7 @@ namespace hbrp::embedded {
 struct ClassifyScratch {
   rp::ProjectionScratch projection;
   std::vector<std::int32_t> u;
+  FuzzifyScratch fuzzify;
 };
 
 class EmbeddedClassifier {
@@ -31,8 +32,13 @@ class EmbeddedClassifier {
                      std::uint32_t alpha_q16);
 
   /// Classifies one beat window at the acquisition rate (e.g. 200 samples
-  /// at 360 Hz): downsample -> packed projection -> integer NFC.
+  /// at 360 Hz): downsample -> sparse-index projection -> integer NFC.
   ecg::BeatClass classify_window(const dsp::Signal& window) const;
+
+  /// Allocation-free form for streaming callers: the projected-coefficient
+  /// buffer lives in `scratch`. Bit-identical to classify_window above.
+  ecg::BeatClass classify_window(std::span<const dsp::Sample> window,
+                                 ClassifyScratch& scratch) const;
 
   /// Batch form of classify_window over `count` windows concatenated in
   /// `windows` (each projector().expected_window() samples). Equivalent to

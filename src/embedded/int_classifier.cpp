@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/fuzzify.hpp"
 #include "math/check.hpp"
 #include "math/fixed.hpp"
 
@@ -101,13 +102,76 @@ ecg::BeatClass IntClassifier::classify(std::span<const std::int32_t> u,
 
 void IntClassifier::classify_batch(std::span<const std::int32_t> u,
                                    std::size_t count, std::uint32_t alpha_q16,
-                                   std::span<ecg::BeatClass> out) const {
+                                   std::span<ecg::BeatClass> out,
+                                   FuzzifyScratch& scratch) const {
   HBRP_REQUIRE(u.size() == count * coefficients_,
                "IntClassifier::classify_batch(): input size mismatch");
   HBRP_REQUIRE(out.size() >= count,
                "IntClassifier::classify_batch(): output too small");
-  for (std::size_t i = 0; i < count; ++i)
-    out[i] = classify(u.subspan(i * coefficients_, coefficients_), alpha_q16);
+  const std::size_t k = coefficients_;
+
+  // Tiny batches: the transpose + kernel launch overhead isn't paid back.
+  if (count < 8) {
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = classify(u.subspan(i * k, k), alpha_q16);
+    return;
+  }
+
+  constexpr std::size_t kTile = 128;
+  scratch.transposed.resize(k * kTile);
+  scratch.grades.resize(k * ecg::kNumClasses * kTile);
+
+  for (std::size_t done = 0; done < count; done += kTile) {
+    const std::size_t n = std::min(kTile, count - done);
+
+    // Transpose the tile to SoA so each MF sweeps a contiguous column.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t* row = u.data() + (done + i) * k;
+      for (std::size_t j = 0; j < k; ++j)
+        scratch.transposed[j * kTile + i] = row[j];
+    }
+
+    // Membership layer through the batch kernels: one kernel call per
+    // (coefficient, class) MF over the whole tile.
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::int32_t* col = scratch.transposed.data() + j * kTile;
+      for (std::size_t l = 0; l < ecg::kNumClasses; ++l) {
+        const std::size_t idx = j * ecg::kNumClasses + l;
+        std::uint16_t* g =
+            scratch.grades.data() + (j * ecg::kNumClasses + l) * kTile;
+        if (shape_ == MfShape::Linearized)
+          kernels::linearized_eval_batch(linear_[idx].center, linear_[idx].s,
+                                         col, n, g);
+        else
+          kernels::triangular_eval_batch(triangular_[idx].center,
+                                         triangular_[idx].half_base, col, n, g);
+      }
+    }
+
+    // Fuzzification + decision per beat: the exact renormalization chain of
+    // fuzzify() over the precomputed grades — same arithmetic, same order,
+    // so decisions are bit-identical to classify() per row.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::array<std::uint32_t, ecg::kNumClasses> acc{};
+      for (std::size_t l = 0; l < ecg::kNumClasses; ++l)
+        acc[l] = scratch.grades[l * kTile + i];
+      for (std::size_t j = 1; j < k; ++j) {
+        const std::uint32_t top = *std::max_element(acc.begin(), acc.end());
+        const int shift = math::headroom32(top);
+        for (std::uint32_t& a : acc) a = (a << shift) >> 16;
+        for (std::size_t l = 0; l < ecg::kNumClasses; ++l)
+          acc[l] *= scratch.grades[(j * ecg::kNumClasses + l) * kTile + i];
+      }
+      out[done + i] = defuzzify(acc, alpha_q16);
+    }
+  }
+}
+
+void IntClassifier::classify_batch(std::span<const std::int32_t> u,
+                                   std::size_t count, std::uint32_t alpha_q16,
+                                   std::span<ecg::BeatClass> out) const {
+  FuzzifyScratch scratch;
+  classify_batch(u, count, alpha_q16, out, scratch);
 }
 
 const LinearizedMF& IntClassifier::linear_mf(std::size_t k,

@@ -27,6 +27,15 @@ namespace hbrp::embedded {
 
 enum class MfShape : std::uint8_t { Linearized, Triangular };
 
+/// Reusable workspace for the batched fuzzification path: a transposed
+/// coefficient tile (SoA, so each MF sweeps a contiguous run) and the grade
+/// tile the MF kernels fill. Sized lazily on first use; one per thread of
+/// execution, zero steady-state heap allocation.
+struct FuzzifyScratch {
+  std::vector<std::int32_t> transposed;   // [k][tile] coefficient columns
+  std::vector<std::uint16_t> grades;      // [k][class][tile] MF grades
+};
+
 class IntClassifier {
  public:
   /// Quantizes a trained float NFC. Coefficient inputs are the integer
@@ -59,8 +68,15 @@ class IntClassifier {
 
   /// Batch integer classification: `u` holds `count` beats of
   /// coefficients() projected values each, row-major; one decision per
-  /// beat is written to `out`. Equivalent to classify() per row and
-  /// allocation-free (accumulators live in registers / stack arrays).
+  /// beat is written to `out`. Bit-identical to classify() per row: the
+  /// batched path evaluates the MF grades through the (dispatching) batch
+  /// kernels over transposed tiles, then runs the exact renormalization
+  /// chain per beat. Allocation-free given a warm `scratch`.
+  void classify_batch(std::span<const std::int32_t> u, std::size_t count,
+                      std::uint32_t alpha_q16, std::span<ecg::BeatClass> out,
+                      FuzzifyScratch& scratch) const;
+
+  /// Convenience overload with a throwaway scratch (one allocation per call).
   void classify_batch(std::span<const std::int32_t> u, std::size_t count,
                       std::uint32_t alpha_q16,
                       std::span<ecg::BeatClass> out) const;

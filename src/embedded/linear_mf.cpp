@@ -7,31 +7,10 @@
 
 namespace hbrp::embedded {
 
-namespace {
-
-// |x - c| without signed overflow (the difference of two int32 can exceed
-// int32 range).
-std::uint32_t abs_distance(std::int32_t x, std::int32_t c) {
-  const std::int64_t d = static_cast<std::int64_t>(x) - c;
-  return static_cast<std::uint32_t>(d >= 0 ? d : -d);
-}
-
-}  // namespace
-
 std::uint16_t LinearizedMF::eval(std::int32_t x) const noexcept {
-  const std::uint32_t dist = abs_distance(x, center);
-  if (dist >= 4 * static_cast<std::uint64_t>(s)) return 0;
-  if (dist >= 2 * s) return 1;
-  if (dist >= s) {
-    // Shallow segment: kGradeAtS at S down to 1 at 2S.
-    const std::uint64_t drop =
-        static_cast<std::uint64_t>(dist - s) * (kGradeAtS - 1);
-    return static_cast<std::uint16_t>(kGradeAtS - drop / s);
-  }
-  // Steep segment: 65535 at the centre down to kGradeAtS at S.
-  const std::uint64_t drop =
-      static_cast<std::uint64_t>(dist) * (65535 - kGradeAtS);
-  return static_cast<std::uint16_t>(65535 - drop / s);
+  // Canonical scalar form lives in the kernel layer, shared with the batch
+  // (and AVX2) MF kernels so all paths stay bit-identical.
+  return kernels::linearized_grade(center, s, x);
 }
 
 LinearizedMF LinearizedMF::from_gaussian(double center, double sigma) {
@@ -44,10 +23,7 @@ LinearizedMF LinearizedMF::from_gaussian(double center, double sigma) {
 }
 
 std::uint16_t TriangularMF::eval(std::int32_t x) const noexcept {
-  const std::uint32_t dist = abs_distance(x, center);
-  if (dist >= half_base) return 0;
-  const std::uint64_t drop = static_cast<std::uint64_t>(dist) * 65535;
-  return static_cast<std::uint16_t>(65535 - drop / half_base);
+  return kernels::triangular_grade(center, half_base, x);
 }
 
 TriangularMF TriangularMF::from_gaussian(double center, double sigma) {

@@ -21,12 +21,14 @@
 
 #include <cstdint>
 
+#include "kernels/fuzzify.hpp"
 #include "math/fixed.hpp"
 
 namespace hbrp::embedded {
 
 /// Quantized Gaussian grade at one S (= 2.35 sigma) from the centre.
-inline constexpr std::uint16_t kGradeAtS = 4147;
+/// Canonical home is the kernel layer (shared with the batch MF kernels).
+inline constexpr std::uint16_t kGradeAtS = kernels::kLinGradeAtS;
 
 /// Four-segment linearized membership function. All arithmetic is integer;
 /// eval() is the kernel executed per coefficient per class on the WBSN.

@@ -1,0 +1,69 @@
+#include "kernels/cpu.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace hbrp::kernels {
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+bool cpu_supports_avx2() {
+#if HBRP_KERNELS_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel resolve_level(const char* env, bool has_avx2) {
+  if (env != nullptr &&
+      (std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+       std::strcmp(env, "yes") == 0 || std::strcmp(env, "on") == 0))
+    return SimdLevel::Scalar;
+  return has_avx2 ? SimdLevel::Avx2 : SimdLevel::Scalar;
+}
+
+SimdLevel active_level() {
+  static const SimdLevel level =
+      resolve_level(std::getenv("HBRP_FORCE_SCALAR"), cpu_supports_avx2());
+  return level;
+}
+
+namespace {
+
+// First "<key> : <value>" line of /proc/cpuinfo matching `key`.
+std::string cpuinfo_field(const char* key) {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  const std::size_t key_len = std::strlen(key);
+  while (std::getline(in, line)) {
+    if (line.compare(0, key_len, key) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string cpu_model_name() {
+  std::string model = cpuinfo_field("model name");
+  return model.empty() ? "unknown" : model;
+}
+
+bool cpu_is_virtualized() {
+  const std::string flags = cpuinfo_field("flags");
+  return flags.find("hypervisor") != std::string::npos;
+}
+
+}  // namespace hbrp::kernels

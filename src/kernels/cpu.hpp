@@ -1,0 +1,47 @@
+// Runtime CPU dispatch for the kernel layer.
+//
+// The kernel layer ships two implementations of each hot primitive: a
+// portable scalar form and an AVX2 form. Which one runs is decided once per
+// process from the host CPU's capabilities, overridable for debugging with
+// HBRP_FORCE_SCALAR=1 (see README). The AVX2 kernels are written to be
+// bit-identical to the scalar ones — same IEEE operation sequence per
+// element, no FMA contraction — so the dispatch decision can never change
+// results, only throughput.
+#pragma once
+
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HBRP_KERNELS_X86 1
+#else
+#define HBRP_KERNELS_X86 0
+#endif
+
+namespace hbrp::kernels {
+
+enum class SimdLevel : unsigned char { Scalar, Avx2 };
+
+const char* to_string(SimdLevel level);
+
+/// Raw capability probe (no env override, no caching).
+bool cpu_supports_avx2();
+
+/// Pure resolution rule, exposed for unit tests: `env` is the value of
+/// HBRP_FORCE_SCALAR (nullptr when unset). "1", "true", "yes", "on" force
+/// the scalar path; anything else defers to the capability probe.
+SimdLevel resolve_level(const char* env, bool has_avx2);
+
+/// The level every dispatching kernel uses. Resolved once on first call
+/// (capability probe + HBRP_FORCE_SCALAR) and then cached.
+SimdLevel active_level();
+
+/// Host CPU model name from /proc/cpuinfo ("unknown" when unavailable).
+/// Stamped into BENCH JSON reports so cross-machine numbers are
+/// interpretable, and used by the CI perf gate's skip rule.
+std::string cpu_model_name();
+
+/// True when the host advertises the `hypervisor` CPUID bit (VM guest).
+/// Virtualized timing is noisy; the perf gate widens its tolerance on it.
+bool cpu_is_virtualized();
+
+}  // namespace hbrp::kernels

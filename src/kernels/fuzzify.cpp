@@ -1,0 +1,61 @@
+#include "kernels/fuzzify.hpp"
+
+namespace hbrp::kernels {
+
+void log_fuzzy_batch_scalar(const double* u, std::size_t count, std::size_t k,
+                            const double* centers, const double* nhiv,
+                            double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* row = u + i * k;
+    double* o = out + i * kFuzzyClasses;
+    for (std::size_t l = 0; l < kFuzzyClasses; ++l) {
+      const double* c = centers + l * k;
+      const double* h = nhiv + l * k;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double d = row[j] - c[j];
+        acc += (d * d) * h[j];
+      }
+      o[l] = acc;
+    }
+  }
+}
+
+void linearized_eval_batch_scalar(std::int32_t center, std::uint32_t s,
+                                  const std::int32_t* x, std::size_t n,
+                                  std::uint16_t* grades) {
+  for (std::size_t i = 0; i < n; ++i)
+    grades[i] = linearized_grade(center, s, x[i]);
+}
+
+void triangular_eval_batch(std::int32_t center, std::uint32_t half_base,
+                           const std::int32_t* x, std::size_t n,
+                           std::uint16_t* grades) {
+  for (std::size_t i = 0; i < n; ++i)
+    grades[i] = triangular_grade(center, half_base, x[i]);
+}
+
+void log_fuzzy_batch(const double* u, std::size_t count, std::size_t k,
+                     const double* centers, const double* nhiv, double* out) {
+#if HBRP_KERNELS_X86
+  if (active_level() == SimdLevel::Avx2) {
+    log_fuzzy_batch_avx2(u, count, k, centers, nhiv, out);
+    return;
+  }
+#endif
+  log_fuzzy_batch_scalar(u, count, k, centers, nhiv, out);
+}
+
+void linearized_eval_batch(std::int32_t center, std::uint32_t s,
+                           const std::int32_t* x, std::size_t n,
+                           std::uint16_t* grades) {
+#if HBRP_KERNELS_X86
+  if (active_level() == SimdLevel::Avx2) {
+    linearized_eval_batch_avx2(center, s, x, n, grades);
+    return;
+  }
+#endif
+  linearized_eval_batch_scalar(center, s, x, n, grades);
+}
+
+}  // namespace hbrp::kernels

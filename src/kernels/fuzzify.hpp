@@ -1,0 +1,112 @@
+// Batch fuzzification kernels: float (log-domain Gaussian) and integer
+// (linearized / triangular MF) membership evaluation over many beats.
+//
+// Layout contract. The float kernel is SoA: MF parameters are passed as two
+// arrays of kFuzzyClasses * k doubles laid out [class][coefficient] —
+// `centers` holds the Gaussian centres and `nhiv` the precomputed
+// -1 / (2 sigma^2) factors, so the per-element work is one subtract, one
+// multiply-square and one multiply-accumulate, with no division and no exp
+// (exp happens once per class per beat, after the sum, in the caller).
+//
+// Dispatch. The public entry points select between a portable scalar form
+// and an AVX2 form via kernels::active_level() (see cpu.hpp). Both forms of
+// each kernel execute the *same* IEEE operation sequence per element — the
+// AVX2 forms vectorize across beats, keeping per-beat accumulation order
+// sequential in k, and are compiled without FMA contraction — so scalar and
+// AVX2 results are bit-identical and HBRP_FORCE_SCALAR=1 can never change a
+// classification. tests/test_kernels.cpp gates this.
+//
+// The integer kernels mirror embedded::LinearizedMF / TriangularMF::eval
+// exactly (those structs delegate to the scalar grades below); the AVX2
+// linearized form replaces the two per-element 64-bit divisions with an
+// exact reciprocal-multiply-and-fixup in double precision, which yields the
+// same floor quotient for every reachable operand (see fuzzify_avx2.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "kernels/cpu.hpp"
+
+namespace hbrp::kernels {
+
+/// Class count the fuzzify kernels are specialized for ({N, V, L}).
+inline constexpr std::size_t kFuzzyClasses = 3;
+
+/// Quantized Gaussian grade at S = 2.35 sigma from the centre:
+/// round(exp(-2.35^2 / 2) * 65535). Canonical home of the constant shared
+/// by the embedded MFs and the batch kernels.
+inline constexpr std::uint16_t kLinGradeAtS = 4147;
+
+/// |x - c| without signed overflow (int32 differences can exceed int32).
+inline std::uint32_t abs_distance(std::int32_t x, std::int32_t c) noexcept {
+  const std::int64_t d = static_cast<std::int64_t>(x) - c;
+  return static_cast<std::uint32_t>(d >= 0 ? d : -d);
+}
+
+/// Four-segment linearized MF grade in [0, 65535] — the canonical scalar
+/// form; embedded::LinearizedMF::eval delegates here.
+inline std::uint16_t linearized_grade(std::int32_t center, std::uint32_t s,
+                                      std::int32_t x) noexcept {
+  const std::uint32_t dist = abs_distance(x, center);
+  if (dist >= 4 * static_cast<std::uint64_t>(s)) return 0;
+  if (dist >= 2 * static_cast<std::uint64_t>(s)) return 1;
+  if (dist >= s) {
+    // Shallow segment: kLinGradeAtS at S down to 1 at 2S.
+    const std::uint64_t drop =
+        static_cast<std::uint64_t>(dist - s) * (kLinGradeAtS - 1);
+    return static_cast<std::uint16_t>(kLinGradeAtS - drop / s);
+  }
+  // Steep segment: 65535 at the centre down to kLinGradeAtS at S.
+  const std::uint64_t drop =
+      static_cast<std::uint64_t>(dist) * (65535 - kLinGradeAtS);
+  return static_cast<std::uint16_t>(65535 - drop / s);
+}
+
+/// Triangular MF grade in [0, 65535] — canonical scalar form;
+/// embedded::TriangularMF::eval delegates here.
+inline std::uint16_t triangular_grade(std::int32_t center,
+                                      std::uint32_t half_base,
+                                      std::int32_t x) noexcept {
+  const std::uint32_t dist = abs_distance(x, center);
+  if (dist >= half_base) return 0;
+  const std::uint64_t drop = static_cast<std::uint64_t>(dist) * 65535;
+  return static_cast<std::uint16_t>(65535 - drop / half_base);
+}
+
+/// Log-domain fuzzy values for `count` beats at once.
+/// `u` is row-major [count][k]; `centers` and `nhiv` are [kFuzzyClasses][k]
+/// (nhiv[l][j] = -1 / (2 sigma_{l,j}^2)); `out` is row-major
+/// [count][kFuzzyClasses], out[i][l] = sum_j (u[i][j] - c[l][j])^2 * nhiv[l][j]
+/// accumulated in j order. Dispatches scalar / AVX2.
+void log_fuzzy_batch(const double* u, std::size_t count, std::size_t k,
+                     const double* centers, const double* nhiv, double* out);
+void log_fuzzy_batch_scalar(const double* u, std::size_t count, std::size_t k,
+                            const double* centers, const double* nhiv,
+                            double* out);
+
+/// grades[i] = linearized_grade(center, s, x[i]) for i < n. Dispatches.
+void linearized_eval_batch(std::int32_t center, std::uint32_t s,
+                           const std::int32_t* x, std::size_t n,
+                           std::uint16_t* grades);
+void linearized_eval_batch_scalar(std::int32_t center, std::uint32_t s,
+                                  const std::int32_t* x, std::size_t n,
+                                  std::uint16_t* grades);
+
+/// grades[i] = triangular_grade(center, half_base, x[i]) for i < n.
+/// Scalar only: the triangular shape is the paper's Fig. 5 ablation
+/// baseline, not the deployed hot path.
+void triangular_eval_batch(std::int32_t center, std::uint32_t half_base,
+                           const std::int32_t* x, std::size_t n,
+                           std::uint16_t* grades);
+
+#if HBRP_KERNELS_X86
+void log_fuzzy_batch_avx2(const double* u, std::size_t count, std::size_t k,
+                          const double* centers, const double* nhiv,
+                          double* out);
+void linearized_eval_batch_avx2(std::int32_t center, std::uint32_t s,
+                                const std::int32_t* x, std::size_t n,
+                                std::uint16_t* grades);
+#endif
+
+}  // namespace hbrp::kernels

@@ -1,0 +1,125 @@
+// AVX2 forms of the fuzzify kernels. This translation unit is the only one
+// compiled with -mavx2 (and deliberately NOT -mfma: FMA contraction would
+// fuse the (d*d)*nhiv multiply-add chains and change float results vs. the
+// scalar TU). Everything here vectorizes across *beats*; per-beat operation
+// order is identical to the scalar kernels, so results are bit-identical
+// and dispatch can never change a classification.
+//
+// The linearized integer MF form replaces the two 64-bit integer divisions
+// per element with an exact floor division in double precision:
+//   q0 = trunc(num * (1/s));  r = num - q0 * s;
+//   q  = q0 - (r < 0) + (r >= s)
+// Every operand is an integer exactly representable in double (num <= 2^48,
+// q0 * s within one s of num), and the relative error of the
+// reciprocal-multiply is < 2^-51, so |q0 - floor(num/s)| <= 1 and the
+// one-step two-sided fixup recovers the exact quotient. Lanes in the flat
+// segments (grade 0 / grade 1) run the same arithmetic on out-of-range
+// numerators; their (possibly huge) quotients are blended away to the flat
+// grades *before* the double -> int32 conversion, which would otherwise
+// overflow.
+#include "kernels/fuzzify.hpp"
+
+#if HBRP_KERNELS_X86
+
+#include <immintrin.h>
+
+namespace hbrp::kernels {
+
+void log_fuzzy_batch_avx2(const double* u, std::size_t count, std::size_t k,
+                          const double* centers, const double* nhiv,
+                          double* out) {
+  static_assert(kFuzzyClasses == 3);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double* r0 = u + (i + 0) * k;
+    const double* r1 = u + (i + 1) * k;
+    const double* r2 = u + (i + 2) * k;
+    const double* r3 = u + (i + 3) * k;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    for (std::size_t j = 0; j < k; ++j) {
+      const __m256d x = _mm256_set_pd(r3[j], r2[j], r1[j], r0[j]);
+      const __m256d d0 = _mm256_sub_pd(x, _mm256_set1_pd(centers[j]));
+      acc0 = _mm256_add_pd(
+          acc0, _mm256_mul_pd(_mm256_mul_pd(d0, d0), _mm256_set1_pd(nhiv[j])));
+      const __m256d d1 = _mm256_sub_pd(x, _mm256_set1_pd(centers[k + j]));
+      acc1 = _mm256_add_pd(
+          acc1,
+          _mm256_mul_pd(_mm256_mul_pd(d1, d1), _mm256_set1_pd(nhiv[k + j])));
+      const __m256d d2 = _mm256_sub_pd(x, _mm256_set1_pd(centers[2 * k + j]));
+      acc2 = _mm256_add_pd(
+          acc2, _mm256_mul_pd(_mm256_mul_pd(d2, d2),
+                              _mm256_set1_pd(nhiv[2 * k + j])));
+    }
+    alignas(32) double lane[3][4];
+    _mm256_store_pd(lane[0], acc0);
+    _mm256_store_pd(lane[1], acc1);
+    _mm256_store_pd(lane[2], acc2);
+    for (std::size_t b = 0; b < 4; ++b) {
+      double* o = out + (i + b) * kFuzzyClasses;
+      o[0] = lane[0][b];
+      o[1] = lane[1][b];
+      o[2] = lane[2][b];
+    }
+  }
+  if (i < count)
+    log_fuzzy_batch_scalar(u + i * k, count - i, k, centers, nhiv,
+                           out + i * kFuzzyClasses);
+}
+
+void linearized_eval_batch_avx2(std::int32_t center, std::uint32_t s,
+                                const std::int32_t* x, std::size_t n,
+                                std::uint16_t* grades) {
+  const double sd = static_cast<double>(s);
+  const __m256d vc = _mm256_set1_pd(static_cast<double>(center));
+  const __m256d vs = _mm256_set1_pd(sd);
+  const __m256d v2s = _mm256_set1_pd(2.0 * sd);
+  const __m256d v4s = _mm256_set1_pd(4.0 * sd);
+  const __m256d vrecip = _mm256_set1_pd(1.0 / sd);
+  const __m256d steep_mul = _mm256_set1_pd(65535.0 - kLinGradeAtS);
+  const __m256d shallow_mul = _mm256_set1_pd(kLinGradeAtS - 1.0);
+  const __m256d steep_base = _mm256_set1_pd(65535.0);
+  const __m256d shallow_base =
+      _mm256_set1_pd(static_cast<double>(kLinGradeAtS));
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i xi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m256d xd = _mm256_cvtepi32_pd(xi);
+    const __m256d dist = _mm256_andnot_pd(sign_mask, _mm256_sub_pd(xd, vc));
+
+    const __m256d m_flat0 = _mm256_cmp_pd(dist, v4s, _CMP_GE_OQ);
+    const __m256d m_flat1 = _mm256_cmp_pd(dist, v2s, _CMP_GE_OQ);
+    const __m256d m_shallow = _mm256_cmp_pd(dist, vs, _CMP_GE_OQ);
+
+    const __m256d num_steep = _mm256_mul_pd(dist, steep_mul);
+    const __m256d num_shallow =
+        _mm256_mul_pd(_mm256_sub_pd(dist, vs), shallow_mul);
+    const __m256d num = _mm256_blendv_pd(num_steep, num_shallow, m_shallow);
+    const __m256d base = _mm256_blendv_pd(steep_base, shallow_base, m_shallow);
+
+    __m256d q = _mm256_round_pd(_mm256_mul_pd(num, vrecip),
+                                _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __m256d r = _mm256_sub_pd(num, _mm256_mul_pd(q, vs));
+    q = _mm256_sub_pd(q, _mm256_and_pd(_mm256_cmp_pd(r, zero, _CMP_LT_OQ), one));
+    q = _mm256_add_pd(q, _mm256_and_pd(_mm256_cmp_pd(r, vs, _CMP_GE_OQ), one));
+
+    __m256d g = _mm256_sub_pd(base, q);
+    g = _mm256_blendv_pd(g, one, m_flat1);
+    g = _mm256_andnot_pd(m_flat0, g);
+
+    const __m128i gi = _mm256_cvttpd_epi32(g);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(grades + i),
+                     _mm_packus_epi32(gi, gi));
+  }
+  if (i < n) linearized_eval_batch_scalar(center, s, x + i, n - i, grades + i);
+}
+
+}  // namespace hbrp::kernels
+
+#endif  // HBRP_KERNELS_X86

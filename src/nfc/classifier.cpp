@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/fuzzify.hpp"
 #include "math/check.hpp"
 
 namespace hbrp::nfc {
@@ -75,8 +76,35 @@ void NeuroFuzzyClassifier::classify_batch(std::span<const double> u,
                "NeuroFuzzyClassifier::classify_batch(): input size mismatch");
   HBRP_REQUIRE(out.size() >= count,
                "NeuroFuzzyClassifier::classify_batch(): output too small");
-  for (std::size_t i = 0; i < count; ++i)
-    out[i] = classify(u.subspan(i * coefficients_, coefficients_), alpha);
+  static_assert(ecg::kNumClasses == kernels::kFuzzyClasses);
+
+  // SoA parameter tables for the batch kernel: [class][coefficient] centres
+  // and precomputed -1/(2 sigma^2). Two small allocations per batch call,
+  // amortized over `count` beats.
+  const std::size_t k = coefficients_;
+  std::vector<double> centers(kernels::kFuzzyClasses * k);
+  std::vector<double> nhiv(kernels::kFuzzyClasses * k);
+  for (std::size_t l = 0; l < kernels::kFuzzyClasses; ++l)
+    for (std::size_t j = 0; j < k; ++j) {
+      const GaussianMF& m = mfs_[j * ecg::kNumClasses + l];
+      centers[l * k + j] = m.center;
+      nhiv[l * k + j] = -0.5 / (m.sigma * m.sigma);
+    }
+
+  constexpr std::size_t kChunk = 256;
+  std::array<double, kChunk * kernels::kFuzzyClasses> lf;
+  for (std::size_t done = 0; done < count; done += kChunk) {
+    const std::size_t n = std::min(kChunk, count - done);
+    kernels::log_fuzzy_batch(u.data() + done * k, n, k, centers.data(),
+                             nhiv.data(), lf.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = lf.data() + i * kernels::kFuzzyClasses;
+      const double top = std::max(row[0], std::max(row[1], row[2]));
+      FuzzyValues f{};
+      for (std::size_t l = 0; l < f.size(); ++l) f[l] = std::exp(row[l] - top);
+      out[done + i] = defuzzify(f, alpha);
+    }
+  }
 }
 
 std::vector<double> NeuroFuzzyClassifier::to_params() const {

@@ -14,9 +14,13 @@ struct GaussianMF {
 
   double grade(double x) const { return std::exp(log_grade(x)); }
 
+  // Written as (d*d) * (-0.5/sigma^2) — the same operation sequence as the
+  // SoA batch kernel with its precomputed -1/(2 sigma^2) factor
+  // (kernels::log_fuzzy_batch) — so the single-beat and batch paths stay
+  // bit-identical.
   double log_grade(double x) const {
-    const double z = (x - center) / sigma;
-    return -0.5 * z * z;
+    const double d = x - center;
+    return (d * d) * (-0.5 / (sigma * sigma));
   }
 
   bool operator==(const GaussianMF&) const = default;

@@ -5,7 +5,12 @@
 namespace hbrp::rp {
 
 BeatProjector::BeatProjector(TernaryMatrix p, std::size_t downsample_factor)
-    : dense_(std::move(p)), packed_(dense_), downsample_(downsample_factor) {
+    : dense_(std::move(p)),
+      packed_(dense_),
+      sparse_(kernels::SparseTernary::build(
+          dense_.rows(), dense_.cols(),
+          [this](std::size_t r, std::size_t c) { return dense_.at(r, c); })),
+      downsample_(downsample_factor) {
   HBRP_REQUIRE(downsample_ >= 1, "BeatProjector: downsample factor >= 1");
   HBRP_REQUIRE(dense_.rows() >= 1 && dense_.cols() >= 1,
                "BeatProjector: empty projection matrix");
@@ -33,7 +38,9 @@ void BeatProjector::project_into(std::span<const dsp::Sample> window,
                "BeatProjector::project_into(): window size mismatch");
   scratch.downsampled.resize(dense_.cols());
   dsp::downsample_avg_into(window, downsample_, scratch.downsampled);
-  dense_.apply_into(scratch.downsampled, out);
+  // Sparse execution format; bit-identical to dense_.apply_into() because
+  // all partial sums of integer samples are exact in both int64 and double.
+  sparse_.apply_into(scratch.downsampled, out);
 }
 
 void BeatProjector::project_int_into(std::span<const dsp::Sample> window,
@@ -43,7 +50,9 @@ void BeatProjector::project_int_into(std::span<const dsp::Sample> window,
                "BeatProjector::project_int_into(): window size mismatch");
   scratch.downsampled.resize(dense_.cols());
   dsp::downsample_avg_into(window, downsample_, scratch.downsampled);
-  packed_.apply_into(scratch.downsampled, out);
+  // Sparse execution format; bit-identical to packed_.apply_into() (integer
+  // addition regroups freely mod 2^32).
+  sparse_.apply_into(scratch.downsampled, out);
 }
 
 void BeatProjector::project_batch(std::span<const dsp::Sample> windows,

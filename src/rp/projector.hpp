@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "dsp/resample.hpp"
+#include "kernels/sparse_ternary.hpp"
 #include "rp/achlioptas.hpp"
 #include "rp/packed_matrix.hpp"
 
@@ -65,10 +66,16 @@ class BeatProjector {
 
   const TernaryMatrix& matrix() const { return dense_; }
   const PackedTernaryMatrix& packed() const { return packed_; }
+  const kernels::SparseTernary& sparse() const { return sparse_; }
 
  private:
   TernaryMatrix dense_;
   PackedTernaryMatrix packed_;
+  // Runtime execution format: per-row +1/-1 index lists built once from the
+  // dense matrix. dense_ stays the train-time form, packed_ the
+  // storage/serialization form; every projection entry point executes from
+  // sparse_ (bit-identical by the kernels equivalence contract).
+  kernels::SparseTernary sparse_;
   std::size_t downsample_ = 1;
 };
 

@@ -71,8 +71,9 @@ bool FleetEngine::close_session(SessionId id) {
   return true;
 }
 
-OfferOutcome FleetEngine::offer(SessionId id,
-                                std::span<const double> samples) {
+template <typename T>
+OfferOutcome FleetEngine::offer_impl(SessionId id,
+                                     std::span<const T> samples) {
   const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
   const auto it = sessions_.find(id);
   OfferOutcome out;
@@ -103,9 +104,13 @@ OfferOutcome FleetEngine::offer(SessionId id,
 }
 
 OfferOutcome FleetEngine::offer(SessionId id,
+                                std::span<const double> samples) {
+  return offer_impl(id, samples);
+}
+
+OfferOutcome FleetEngine::offer(SessionId id,
                                 std::span<const dsp::Sample> samples) {
-  std::vector<double> as_double(samples.begin(), samples.end());
-  return offer(id, std::span<const double>(as_double));
+  return offer_impl(id, samples);
 }
 
 std::size_t FleetEngine::pump() {

@@ -92,7 +92,8 @@ class FleetEngine {
   /// Enqueues raw samples for `id`, applying fleet admission control and
   /// the session's backpressure policy. The double overload is the
   /// untrusted front-end boundary (non-finite samples survive the queue
-  /// and are sanitized by the monitor). Safe from any thread.
+  /// and are sanitized by the monitor); the integer overload enqueues
+  /// directly, with no intermediate double buffer. Safe from any thread.
   OfferOutcome offer(SessionId id, std::span<const double> samples);
   OfferOutcome offer(SessionId id, std::span<const dsp::Sample> samples);
 
@@ -119,6 +120,10 @@ class FleetEngine {
   std::size_t shard_count() const { return shards_.size(); }
 
  private:
+  /// Shared body of the two offer() overloads (defined in fleet.cpp).
+  template <typename T>
+  OfferOutcome offer_impl(SessionId id, std::span<const T> samples);
+
   struct Shard {
     explicit Shard(std::size_t window_length) : batch(window_length) {}
     core::BeatBatch batch;

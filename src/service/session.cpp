@@ -31,7 +31,8 @@ std::size_t Session::queued() const {
   return queue_.size();
 }
 
-OfferOutcome Session::enqueue(std::span<const double> samples,
+template <typename T>
+OfferOutcome Session::enqueue(std::span<const T> samples,
                               Clock::time_point now,
                               std::ptrdiff_t* queue_delta) {
   const std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -41,7 +42,7 @@ OfferOutcome Session::enqueue(std::span<const double> samples,
   telemetry_.samples_offered.fetch_add(n, std::memory_order_relaxed);
 
   std::size_t free = cfg_.queue_capacity - queue_.size();
-  std::span<const double> accept = samples;
+  std::span<const T> accept = samples;
   switch (cfg_.backpressure) {
     case BackpressurePolicy::Block: {
       const std::size_t take = std::min(n, free);
@@ -98,6 +99,15 @@ OfferOutcome Session::enqueue(std::span<const double> samples,
                    static_cast<std::ptrdiff_t>(depth_before);
   return out;
 }
+
+// The two producer-facing element types: the untrusted double front end and
+// trusted integer-sample producers (no intermediate double copy).
+template OfferOutcome Session::enqueue<double>(std::span<const double>,
+                                               Clock::time_point,
+                                               std::ptrdiff_t*);
+template OfferOutcome Session::enqueue<dsp::Sample>(std::span<const dsp::Sample>,
+                                                    Clock::time_point,
+                                                    std::ptrdiff_t*);
 
 std::size_t Session::begin_drain() {
   const std::lock_guard<std::mutex> lock(queue_mutex_);

@@ -111,8 +111,12 @@ class Session {
   /// `queue_delta` receives the net change in queue depth (accepted minus
   /// samples evicted *from the queue* — DropOldest may also count incoming
   /// samples as evicted, which never touch the queue), so the engine can
-  /// maintain the fleet-wide gauge exactly.
-  OfferOutcome enqueue(std::span<const double> samples, Clock::time_point now,
+  /// maintain the fleet-wide gauge exactly. Templated over the element type
+  /// (double for the untrusted front end, dsp::Sample for trusted integer
+  /// producers) so neither path copies into a temporary buffer first;
+  /// explicit instantiations live in session.cpp.
+  template <typename T>
+  OfferOutcome enqueue(std::span<const T> samples, Clock::time_point now,
                        std::ptrdiff_t* queue_delta);
   /// Moves up to max_samples_per_pump queued samples (and their arrival
   /// stamps) into the drain buffers; returns how many.
