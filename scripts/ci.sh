@@ -3,14 +3,20 @@
 #
 #   1. default (Release) build, full ctest suite — the tier-1 gate;
 #   2. ASan + UBSan build (-DENABLE_SANITIZERS=ON), full ctest suite;
-#   3. TSan build (-DENABLE_TSAN=ON), executor/engine/fleet-focused ctest
-#      subset — races in core::Executor, the parallel GA fitness fan-out,
-#      the chunked metric merges and the fleet engine's producer/pump
-#      concurrency would surface here;
+#   3. TSan build (-DENABLE_TSAN=ON), executor/engine/fleet/net-focused
+#      ctest subset — races in core::Executor, the parallel GA fitness
+#      fan-out, the chunked metric merges, the fleet engine's producer/pump
+#      concurrency and the gateway/client loopback traffic would surface
+#      here;
 #   4. fleet soak smoke: bench_fleet --quick --threads=0 — the scaling grid
 #      with its serial-vs-sharded bit-identity gate (exits non-zero on any
 #      per-session sequence divergence);
-#   5. perf gate: a quick bench_microkernels pass compared against the
+#   5. gateway loopback soak smoke: gateway_ward (8 concurrent sensor
+#      clients over real loopback TCP, one with an injected flaky
+#      electrode; exits non-zero on an unclean close or a verdict sequence
+#      gap) plus bench_net --quick, whose stream run gates wire verdicts
+#      against direct in-process ingest bit-for-bit;
+#   6. perf gate: a quick bench_microkernels pass compared against the
 #      committed BENCH_microkernels.json by scripts/perf_gate.py — fails on
 #      >15% per-op CPU-time regression (tolerance doubled on virtualized
 #      hosts, skipped outright when the CPU model is unknown or differs
@@ -46,10 +52,18 @@ run_suite build
 ctest --test-dir build --output-on-failure -j
 
 # --- 1b. fleet soak smoke: scaling grid + bit-identity gate ---------------
+# Quick-run reports stay under build/ so a CI pass never dirties the tree
+# (the committed BENCH_*.json are full-run baselines, written deliberately).
 echo "==== fleet soak smoke (bench_fleet --quick)"
-./build/bench/bench_fleet --quick --threads=0 --json=BENCH_fleet_quick.json
+./build/bench/bench_fleet --quick --threads=0 --json=build/BENCH_fleet_quick.json
 
-# --- 1c. perf gate: microkernels vs committed baseline --------------------
+# --- 1c. gateway loopback soak smoke --------------------------------------
+echo "==== gateway soak smoke (gateway_ward: 8 clients + fault injection)"
+./build/examples/gateway_ward 8 20 0
+echo "==== net identity gate (bench_net --quick)"
+./build/bench/bench_net --quick --threads=0 --json=build/BENCH_net_quick.json
+
+# --- 1d. perf gate: microkernels vs committed baseline --------------------
 echo "==== perf gate (bench_microkernels vs BENCH_microkernels.json)"
 run_perf_gate() {
   ./build/bench/bench_microkernels --benchmark_min_time=0.05 \
@@ -71,9 +85,9 @@ fi
 run_suite build-asan -DENABLE_SANITIZERS=ON
 ctest --test-dir build-asan --output-on-failure -j
 
-# --- 3. TSan: executor + engine + determinism + fleet tests ---------------
+# --- 3. TSan: executor + engine + fleet + net tests -----------------------
 run_suite build-tsan -DENABLE_TSAN=ON
 ctest --test-dir build-tsan --output-on-failure -j \
-  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet'
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire'
 
 echo "==== CI sweep complete"

@@ -9,12 +9,14 @@
 
 #include "math/check.hpp"
 #include "math/crc32.hpp"
+#include "math/endian.hpp"
 
 namespace hbrp::core {
 
 namespace {
 
-// Format v2 layout:
+// Format v2 layout (all multi-byte fields explicitly little-endian via
+// math/endian.hpp — the same audited codec net/wire frames use):
 //   magic "HBRPMD02" (8 bytes)
 //   u32 payload_size | u32 crc32(payload)
 //   payload: u32 rows | u32 cols | u32 downsample | rows*cols int8 matrix
@@ -35,34 +37,8 @@ constexpr std::size_t kMaxFileBytes = std::size_t{1} << 28;
 
 template <typename T>
 void put(std::string& out, T value) {
-  char raw[sizeof(T)];
-  std::memcpy(raw, &value, sizeof(T));
-  out.append(raw, sizeof(T));
+  math::append_le(out, value);
 }
-
-/// Bounds-checked sequential reader over an in-memory payload.
-class BufferReader {
- public:
-  BufferReader(const char* data, std::size_t size)
-      : data_(data), size_(size) {}
-
-  template <typename T>
-  T get() {
-    HBRP_REQUIRE(size_ - pos_ >= sizeof(T),
-                 "model_io: payload shorter than its header claims");
-    T value{};
-    std::memcpy(&value, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return value;
-  }
-
-  std::size_t remaining() const { return size_ - pos_; }
-
- private:
-  const char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
 
 std::size_t payload_size_for(std::size_t rows, std::size_t cols) {
   return 3 * sizeof(std::uint32_t) + rows * cols +
@@ -143,10 +119,12 @@ TrainedClassifier load_model(const std::filesystem::path& path) {
   HBRP_REQUIRE(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic),
                "model_io: bad magic in " + path.string());
 
-  std::uint32_t declared = 0, crc_stored = 0;
-  in.read(reinterpret_cast<char*>(&declared), sizeof(declared));
-  in.read(reinterpret_cast<char*>(&crc_stored), sizeof(crc_stored));
+  unsigned char sizes[2 * sizeof(std::uint32_t)];
+  in.read(reinterpret_cast<char*>(sizes), sizeof(sizes));
   HBRP_REQUIRE(in.good(), "model_io: truncated header in " + path.string());
+  const auto declared = math::load_le<std::uint32_t>(sizes);
+  const auto crc_stored =
+      math::load_le<std::uint32_t>(sizes + sizeof(std::uint32_t));
   HBRP_REQUIRE(declared == file_size - kHeaderBytes,
                "model_io: payload size mismatch in " + path.string());
 
@@ -156,7 +134,7 @@ TrainedClassifier load_model(const std::filesystem::path& path) {
   HBRP_REQUIRE(math::crc32(payload.data(), payload.size()) == crc_stored,
                "model_io: checksum mismatch in " + path.string());
 
-  BufferReader r(payload.data(), payload.size());
+  math::ByteReader r(payload.data(), payload.size());
   const auto rows = r.get<std::uint32_t>();
   const auto cols = r.get<std::uint32_t>();
   const auto downsample = r.get<std::uint32_t>();

@@ -1,0 +1,493 @@
+#include "net/client.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "ecg/types.hpp"
+#include "math/check.hpp"
+
+namespace hbrp::net {
+
+const char* to_string(LinkState s) {
+  switch (s) {
+    case LinkState::Idle: return "idle";
+    case LinkState::Connecting: return "connecting";
+    case LinkState::AwaitAck: return "await-ack";
+    case LinkState::Established: return "established";
+    case LinkState::Backoff: return "backoff";
+    case LinkState::Closed: return "closed";
+  }
+  return "?";
+}
+
+SensorNodeClient::SensorNodeClient(embedded::EmbeddedClassifier classifier,
+                                   NodeConfig cfg)
+    : classifier_(std::move(classifier)), cfg_(std::move(cfg)) {
+  HBRP_REQUIRE(cfg_.port != 0, "SensorNodeClient: gateway port is required");
+  HBRP_REQUIRE(cfg_.chunk_samples >= 1 &&
+                   cfg_.chunk_samples <= kMaxChunkSamples,
+               "SensorNodeClient: chunk_samples out of range");
+  backoff_ms_ = std::max(1, cfg_.backoff_initial_ms);
+  if (cfg_.policy == TxPolicy::Selective) {
+    monitor_.emplace(classifier_, cfg_.monitor);
+    pending_sink_ = [this](const core::PendingBeat& pb) {
+      on_pending_beat(pb);
+    };
+  }
+}
+
+dsp::Sample SensorNodeClient::sanitize(double x,
+                                       const dsp::QualityConfig& rails,
+                                       dsp::Sample& last,
+                                       std::uint64_t* nonfinite_count) {
+  if (!std::isfinite(x)) {
+    // Sample-hold, exactly like StreamingBeatMonitor's untrusted boundary:
+    // the timeline keeps its cadence and a sustained burst flat-lines into
+    // something the SQI estimator degrades on.
+    if (nonfinite_count != nullptr) ++*nonfinite_count;
+    return last;
+  }
+  const double clamped =
+      std::clamp(x, static_cast<double>(rails.rail_low),
+                 static_cast<double>(rails.rail_high));
+  last = static_cast<dsp::Sample>(std::lround(clamped));
+  return last;
+}
+
+void SensorNodeClient::push(dsp::Sample x) {
+  ++stats_.samples_in;
+  if (monitor_.has_value())
+    monitor_->push(x, pending_sink_);
+  else
+    stage_stream_sample(x);
+}
+
+void SensorNodeClient::push(double x) {
+  push(sanitize(x, cfg_.monitor.quality, last_code_,
+                &stats_.sanitized_nonfinite));
+}
+
+void SensorNodeClient::push(std::span<const dsp::Sample> xs) {
+  for (const dsp::Sample x : xs) push(x);
+}
+
+void SensorNodeClient::push(std::span<const double> xs) {
+  for (const double x : xs) push(x);
+}
+
+void SensorNodeClient::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (monitor_.has_value())
+    monitor_->flush(pending_sink_);
+  else
+    flush_stage(/*final_partial=*/true);
+}
+
+void SensorNodeClient::on_pending_beat(const core::PendingBeat& pb) {
+  const ecg::BeatClass verdict =
+      pb.needs_classification
+          ? classifier_.classify_window(pb.window, scratch_)
+          : pb.beat.predicted;
+  const auto cls = static_cast<std::uint8_t>(verdict);
+  const auto quality = static_cast<std::uint8_t>(pb.beat.quality);
+  if (!ecg::is_pathological(verdict) &&
+      pb.beat.quality == dsp::SignalQuality::Good) {
+    // The paper's optimized policy: a normal beat costs one local byte and
+    // zero radio. Class in bits [0,2), quality in bits [2,4).
+    ++stats_.beats_local;
+    local_log_.push_back(static_cast<std::uint8_t>((cls & 0x3u) |
+                                                   ((quality & 0x3u) << 2)));
+    return;
+  }
+  FullBeatMsg m;
+  m.r_peak = pb.beat.r_peak;
+  m.beat_class = cls;
+  m.quality = quality;
+  std::vector<unsigned char> payload = encode_full_beat(m, pb.window);
+  const std::uint64_t seq = next_beat_seq_++;
+  if (unacked_.size() >= cfg_.max_unacked_full_beats) {
+    unacked_.erase(unacked_.begin());
+    ++stats_.frames_dropped;
+  }
+  unacked_.emplace(seq, UnackedBeat{payload, false});
+  ++stats_.beats_uploaded;
+  enqueue(FrameType::FullBeat, seq, /*seq_at_send=*/false,
+          std::move(payload));
+}
+
+void SensorNodeClient::stage_stream_sample(dsp::Sample x) {
+  stage_.push_back(x);
+  if (stage_.size() >= cfg_.chunk_samples) flush_stage(false);
+}
+
+void SensorNodeClient::flush_stage(bool final_partial) {
+  std::size_t at = 0;
+  while (stage_.size() - at >= cfg_.chunk_samples) {
+    enqueue(FrameType::SampleChunk, 0, /*seq_at_send=*/true,
+            encode_sample_chunk(std::span<const dsp::Sample>(
+                stage_.data() + at, cfg_.chunk_samples)));
+    at += cfg_.chunk_samples;
+  }
+  if (final_partial && at < stage_.size()) {
+    enqueue(FrameType::SampleChunk, 0, /*seq_at_send=*/true,
+            encode_sample_chunk(std::span<const dsp::Sample>(
+                stage_.data() + at, stage_.size() - at)));
+    at = stage_.size();
+  }
+  stage_.erase(stage_.begin(), stage_.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+void SensorNodeClient::enqueue(FrameType type, std::uint64_t seq,
+                               bool seq_at_send,
+                               std::vector<unsigned char> payload) {
+  const std::size_t frame_bytes = kHeaderBytes + payload.size();
+  // Shed oldest droppable traffic (sample chunks, heartbeats) first; a
+  // FULL_BEAT is never shed to make room for anything else.
+  while (sendq_bytes_ + frame_bytes > cfg_.send_buffer_cap) {
+    auto victim = std::find_if(sendq_.begin(), sendq_.end(),
+                               [](const QueuedFrame& f) {
+                                 return f.type == FrameType::SampleChunk ||
+                                        f.type == FrameType::Heartbeat;
+                               });
+    if (victim == sendq_.end()) break;
+    sendq_bytes_ -= kHeaderBytes + victim->payload.size();
+    sendq_.erase(victim);
+    ++stats_.frames_dropped;
+  }
+  if (sendq_bytes_ + frame_bytes > cfg_.send_buffer_cap) {
+    ++stats_.frames_dropped;
+    if (type == FrameType::FullBeat) unacked_.erase(seq);
+    return;
+  }
+  sendq_bytes_ += frame_bytes;
+  sendq_.push_back(QueuedFrame{type, seq, seq_at_send, std::move(payload)});
+}
+
+bool SensorNodeClient::fill_wire_out() {
+  if (wire_head_ < wire_out_.size() || sendq_.empty()) return false;
+  wire_out_.clear();
+  wire_head_ = 0;
+  QueuedFrame f = std::move(sendq_.front());
+  sendq_.pop_front();
+  sendq_bytes_ -= kHeaderBytes + f.payload.size();
+  std::uint64_t seq = f.seq;
+  if (f.seq_at_send)
+    seq = f.type == FrameType::SampleChunk ? next_chunk_seq_++
+                                           : next_heartbeat_seq_++;
+  append_frame(wire_out_, f.type, seq, f.payload);
+  if (f.type == FrameType::FullBeat) {
+    const auto it = unacked_.find(f.seq);
+    if (it != unacked_.end()) it->second.sent = true;
+  }
+  ++stats_.frames_tx;
+  return true;
+}
+
+std::size_t SensorNodeClient::pending_bytes() const {
+  return sendq_bytes_ + (wire_out_.size() - wire_head_);
+}
+
+void SensorNodeClient::send_hello() {
+  wire_out_.clear();
+  wire_head_ = 0;
+  parser_ = FrameParser();
+  HelloMsg m;
+  m.node_id = cfg_.node_id;
+  m.policy = cfg_.policy;
+  m.window = static_cast<std::uint16_t>(
+      classifier_.projector().expected_window());
+  m.fs_hz = cfg_.fs_hz;
+  append_frame(wire_out_, FrameType::Hello, 0, encode_hello(m));
+  ++stats_.frames_tx;
+}
+
+void SensorNodeClient::on_established(Clock::time_point now) {
+  state_ = LinkState::Established;
+  state_since_ = now;
+  last_tx_ = now;
+  backoff_ms_ = std::max(1, cfg_.backoff_initial_ms);
+  if (ever_established_) ++stats_.reconnects;
+  ever_established_ = true;
+  if (cfg_.policy == TxPolicy::StreamEverything) next_verdict_seq_ = 0;
+  // A fresh connection is a fresh session: the dense chunk numbering
+  // restarts, and every unacked upload goes out again (at-least-once).
+  // Beats already waiting in the send queue are NOT re-enqueued — on the
+  // first establishment nothing has cleared the queue, so beats pushed
+  // before the link came up are still there and a blind re-add would
+  // transmit every upload twice.
+  next_chunk_seq_ = 0;
+  for (auto& [seq, beat] : unacked_) {
+    const bool queued = std::any_of(
+        sendq_.begin(), sendq_.end(), [&](const QueuedFrame& f) {
+          return f.type == FrameType::FullBeat && f.seq == seq;
+        });
+    if (queued) continue;
+    if (beat.sent) ++stats_.retransmits;
+    enqueue(FrameType::FullBeat, seq, /*seq_at_send=*/false, beat.payload);
+  }
+}
+
+void SensorNodeClient::disconnect(Clock::time_point now, bool backoff) {
+  sock_.close();
+  wire_out_.clear();
+  wire_head_ = 0;
+  for (const QueuedFrame& f : sendq_)
+    if (f.type == FrameType::SampleChunk) ++stats_.frames_dropped;
+  sendq_.clear();
+  sendq_bytes_ = 0;
+  parser_ = FrameParser();
+  if (!backoff) {
+    state_ = LinkState::Closed;
+    return;
+  }
+  state_ = LinkState::Backoff;
+  next_attempt_ = now + std::chrono::milliseconds(backoff_ms_);
+  backoff_ms_ = std::min(backoff_ms_ * 2, std::max(1, cfg_.backoff_max_ms));
+}
+
+void SensorNodeClient::handle_frame(const FrameView& f) {
+  const auto now = Clock::now();
+  switch (f.type) {
+    case FrameType::HelloAck: {
+      const auto ack = decode_hello_ack(f.payload);
+      if (!ack.has_value() || state_ != LinkState::AwaitAck) {
+        ++stats_.parse_rejects;
+        disconnect(now, true);
+        return;
+      }
+      if (ack->status != HelloStatus::Ok) {
+        ++stats_.hello_rejects;
+        disconnect(now, true);
+        return;
+      }
+      on_established(now);
+      return;
+    }
+    case FrameType::BeatVerdict: {
+      const auto v = decode_beat_verdict(f.payload);
+      if (!v.has_value()) {
+        ++stats_.parse_rejects;
+        disconnect(now, true);
+        return;
+      }
+      ++stats_.verdicts_rx;
+      if (cfg_.policy == TxPolicy::StreamEverything) {
+        if (f.seq != next_verdict_seq_) ++stats_.verdict_seq_gaps;
+        next_verdict_seq_ = f.seq + 1;
+      }
+      if (on_verdict_) on_verdict_(f.seq, *v);
+      return;
+    }
+    case FrameType::Ack: {
+      const auto ack = decode_ack(f.payload);
+      if (!ack.has_value()) {
+        ++stats_.parse_rejects;
+        disconnect(now, true);
+        return;
+      }
+      if (ack->acked == FrameType::FullBeat) unacked_.erase(f.seq);
+      return;
+    }
+    case FrameType::Heartbeat: {
+      enqueue(FrameType::Ack, f.seq, false,
+              encode_ack(AckMsg{FrameType::Heartbeat}));
+      return;
+    }
+    default:
+      // Hello / SampleChunk / FullBeat / Bye never flow gateway -> node.
+      ++stats_.parse_rejects;
+      disconnect(now, true);
+      return;
+  }
+}
+
+bool SensorNodeClient::pump_io(Clock::time_point now, int timeout_ms) {
+  bool progress = false;
+  const bool want_write =
+      wire_head_ < wire_out_.size() ||
+      (!sendq_.empty() && state_ == LinkState::Established);
+  pollfd p{};
+  p.fd = sock_.fd();
+  p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+  (void)::poll(&p, 1, timeout_ms);
+  if ((p.revents & POLLNVAL) != 0) {
+    disconnect(now, true);
+    return true;
+  }
+
+  // Write side: flush the handshake / queued frames until would-block.
+  while (state_ == LinkState::AwaitAck ||
+         state_ == LinkState::Established) {
+    if (wire_head_ >= wire_out_.size()) {
+      // Only an established link may pull application frames; the
+      // handshake flushes nothing but the HELLO already staged.
+      if (state_ != LinkState::Established || !fill_wire_out()) break;
+    }
+    const IoResult r = send_some(
+        sock_.fd(), std::span<const unsigned char>(wire_out_)
+                        .subspan(wire_head_));
+    if (r.n > 0) {
+      wire_head_ += r.n;
+      stats_.bytes_tx += r.n;
+      last_tx_ = now;
+      progress = true;
+      continue;
+    }
+    if (r.would_block) break;
+    disconnect(now, true);
+    return true;
+  }
+
+  // Read side: drain the socket, parse, dispatch.
+  unsigned char buf[16384];
+  while (state_ == LinkState::AwaitAck ||
+         state_ == LinkState::Established) {
+    const IoResult r = recv_some(sock_.fd(), buf);
+    if (r.n > 0) {
+      stats_.bytes_rx += r.n;
+      progress = true;
+      if (!parser_.feed(std::span<const unsigned char>(buf, r.n))) {
+        ++stats_.parse_rejects;
+        disconnect(now, true);
+        return true;
+      }
+      FrameView f;
+      FrameParser::Status st;
+      while ((st = parser_.next(f)) == FrameParser::Status::Ok) {
+        ++stats_.frames_rx;
+        handle_frame(f);
+        if (state_ != LinkState::AwaitAck &&
+            state_ != LinkState::Established)
+          return true;  // handle_frame tore the link down
+      }
+      if (st == FrameParser::Status::Corrupt) {
+        ++stats_.parse_rejects;
+        disconnect(now, true);
+        return true;
+      }
+      continue;
+    }
+    if (r.would_block) break;
+    if (r.eof) {
+      peer_closed_ = true;
+      disconnect(now, /*backoff=*/!closing_);
+      return true;
+    }
+    disconnect(now, true);
+    return true;
+  }
+  return progress;
+}
+
+bool SensorNodeClient::step_link(Clock::time_point now, int timeout_ms) {
+  switch (state_) {
+    case LinkState::Closed:
+      return false;
+    case LinkState::Idle: {
+      sock_ = connect_loopback(cfg_.port);
+      if (!sock_.valid()) {
+        disconnect(now, true);
+        return true;
+      }
+      state_ = LinkState::Connecting;
+      state_since_ = now;
+      return true;
+    }
+    case LinkState::Backoff: {
+      if (now >= next_attempt_) {
+        state_ = LinkState::Idle;
+        return true;
+      }
+      if (timeout_ms > 0) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                next_attempt_ - now);
+        std::this_thread::sleep_for(std::min(
+            remaining, std::chrono::milliseconds(timeout_ms)));
+      }
+      return false;
+    }
+    case LinkState::Connecting: {
+      pollfd p{};
+      p.fd = sock_.fd();
+      p.events = POLLOUT;
+      (void)::poll(&p, 1, timeout_ms);
+      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        disconnect(now, true);
+        return true;
+      }
+      if ((p.revents & POLLOUT) != 0) {
+        if (!connect_finished(sock_.fd())) {
+          disconnect(now, true);
+          return true;
+        }
+        send_hello();
+        state_ = LinkState::AwaitAck;
+        state_since_ = now;
+        return true;
+      }
+      if (now - state_since_ >
+          std::chrono::milliseconds(cfg_.handshake_timeout_ms)) {
+        disconnect(now, true);
+        return true;
+      }
+      return false;
+    }
+    case LinkState::AwaitAck: {
+      if (now - state_since_ >
+          std::chrono::milliseconds(cfg_.handshake_timeout_ms)) {
+        disconnect(now, true);
+        return true;
+      }
+      return pump_io(now, timeout_ms);
+    }
+    case LinkState::Established: {
+      if (cfg_.heartbeat_interval_ms > 0 && pending_bytes() == 0 &&
+          now - last_tx_ >
+              std::chrono::milliseconds(cfg_.heartbeat_interval_ms))
+        enqueue(FrameType::Heartbeat, 0, /*seq_at_send=*/true, {});
+      return pump_io(now, timeout_ms);
+    }
+  }
+  return false;
+}
+
+bool SensorNodeClient::poll_once(int timeout_ms) {
+  return step_link(Clock::now(), timeout_ms);
+}
+
+bool SensorNodeClient::drain(int deadline_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (true) {
+    if (state_ == LinkState::Established && pending_bytes() == 0 &&
+        unacked_.empty())
+      return true;
+    if (Clock::now() >= deadline)
+      return pending_bytes() == 0 && unacked_.empty();
+    poll_once(5);
+  }
+}
+
+void SensorNodeClient::close(int deadline_ms) {
+  finish();
+  closing_ = true;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (state_ != LinkState::Closed && Clock::now() < deadline) {
+    if (state_ == LinkState::Established && !bye_sent_ &&
+        pending_bytes() == 0 && unacked_.empty()) {
+      enqueue(FrameType::Bye, 0, false, {});
+      bye_sent_ = true;
+    }
+    poll_once(5);
+  }
+  sock_.close();
+  state_ = LinkState::Closed;
+}
+
+}  // namespace hbrp::net

@@ -1,0 +1,248 @@
+// net::SensorNodeClient — the node side of the WBSN link.
+//
+// A step-driven, non-blocking TCP client implementing the paper's
+// selective-transmission policy, the headline of the whole methodology:
+// classify on the node, and spend radio energy only where it buys clinical
+// value. Two policies, chosen at handshake:
+//
+//   StreamEverything  every sanitized ADC code is framed into SAMPLE_CHUNK
+//                     uploads; the gateway's FleetEngine classifies and
+//                     streams BEAT_VERDICT frames back. The baseline
+//                     system, and the path whose verdict sequence must be
+//                     bit-identical to direct in-process ingest.
+//   Selective         the node runs its own core::StreamingBeatMonitor
+//                     (same fault-tolerant pipeline the gateway would run).
+//                     A beat classified normal on Good signal becomes a
+//                     1-byte verdict record in the local log — zero radio.
+//                     A pathological or Unknown beat uploads the full
+//                     window as FULL_BEAT so the gateway can run the
+//                     detailed analysis; Suspect-signal beats upload a
+//                     0-sample escalation record (no trustworthy window).
+//
+// Link robustness: connect/reconnect with exponential backoff (reset on a
+// successful handshake), a bounded send queue that sheds oldest sample
+// chunks first (counted, never silently), heartbeats on an idle link, and
+// at-least-once FULL_BEAT delivery — uploads are held until the gateway's
+// ACK and retransmitted after a reconnect (the gateway dedupes by seq).
+// A CRC/framing violation on the receive path is treated exactly like a
+// dead socket: tear down, back off, reconnect.
+//
+// Every byte and every decision is accounted in TxStats, which feeds the
+// paper's transmission-energy model directly: radio_energy_j() converts
+// bytes actually transmitted into joules via platform::PowerModel, and
+// bench_net reports the selective-vs-everything bytes-on-wire ratio.
+//
+// Threading: not thread-safe; one owner drives push()/poll_once()/close().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/streaming.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "platform/energy.hpp"
+
+namespace hbrp::net {
+
+struct NodeConfig {
+  /// Gateway port on 127.0.0.1.
+  std::uint16_t port = 0;
+  std::uint32_t node_id = 0;
+  TxPolicy policy = TxPolicy::StreamEverything;
+  std::uint32_t fs_hz = 360;
+  /// Local pipeline geometry (selective policy) and the ADC rails used to
+  /// sanitize the untrusted double path in both policies.
+  core::MonitorConfig monitor;
+  /// Samples per SAMPLE_CHUNK frame.
+  std::size_t chunk_samples = 512;
+  /// Cap on queued-but-unsent frame bytes; overflow sheds oldest sample
+  /// chunks first and never sheds FULL_BEAT uploads silently.
+  std::size_t send_buffer_cap = 1u << 20;
+  /// Retransmit window: FULL_BEAT uploads held for ack (oldest dropped,
+  /// counted, when exceeded).
+  std::size_t max_unacked_full_beats = 256;
+  int heartbeat_interval_ms = 1000;
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 2000;
+  /// Give up on a handshake (connect or HELLO_ACK) after this long and
+  /// retry with backoff.
+  int handshake_timeout_ms = 2000;
+};
+
+/// Per-link transmission accounting (single-writer: the driving thread).
+struct TxStats {
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_dropped = 0;  ///< send-buffer overflow sheds
+  std::uint64_t retransmits = 0;     ///< FULL_BEAT resends after reconnect
+  std::uint64_t reconnects = 0;      ///< successful re-handshakes after a drop
+  std::uint64_t parse_rejects = 0;   ///< CRC/framing violations received
+  std::uint64_t hello_rejects = 0;   ///< handshakes refused by the gateway
+  std::uint64_t samples_in = 0;      ///< samples pushed by the application
+  std::uint64_t sanitized_nonfinite = 0;
+  std::uint64_t beats_local = 0;     ///< normal beats kept as local records
+  std::uint64_t beats_uploaded = 0;  ///< FULL_BEAT frames queued
+  std::uint64_t verdicts_rx = 0;
+  std::uint64_t verdict_seq_gaps = 0;
+};
+
+/// Radio energy implied by this link's transmitted bytes (paper §IV-E):
+/// the per-byte cost already amortizes protocol overhead, so bytes_tx is
+/// exactly the quantity the model prices.
+inline double radio_energy_j(const TxStats& s,
+                             const platform::PowerModel& power) {
+  return static_cast<double>(s.bytes_tx) * power.radio_j_per_byte;
+}
+
+enum class LinkState : std::uint8_t {
+  Idle,         ///< not connected, ready to attempt
+  Connecting,   ///< non-blocking connect in flight
+  AwaitAck,     ///< HELLO sent, waiting for HELLO_ACK
+  Established,  ///< handshake accepted; traffic flows
+  Backoff,      ///< waiting out the reconnect delay
+  Closed,       ///< close() completed; no further attempts
+};
+
+const char* to_string(LinkState s);
+
+class SensorNodeClient {
+ public:
+  /// Called for every BEAT_VERDICT received (gateway classifications in
+  /// StreamEverything, upload confirmations in Selective).
+  using VerdictSink =
+      std::function<void(std::uint64_t seq, const BeatVerdictMsg&)>;
+
+  SensorNodeClient(embedded::EmbeddedClassifier classifier, NodeConfig cfg);
+
+  SensorNodeClient(const SensorNodeClient&) = delete;
+  SensorNodeClient& operator=(const SensorNodeClient&) = delete;
+
+  void set_verdict_sink(VerdictSink sink) { on_verdict_ = std::move(sink); }
+
+  /// Feeds ADC samples into the node pipeline (policy-dependent fate).
+  /// The double overload sanitizes exactly like the monitor's untrusted
+  /// boundary: non-finite is replaced by the last accepted code
+  /// (sample-hold), everything else is clamped to the ADC rails — so the
+  /// codes on the wire equal the codes a direct in-process monitor would
+  /// have accepted.
+  void push(dsp::Sample x);
+  void push(double x);
+  void push(std::span<const dsp::Sample> xs);
+  void push(std::span<const double> xs);
+
+  /// Flushes the local pipeline tail (selective) or the partial staged
+  /// chunk (stream mode) into the send queue. Idempotent.
+  void finish();
+
+  /// One link step: state machine + socket I/O, waiting at most
+  /// `timeout_ms` for readiness. Returns true if anything progressed
+  /// (bytes moved, frames handled, state changed).
+  bool poll_once(int timeout_ms);
+
+  /// Polls until every queued frame is on the wire and every FULL_BEAT is
+  /// acked, or `deadline_ms` elapses. True on full drain.
+  bool drain(int deadline_ms);
+
+  /// finish() + drain + BYE + read the verdict tail until the gateway
+  /// closes (bounded by `deadline_ms`). The link ends in Closed.
+  void close(int deadline_ms);
+
+  LinkState state() const { return state_; }
+  bool established() const { return state_ == LinkState::Established; }
+  const TxStats& stats() const { return stats_; }
+  /// One byte per normal beat kept on the node: class in the low 2 bits,
+  /// SignalQuality in the next 2 — the paper's "verdict record".
+  const std::vector<std::uint8_t>& local_log() const { return local_log_; }
+  /// Bytes queued (send queue + partially written frame), for tests.
+  std::size_t pending_bytes() const;
+  std::size_t unacked_full_beats() const { return unacked_.size(); }
+
+  /// The sanitization rule of the double path, exposed so tests and
+  /// benches can precompute the exact code stream that will cross the
+  /// wire. `last` carries the sample-hold state across calls.
+  static dsp::Sample sanitize(double x, const dsp::QualityConfig& rails,
+                              dsp::Sample& last,
+                              std::uint64_t* nonfinite_count);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct QueuedFrame {
+    FrameType type = FrameType::Heartbeat;
+    /// Frame seq; SampleChunk/Heartbeat get theirs assigned at send time
+    /// (so shed frames never leave a gap in the dense chunk numbering).
+    std::uint64_t seq = 0;
+    bool seq_at_send = false;
+    std::vector<unsigned char> payload;
+  };
+
+  struct UnackedBeat {
+    std::vector<unsigned char> payload;
+    bool sent = false;  ///< reached the wire at least once
+  };
+
+  void on_pending_beat(const core::PendingBeat& pb);
+  void stage_stream_sample(dsp::Sample x);
+  void flush_stage(bool final_partial);
+  void enqueue(FrameType type, std::uint64_t seq, bool seq_at_send,
+               std::vector<unsigned char> payload);
+  bool fill_wire_out();
+  bool step_link(Clock::time_point now, int timeout_ms);
+  bool pump_io(Clock::time_point now, int timeout_ms);
+  void handle_frame(const FrameView& f);
+  void on_established(Clock::time_point now);
+  void disconnect(Clock::time_point now, bool backoff);
+  void send_hello();
+
+  embedded::EmbeddedClassifier classifier_;
+  embedded::ClassifyScratch scratch_;
+  NodeConfig cfg_;
+  std::optional<core::StreamingBeatMonitor> monitor_;  // selective only
+  core::PendingBeatSink pending_sink_;
+
+  // Ingest staging (stream mode) and the double-path sample-hold state.
+  std::vector<dsp::Sample> stage_;
+  dsp::Sample last_code_ = 0;
+  bool finished_ = false;
+
+  // Send side.
+  std::deque<QueuedFrame> sendq_;
+  std::size_t sendq_bytes_ = 0;
+  std::vector<unsigned char> wire_out_;
+  std::size_t wire_head_ = 0;
+  std::uint64_t next_chunk_seq_ = 0;
+  std::uint64_t next_beat_seq_ = 0;
+  std::uint64_t next_heartbeat_seq_ = 0;
+  std::map<std::uint64_t, UnackedBeat> unacked_;  // seq order
+
+  // Receive side.
+  FrameParser parser_;
+  std::uint64_t next_verdict_seq_ = 0;
+  VerdictSink on_verdict_;
+
+  // Link state machine.
+  Socket sock_;
+  LinkState state_ = LinkState::Idle;
+  Clock::time_point state_since_{};
+  Clock::time_point next_attempt_{};
+  Clock::time_point last_tx_{};
+  int backoff_ms_ = 0;
+  bool closing_ = false;
+  bool bye_sent_ = false;
+  bool peer_closed_ = false;
+  bool ever_established_ = false;
+
+  TxStats stats_;
+  std::vector<std::uint8_t> local_log_;
+};
+
+}  // namespace hbrp::net

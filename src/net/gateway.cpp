@@ -1,0 +1,440 @@
+#include "net/gateway.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "math/check.hpp"
+
+namespace hbrp::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void append_field(std::string& out, const char* key, std::uint64_t v,
+                  bool first = false) {
+  if (!first) out += ", ";
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += std::to_string(v);
+}
+
+GatewayConfig sanitize_config(GatewayConfig cfg) {
+  // The wire contract is lossless ingest: a chunk the session queue cannot
+  // take is parked on the connection and retried, with TCP flow control
+  // pushing back on the node. That only composes with the Block policy —
+  // Reject/DropOldest would silently shed samples the node believes were
+  // delivered.
+  cfg.fleet.session.backpressure = service::BackpressurePolicy::Block;
+  return cfg;
+}
+
+}  // namespace
+
+std::string GatewayStats::json() const {
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  std::string out = "{";
+  append_field(out, "conns_accepted", load(conns_accepted), /*first=*/true);
+  append_field(out, "conns_closed", load(conns_closed));
+  append_field(out, "conns_refused_capacity", load(conns_refused_capacity));
+  append_field(out, "conns_dropped_protocol", load(conns_dropped_protocol));
+  append_field(out, "conns_dropped_overflow", load(conns_dropped_overflow));
+  append_field(out, "conns_dropped_idle", load(conns_dropped_idle));
+  append_field(out, "bytes_rx", load(bytes_rx));
+  append_field(out, "bytes_tx", load(bytes_tx));
+  append_field(out, "frames_rx", load(frames_rx));
+  append_field(out, "frames_tx", load(frames_tx));
+  append_field(out, "frame_rejects", load(frame_rejects));
+  append_field(out, "seq_rejects", load(seq_rejects));
+  append_field(out, "chunks_rx", load(chunks_rx));
+  append_field(out, "samples_rx", load(samples_rx));
+  append_field(out, "full_beats_rx", load(full_beats_rx));
+  append_field(out, "full_beat_dups", load(full_beat_dups));
+  append_field(out, "verdicts_tx", load(verdicts_tx));
+  append_field(out, "heartbeats_rx", load(heartbeats_rx));
+  out += "}";
+  return out;
+}
+
+struct GatewayServer::Conn {
+  Socket sock;
+  FrameParser parser;
+  std::vector<unsigned char> out;
+  std::size_t out_head = 0;
+  std::optional<service::SessionId> session;
+  TxPolicy policy = TxPolicy::StreamEverything;
+  bool hello_done = false;
+  bool draining = false;  ///< flush `out`, then close
+  bool alive = true;
+  bool accept_verdicts = false;
+  bool overflowed = false;
+  std::uint64_t next_chunk_seq = 0;
+  std::optional<std::uint64_t> last_full_seq;
+  /// Decoded samples the session queue has not accepted yet (Block
+  /// backpressure); while non-empty the socket is not read.
+  std::vector<dsp::Sample> inbound;
+  std::vector<dsp::Sample> window_scratch;
+  Clock::time_point last_rx;
+};
+
+GatewayServer::GatewayServer(embedded::EmbeddedClassifier classifier,
+                             GatewayConfig cfg)
+    : classifier_(std::move(classifier)),
+      cfg_(sanitize_config(std::move(cfg))),
+      engine_(classifier_, cfg_.fleet),
+      listener_(cfg_.port) {}
+
+GatewayServer::~GatewayServer() {
+  // Abrupt teardown: no tails, no flushes. The engine's destructor closes
+  // the remaining sessions with their sinks disabled, so the Conn pointers
+  // captured there are never dereferenced.
+  for (auto& c : conns_) {
+    c->accept_verdicts = false;
+    c->alive = false;
+    c->sock.close();
+  }
+}
+
+void GatewayServer::enqueue_frame(Conn& c, FrameType type, std::uint64_t seq,
+                                  std::span<const unsigned char> payload) {
+  if (!c.alive) return;
+  append_frame(c.out, type, seq, payload);
+  stats_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  if (c.out.size() - c.out_head > cfg_.send_buffer_cap) c.overflowed = true;
+}
+
+void GatewayServer::close_conn(Conn& c, bool deliver_tail) {
+  if (!c.alive) return;
+  if (c.session.has_value()) {
+    c.accept_verdicts = deliver_tail;
+    engine_.close_session(*c.session);
+    c.session.reset();
+    c.accept_verdicts = false;
+  }
+  if (deliver_tail) {
+    // Stay alive until the send buffer (now holding the session tail)
+    // drains; the flush phase finalizes the close.
+    c.draining = true;
+    return;
+  }
+  c.alive = false;
+  c.sock.close();
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  stats_.conns_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GatewayServer::accept_pending() {
+  while (true) {
+    Socket s = listener_.accept();
+    if (!s.valid()) return;
+    if (connection_count() >= cfg_.max_connections) {
+      stats_.conns_refused_capacity.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Socket destructor closes the refused connection
+    }
+    auto c = std::make_unique<Conn>();
+    c->sock = std::move(s);
+    c->last_rx = Clock::now();
+    conns_.push_back(std::move(c));
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    stats_.conns_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void GatewayServer::on_hello(Conn& c, const FrameView& f) {
+  const auto hello = decode_hello(f.payload);
+  if (c.hello_done || !hello.has_value()) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  c.hello_done = true;
+  c.policy = hello->policy;
+  HelloAckMsg ack;
+  const std::size_t expected = classifier_.projector().expected_window();
+  if (hello->policy == TxPolicy::Selective && hello->window != expected) {
+    ack.status = HelloStatus::BadWindow;
+  } else {
+    Conn* cp = &c;  // stable: conns_ holds unique_ptrs
+    const auto id =
+        engine_.open_session([this, cp](const service::SessionResult& r) {
+          if (!cp->accept_verdicts) return;
+          BeatVerdictMsg v;
+          v.r_peak = r.beat.r_peak;
+          v.beat_class = static_cast<std::uint8_t>(r.beat.predicted);
+          v.quality = static_cast<std::uint8_t>(r.beat.quality);
+          enqueue_frame(*cp, FrameType::BeatVerdict, r.sequence,
+                        encode_beat_verdict(v));
+          stats_.verdicts_tx.fetch_add(1, std::memory_order_relaxed);
+        });
+    if (id.has_value()) {
+      c.session = *id;
+      c.accept_verdicts = true;
+      ack.session = *id;
+    } else {
+      ack.status = HelloStatus::FleetFull;
+    }
+  }
+  enqueue_frame(c, FrameType::HelloAck, 0, encode_hello_ack(ack));
+  if (ack.status != HelloStatus::Ok) c.draining = true;  // ack, then close
+}
+
+void GatewayServer::offer_samples(Conn& c) {
+  if (c.inbound.empty() || !c.session.has_value()) return;
+  const service::OfferOutcome out = engine_.offer(
+      *c.session, std::span<const dsp::Sample>(c.inbound));
+  if (out.accepted > 0)
+    c.inbound.erase(c.inbound.begin(),
+                    c.inbound.begin() +
+                        static_cast<std::ptrdiff_t>(out.accepted));
+  // Anything deferred (session queue full) or rejected (fleet-wide gauge)
+  // stays parked for the next round — the socket is not read meanwhile.
+}
+
+void GatewayServer::on_sample_chunk(Conn& c, const FrameView& f) {
+  if (!c.hello_done || !c.session.has_value()) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  if (f.seq != c.next_chunk_seq) {
+    // A gap or reorder in the dense chunk numbering: the stream can no
+    // longer be trusted to be gap-free, so the link restarts.
+    stats_.seq_rejects.fetch_add(1, std::memory_order_relaxed);
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  const std::size_t before = c.inbound.size();
+  if (!decode_sample_chunk(f.payload, c.inbound)) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  ++c.next_chunk_seq;
+  stats_.chunks_rx.fetch_add(1, std::memory_order_relaxed);
+  stats_.samples_rx.fetch_add(c.inbound.size() - before,
+                              std::memory_order_relaxed);
+  offer_samples(c);
+}
+
+void GatewayServer::on_full_beat(Conn& c, const FrameView& f) {
+  if (!c.hello_done) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  // At-least-once from the client: a seq at or below the high-water mark
+  // was already processed — ack again (the first ack may have been lost
+  // with the previous connection) but do not re-classify or re-verdict.
+  const bool dup =
+      c.last_full_seq.has_value() && f.seq <= *c.last_full_seq;
+  FullBeatMsg m;
+  if (!decode_full_beat(f.payload, m, c.window_scratch)) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  if (m.count != 0 &&
+      c.window_scratch.size() != classifier_.projector().expected_window()) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  enqueue_frame(c, FrameType::Ack, f.seq, encode_ack(AckMsg{FrameType::FullBeat}));
+  if (dup) {
+    stats_.full_beat_dups.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  c.last_full_seq = f.seq;
+  stats_.full_beats_rx.fetch_add(1, std::memory_order_relaxed);
+  // Re-classify the uploaded window with the gateway's model — the check
+  // pass before the detailed delineation stage. A 0-sample escalation
+  // (Suspect signal on the node) has no trustworthy window: Unknown.
+  BeatVerdictMsg v;
+  v.r_peak = m.r_peak;
+  v.quality = m.quality;
+  v.beat_class = static_cast<std::uint8_t>(
+      m.count == 0 ? ecg::BeatClass::Unknown
+                   : classifier_.classify_window(
+                         std::span<const dsp::Sample>(c.window_scratch),
+                         full_beat_scratch_));
+  enqueue_frame(c, FrameType::BeatVerdict, f.seq, encode_beat_verdict(v));
+  stats_.verdicts_tx.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GatewayServer::dispatch(Conn& c, const FrameView& f) {
+  switch (f.type) {
+    case FrameType::Hello:
+      on_hello(c, f);
+      return;
+    case FrameType::SampleChunk:
+      on_sample_chunk(c, f);
+      return;
+    case FrameType::FullBeat:
+      on_full_beat(c, f);
+      return;
+    case FrameType::Heartbeat:
+      stats_.heartbeats_rx.fetch_add(1, std::memory_order_relaxed);
+      enqueue_frame(c, FrameType::Ack, f.seq,
+                    encode_ack(AckMsg{FrameType::Heartbeat}));
+      return;
+    case FrameType::Bye:
+      // Graceful close: flush the session tail as verdicts, drain, close.
+      close_conn(c, /*deliver_tail=*/true);
+      return;
+    case FrameType::HelloAck:
+    case FrameType::BeatVerdict:
+    case FrameType::Ack:
+      stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+      close_conn(c, false);
+      return;
+  }
+}
+
+void GatewayServer::read_conn(Conn& c) {
+  unsigned char buf[16384];
+  // Bounded reads per round so one firehose node cannot starve the rest.
+  for (int round = 0; round < 4 && c.alive && !c.draining; ++round) {
+    if (!c.inbound.empty()) return;  // backpressured: stop reading
+    const IoResult r = recv_some(c.sock.fd(), buf);
+    if (r.n > 0) {
+      stats_.bytes_rx.fetch_add(r.n, std::memory_order_relaxed);
+      c.last_rx = Clock::now();
+      if (!c.parser.feed(std::span<const unsigned char>(buf, r.n))) {
+        stats_.frame_rejects.fetch_add(1, std::memory_order_relaxed);
+        stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+        close_conn(c, false);
+        return;
+      }
+      FrameView f;
+      auto st = FrameParser::Status::NeedMore;
+      while (c.alive && !c.draining) {
+        st = c.parser.next(f);
+        if (st != FrameParser::Status::Ok) break;
+        stats_.frames_rx.fetch_add(1, std::memory_order_relaxed);
+        dispatch(c, f);
+      }
+      if (!c.alive) return;
+      if (st == FrameParser::Status::Corrupt) {
+        stats_.frame_rejects.fetch_add(1, std::memory_order_relaxed);
+        stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+        close_conn(c, false);
+        return;
+      }
+      continue;
+    }
+    if (r.would_block) return;
+    // EOF without BYE or a hard error: the peer is gone; no tail.
+    close_conn(c, false);
+    return;
+  }
+}
+
+void GatewayServer::flush_conn(Conn& c) {
+  while (c.alive && c.out_head < c.out.size()) {
+    const IoResult r = send_some(
+        c.sock.fd(),
+        std::span<const unsigned char>(c.out).subspan(c.out_head));
+    if (r.n > 0) {
+      c.out_head += r.n;
+      stats_.bytes_tx.fetch_add(r.n, std::memory_order_relaxed);
+      continue;
+    }
+    if (r.would_block) break;
+    close_conn(c, false);
+    return;
+  }
+  if (c.out_head >= c.out.size()) {
+    c.out.clear();
+    c.out_head = 0;
+  } else if (c.out_head > (1u << 16)) {
+    c.out.erase(c.out.begin(),
+                c.out.begin() + static_cast<std::ptrdiff_t>(c.out_head));
+    c.out_head = 0;
+  }
+}
+
+std::size_t GatewayServer::poll_once(int timeout_ms) {
+  const std::uint64_t frames_before =
+      stats_.frames_rx.load(std::memory_order_relaxed) +
+      stats_.frames_tx.load(std::memory_order_relaxed);
+
+  // Phase 0: retry ingest parked by backpressure (pump freed queue space).
+  for (auto& c : conns_)
+    if (c->alive && !c->inbound.empty()) offer_samples(*c);
+
+  // Phase 1: wait for readiness.
+  std::vector<pollfd> fds;
+  std::vector<Conn*> polled;
+  fds.reserve(conns_.size() + 1);
+  polled.reserve(conns_.size());
+  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  for (auto& c : conns_) {
+    if (!c->alive) continue;
+    short events = 0;
+    if (!c->draining && c->inbound.empty()) events |= POLLIN;
+    if (c->out_head < c->out.size()) events |= POLLOUT;
+    fds.push_back(pollfd{c->sock.fd(), events, 0});
+    polled.push_back(c.get());
+  }
+  (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+  // Phase 2: accept + read + dispatch (which feeds the ingest queues).
+  if ((fds[0].revents & POLLIN) != 0) accept_pending();
+  for (std::size_t i = 0; i < polled.size(); ++i) {
+    Conn& c = *polled[i];
+    const short re = fds[i + 1].revents;
+    if (!c.alive) continue;
+    if ((re & (POLLERR | POLLNVAL)) != 0) {
+      close_conn(c, false);
+      continue;
+    }
+    if ((re & (POLLIN | POLLHUP)) != 0) read_conn(c);
+  }
+
+  // Phase 3: one engine round; sinks append verdict frames in order.
+  if (engine_.session_count() > 0) engine_.pump();
+
+  // Phase 4: flush, enforce caps, finalize drains, reap.
+  const auto now = Clock::now();
+  for (auto& c : conns_) {
+    if (!c->alive) continue;
+    if (c->overflowed) {
+      stats_.conns_dropped_overflow.fetch_add(1, std::memory_order_relaxed);
+      close_conn(*c, false);
+      continue;
+    }
+    flush_conn(*c);
+    if (!c->alive) continue;
+    if (c->draining && c->out_head >= c->out.size()) {
+      c->alive = false;
+      c->sock.close();
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
+      stats_.conns_closed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (cfg_.idle_timeout_ms > 0 && !c->draining &&
+        now - c->last_rx > std::chrono::milliseconds(cfg_.idle_timeout_ms)) {
+      stats_.conns_dropped_idle.fetch_add(1, std::memory_order_relaxed);
+      close_conn(*c, false);
+    }
+  }
+  std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) {
+    return !c->alive;
+  });
+
+  return static_cast<std::size_t>(
+      stats_.frames_rx.load(std::memory_order_relaxed) +
+      stats_.frames_tx.load(std::memory_order_relaxed) - frames_before);
+}
+
+void GatewayServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) poll_once(5);
+}
+
+}  // namespace hbrp::net

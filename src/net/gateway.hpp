@@ -1,0 +1,159 @@
+// net::GatewayServer — the ward-side collector behind the wire protocol.
+//
+// A non-blocking, poll(2)-driven TCP server that terminates the WBSN link
+// layer and maps every connection onto one service::FleetEngine session:
+//
+//   socket bytes -> FrameParser -> dispatch:
+//     HELLO        open a fleet session (admission-controlled), HELLO_ACK
+//     SAMPLE_CHUNK seq-checked, decoded, engine.offer() on the session's
+//                  bounded ingest queue (integer path, no double copy)
+//     FULL_BEAT    node-side verdict escalation: the window is re-classified
+//                  with the gateway's own model, acked, and answered with a
+//                  BEAT_VERDICT (at-least-once from the client; duplicate
+//                  seqs are acked but not re-processed)
+//     HEARTBEAT    ACK echo
+//     BYE          graceful close: the session tail is flushed as verdicts,
+//                  the send buffer drains, then the socket closes
+//
+// One poll_once() round is: retry deferred ingest, read + dispatch, one
+// FleetEngine::pump(), flush writes, reap dead connections. Verdicts are
+// produced by the engine's serial in-order delivery phase, so the frames
+// appended to each connection's send buffer inherit the per-session dense
+// sequence contract — and because the engine's schedule is deterministic
+// for any thread/shard count, the verdict byte stream a client receives is
+// bit-identical to what direct in-process ingest of the same samples would
+// produce (test_net_loopback and bench_net gate on exactly this).
+//
+// Backpressure is end-to-end and lossless on the ingest side: when a
+// session's bounded queue defers part of a chunk (Block policy), the
+// remainder parks in the connection and the socket is NOT read again until
+// it drains — TCP flow control then pushes back on the node. On the egress
+// side the send buffer is capped; a client that stops reading its verdicts
+// is dropped rather than allowed to grow the gateway without bound.
+//
+// Protocol violations (CRC/magic/version failures, sequence gaps, oversized
+// frames, a first frame that is not HELLO) tear the connection down and
+// close its session without delivering the tail — the peer is untrusted
+// from that point. Every such event is counted in GatewayStats.
+//
+// Threading: the server is single-threaded (all sockets, the parser, the
+// engine pump and the sinks run on the poll_once()/serve() caller).
+// GatewayStats counters are relaxed atomics so another thread may watch
+// them — and stop() may be called from anywhere — while the loop runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embedded/bundle.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "service/fleet.hpp"
+
+namespace hbrp::net {
+
+struct GatewayConfig {
+  /// Listen port on 127.0.0.1 (0 = ephemeral; read back via port()).
+  std::uint16_t port = 0;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 64;
+  /// Per-connection cap on buffered outbound bytes; exceeding it drops the
+  /// connection (a verdict stream cannot be shed without breaking the
+  /// dense-sequence contract, so a non-reading client must go).
+  std::size_t send_buffer_cap = 4u << 20;
+  /// Drop a connection silent for longer than this (0 = disabled). The
+  /// client's heartbeat interval must be comfortably shorter.
+  int idle_timeout_ms = 0;
+  /// Inner engine configuration (threads, shards, admission, per-session
+  /// queue/backpressure defaults).
+  service::FleetConfig fleet;
+};
+
+/// Single-writer (the poll thread) relaxed-atomic counters, readable from
+/// any thread while the server runs.
+struct GatewayStats {
+  std::atomic<std::uint64_t> conns_accepted{0};
+  std::atomic<std::uint64_t> conns_closed{0};
+  std::atomic<std::uint64_t> conns_refused_capacity{0};
+  std::atomic<std::uint64_t> conns_dropped_protocol{0};
+  std::atomic<std::uint64_t> conns_dropped_overflow{0};
+  std::atomic<std::uint64_t> conns_dropped_idle{0};
+  std::atomic<std::uint64_t> bytes_rx{0};
+  std::atomic<std::uint64_t> bytes_tx{0};
+  std::atomic<std::uint64_t> frames_rx{0};
+  std::atomic<std::uint64_t> frames_tx{0};
+  std::atomic<std::uint64_t> frame_rejects{0};  ///< parser Corrupt events
+  std::atomic<std::uint64_t> seq_rejects{0};    ///< chunk seq gap/reorder
+  std::atomic<std::uint64_t> chunks_rx{0};
+  std::atomic<std::uint64_t> samples_rx{0};
+  std::atomic<std::uint64_t> full_beats_rx{0};
+  std::atomic<std::uint64_t> full_beat_dups{0};
+  std::atomic<std::uint64_t> verdicts_tx{0};
+  std::atomic<std::uint64_t> heartbeats_rx{0};
+
+  std::string json() const;
+};
+
+class GatewayServer {
+ public:
+  /// Binds the listener immediately; throws hbrp::Error if the port is
+  /// unavailable. `classifier` drives both the inner FleetEngine and the
+  /// FULL_BEAT re-classification path.
+  GatewayServer(embedded::EmbeddedClassifier classifier,
+                GatewayConfig cfg = {});
+  ~GatewayServer();
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// One scheduling round (see file header). `timeout_ms` bounds the
+  /// poll(2) wait; returns the number of frames received + sent, so a
+  /// driver can tell progress from idleness.
+  std::size_t poll_once(int timeout_ms);
+
+  /// poll_once(5) until stop() is called (from any thread).
+  void serve();
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  std::size_t connection_count() const {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+  const GatewayStats& stats() const { return stats_; }
+  const service::FleetEngine& engine() const { return engine_; }
+
+ private:
+  struct Conn;
+
+  void accept_pending();
+  void read_conn(Conn& c);
+  void dispatch(Conn& c, const FrameView& f);
+  void on_hello(Conn& c, const FrameView& f);
+  void on_sample_chunk(Conn& c, const FrameView& f);
+  void on_full_beat(Conn& c, const FrameView& f);
+  void offer_samples(Conn& c);
+  void flush_conn(Conn& c);
+  void enqueue_frame(Conn& c, FrameType type, std::uint64_t seq,
+                     std::span<const unsigned char> payload);
+  /// Tears the connection down. `deliver_tail` routes the session's final
+  /// beats into the send buffer first (graceful Bye) — pointless on
+  /// protocol errors where the socket is already untrusted/dead.
+  void close_conn(Conn& c, bool deliver_tail);
+
+  embedded::EmbeddedClassifier classifier_;
+  embedded::ClassifyScratch full_beat_scratch_;
+  GatewayConfig cfg_;
+  service::FleetEngine engine_;
+  TcpListener listener_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  GatewayStats stats_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> open_conns_{0};
+};
+
+}  // namespace hbrp::net

@@ -1,0 +1,143 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "math/check.hpp"
+
+namespace hbrp::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  HBRP_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "socket: cannot set O_NONBLOCK");
+}
+
+void set_nodelay(int fd) {
+  // Verdict frames are tiny; without TCP_NODELAY Nagle would batch them
+  // behind the next chunk and wreck the latency figures for nothing.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoResult send_some(int fd, std::span<const unsigned char> bytes) {
+  IoResult r;
+  if (bytes.empty()) return r;
+  const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  if (n > 0) {
+    r.n = static_cast<std::size_t>(n);
+    return r;
+  }
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+    r.would_block = true;
+    return r;
+  }
+  r.error = true;
+  return r;
+}
+
+IoResult recv_some(int fd, std::span<unsigned char> into) {
+  IoResult r;
+  if (into.empty()) return r;
+  const ssize_t n = ::recv(fd, into.data(), into.size(), 0);
+  if (n > 0) {
+    r.n = static_cast<std::size_t>(n);
+    return r;
+  }
+  if (n == 0) {
+    r.eof = true;
+    return r;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    r.would_block = true;
+    return r;
+  }
+  r.error = true;
+  return r;
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HBRP_REQUIRE(fd >= 0, "socket: cannot create listener");
+  listener_ = Socket(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  HBRP_REQUIRE(
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+      "socket: cannot bind 127.0.0.1:" + std::to_string(port));
+  HBRP_REQUIRE(::listen(fd, backlog) == 0, "socket: listen failed");
+  set_nonblocking(fd);
+
+  socklen_t len = sizeof(addr);
+  HBRP_REQUIRE(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+      "socket: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket TcpListener::accept() {
+  const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket();
+  Socket s(fd);
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  return s;
+}
+
+Socket connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket();
+  Socket s(fd);
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+      0)
+    return s;  // loopback can complete synchronously
+  if (errno == EINPROGRESS || errno == EINTR) return s;
+  return Socket();
+}
+
+bool connect_finished(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
+}
+
+}  // namespace hbrp::net

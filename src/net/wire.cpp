@@ -1,0 +1,262 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "math/check.hpp"
+#include "math/crc32.hpp"
+#include "math/endian.hpp"
+
+namespace hbrp::net {
+
+namespace {
+
+using math::append_le;
+using math::ByteReader;
+using math::load_le;
+using math::store_le;
+
+constexpr std::size_t kFullBeatFixedBytes =
+    8 + 1 + 1 + 2;  // r_peak, class, quality, count
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
+         t <= static_cast<std::uint8_t>(FrameType::Bye);
+}
+
+/// CRC over the first 16 header bytes (magic through seq) continued over
+/// the payload — one definition shared by append_frame and the parser.
+std::uint32_t frame_crc(const unsigned char* header,
+                        std::span<const unsigned char> payload) {
+  std::uint32_t crc = math::crc32(header, kHeaderBytes - 4);
+  if (!payload.empty()) crc = math::crc32(payload.data(), payload.size(), crc);
+  return crc;
+}
+
+}  // namespace
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "HELLO";
+    case FrameType::HelloAck: return "HELLO_ACK";
+    case FrameType::SampleChunk: return "SAMPLE_CHUNK";
+    case FrameType::BeatVerdict: return "BEAT_VERDICT";
+    case FrameType::FullBeat: return "FULL_BEAT";
+    case FrameType::Heartbeat: return "HEARTBEAT";
+    case FrameType::Ack: return "ACK";
+    case FrameType::Bye: return "BYE";
+  }
+  return "?";
+}
+
+const char* to_string(TxPolicy p) {
+  switch (p) {
+    case TxPolicy::StreamEverything: return "stream-everything";
+    case TxPolicy::Selective: return "selective";
+  }
+  return "?";
+}
+
+const char* to_string(HelloStatus s) {
+  switch (s) {
+    case HelloStatus::Ok: return "ok";
+    case HelloStatus::FleetFull: return "fleet-full";
+    case HelloStatus::BadWindow: return "bad-window";
+    case HelloStatus::BadVersion: return "bad-version";
+  }
+  return "?";
+}
+
+void append_frame(std::vector<unsigned char>& out, FrameType type,
+                  std::uint64_t seq, std::span<const unsigned char> payload) {
+  HBRP_REQUIRE(payload.size() <= kMaxPayloadBytes,
+               "wire: frame payload exceeds kMaxPayloadBytes");
+  const std::size_t at = out.size();
+  out.resize(at + kHeaderBytes);
+  unsigned char* h = out.data() + at;
+  store_le<std::uint16_t>(h, kWireMagic);
+  h[2] = kProtocolVersion;
+  h[3] = static_cast<std::uint8_t>(type);
+  store_le<std::uint32_t>(h + 4, static_cast<std::uint32_t>(payload.size()));
+  store_le<std::uint64_t>(h + 8, seq);
+  store_le<std::uint32_t>(h + 16, frame_crc(h, payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<unsigned char> encode_hello(const HelloMsg& m) {
+  std::vector<unsigned char> p;
+  append_le(p, m.node_id);
+  append_le(p, static_cast<std::uint8_t>(m.policy));
+  append_le(p, m.window);
+  append_le(p, m.fs_hz);
+  return p;
+}
+
+std::vector<unsigned char> encode_hello_ack(const HelloAckMsg& m) {
+  std::vector<unsigned char> p;
+  append_le(p, m.session);
+  append_le(p, static_cast<std::uint8_t>(m.status));
+  return p;
+}
+
+std::vector<unsigned char> encode_beat_verdict(const BeatVerdictMsg& m) {
+  std::vector<unsigned char> p;
+  append_le(p, m.r_peak);
+  append_le(p, m.beat_class);
+  append_le(p, m.quality);
+  return p;
+}
+
+std::vector<unsigned char> encode_ack(const AckMsg& m) {
+  std::vector<unsigned char> p;
+  append_le(p, static_cast<std::uint8_t>(m.acked));
+  return p;
+}
+
+std::vector<unsigned char> encode_sample_chunk(
+    std::span<const dsp::Sample> samples) {
+  HBRP_REQUIRE(samples.size() <= kMaxChunkSamples,
+               "wire: sample chunk exceeds kMaxChunkSamples");
+  std::vector<unsigned char> p;
+  p.reserve(samples.size() * sizeof(std::int32_t));
+  for (const dsp::Sample s : samples)
+    append_le(p, static_cast<std::int32_t>(s));
+  return p;
+}
+
+std::vector<unsigned char> encode_full_beat(
+    FullBeatMsg m, std::span<const dsp::Sample> window) {
+  HBRP_REQUIRE(window.size() <= kMaxWindowSamples,
+               "wire: beat window exceeds kMaxWindowSamples");
+  m.count = static_cast<std::uint16_t>(window.size());
+  std::vector<unsigned char> p;
+  p.reserve(kFullBeatFixedBytes + window.size() * sizeof(std::int32_t));
+  append_le(p, m.r_peak);
+  append_le(p, m.beat_class);
+  append_le(p, m.quality);
+  append_le(p, m.count);
+  for (const dsp::Sample s : window)
+    append_le(p, static_cast<std::int32_t>(s));
+  return p;
+}
+
+std::optional<HelloMsg> decode_hello(std::span<const unsigned char> payload) {
+  if (payload.size() != 4 + 1 + 2 + 4) return std::nullopt;
+  ByteReader r(payload.data(), payload.size());
+  HelloMsg m;
+  m.node_id = r.get<std::uint32_t>();
+  const auto policy = r.get<std::uint8_t>();
+  if (policy > static_cast<std::uint8_t>(TxPolicy::Selective))
+    return std::nullopt;
+  m.policy = static_cast<TxPolicy>(policy);
+  m.window = r.get<std::uint16_t>();
+  m.fs_hz = r.get<std::uint32_t>();
+  return m;
+}
+
+std::optional<HelloAckMsg> decode_hello_ack(
+    std::span<const unsigned char> payload) {
+  if (payload.size() != 8 + 1) return std::nullopt;
+  ByteReader r(payload.data(), payload.size());
+  HelloAckMsg m;
+  m.session = r.get<std::uint64_t>();
+  const auto status = r.get<std::uint8_t>();
+  if (status > static_cast<std::uint8_t>(HelloStatus::BadVersion))
+    return std::nullopt;
+  m.status = static_cast<HelloStatus>(status);
+  return m;
+}
+
+std::optional<BeatVerdictMsg> decode_beat_verdict(
+    std::span<const unsigned char> payload) {
+  if (payload.size() != 8 + 1 + 1) return std::nullopt;
+  ByteReader r(payload.data(), payload.size());
+  BeatVerdictMsg m;
+  m.r_peak = r.get<std::uint64_t>();
+  m.beat_class = r.get<std::uint8_t>();
+  m.quality = r.get<std::uint8_t>();
+  return m;
+}
+
+std::optional<AckMsg> decode_ack(std::span<const unsigned char> payload) {
+  if (payload.size() != 1) return std::nullopt;
+  if (!valid_type(payload[0])) return std::nullopt;
+  return AckMsg{static_cast<FrameType>(payload[0])};
+}
+
+bool decode_sample_chunk(std::span<const unsigned char> payload,
+                         std::vector<dsp::Sample>& out) {
+  if (payload.size() % sizeof(std::int32_t) != 0) return false;
+  const std::size_t count = payload.size() / sizeof(std::int32_t);
+  if (count == 0 || count > kMaxChunkSamples) return false;
+  const std::size_t at = out.size();
+  out.resize(at + count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[at + i] = load_le<std::int32_t>(payload.data() + i * 4);
+  return true;
+}
+
+bool decode_full_beat(std::span<const unsigned char> payload, FullBeatMsg& m,
+                      std::vector<dsp::Sample>& window) {
+  if (payload.size() < kFullBeatFixedBytes) return false;
+  ByteReader r(payload.data(), payload.size());
+  m.r_peak = r.get<std::uint64_t>();
+  m.beat_class = r.get<std::uint8_t>();
+  m.quality = r.get<std::uint8_t>();
+  m.count = r.get<std::uint16_t>();
+  if (m.count > kMaxWindowSamples) return false;
+  if (r.remaining() != m.count * sizeof(std::int32_t)) return false;
+  window.clear();
+  window.reserve(m.count);
+  const unsigned char* s = r.bytes(m.count * sizeof(std::int32_t));
+  for (std::size_t i = 0; i < m.count; ++i)
+    window.push_back(load_le<std::int32_t>(s + i * 4));
+  return true;
+}
+
+bool FrameParser::feed(std::span<const unsigned char> bytes) {
+  if (corrupt_) return false;
+  // One frame can occupy at most kHeaderBytes + kMaxPayloadBytes; double
+  // that bounds any legitimate backlog mid-frame plus a full queued frame.
+  constexpr std::size_t kMaxBacklog = 2 * (kHeaderBytes + kMaxPayloadBytes);
+  if (buffered() + bytes.size() > kMaxBacklog) {
+    fail("receive backlog exceeded");
+    return false;
+  }
+  // Compact before growing: keeps the buffer from creeping even when the
+  // consumer always drains everything.
+  if (head_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  return true;
+}
+
+FrameParser::Status FrameParser::fail(const char* reason) {
+  corrupt_ = true;
+  error_ = reason;
+  return Status::Corrupt;
+}
+
+FrameParser::Status FrameParser::next(FrameView& out) {
+  if (corrupt_) return Status::Corrupt;
+  const std::size_t avail = buffered();
+  if (avail < kHeaderBytes) return Status::NeedMore;
+  const unsigned char* h = buf_.data() + head_;
+  if (load_le<std::uint16_t>(h) != kWireMagic) return fail("bad frame magic");
+  if (h[2] != kProtocolVersion) return fail("protocol version mismatch");
+  if (!valid_type(h[3])) return fail("unknown frame type");
+  const auto payload_len = load_le<std::uint32_t>(h + 4);
+  if (payload_len > kMaxPayloadBytes) return fail("implausible payload length");
+  if (avail < kHeaderBytes + payload_len) return Status::NeedMore;
+  const std::span<const unsigned char> payload(h + kHeaderBytes, payload_len);
+  if (load_le<std::uint32_t>(h + 16) != frame_crc(h, payload))
+    return fail("frame checksum mismatch");
+  out.type = static_cast<FrameType>(h[3]);
+  out.seq = load_le<std::uint64_t>(h + 8);
+  out.payload = payload;
+  head_ += kHeaderBytes + payload_len;
+  return Status::Ok;
+}
+
+}  // namespace hbrp::net

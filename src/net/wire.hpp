@@ -1,0 +1,219 @@
+// WBSN wire protocol v1: versioned little-endian binary framing.
+//
+// The transport between a sensor node and the ward gateway. Every frame is
+// a fixed 20-byte header followed by a bounded payload:
+//
+//   offset size field
+//   0      2    magic 0xECB5
+//   2      1    protocol version (kProtocolVersion)
+//   3      1    frame type (FrameType)
+//   4      4    payload length (bytes, <= kMaxPayloadBytes)
+//   8      8    sequence number (meaning depends on the frame type)
+//   16     4    CRC-32 over header bytes [0, 16) then the payload
+//
+// All multi-byte fields are little-endian via math/endian.hpp — the same
+// audited codec core/model_io uses for persisted models. The CRC (the
+// existing math::crc32) covers the length and sequence fields, so a
+// corrupted header can never drive a bogus allocation or a silent seq jump;
+// payload_len is additionally bounded before the CRC is even attempted so
+// a hostile length cannot stall the parser waiting for gigabytes.
+//
+// Frame types and their seq/payload contracts:
+//   Hello        client -> gateway   seq 0; HelloMsg (node id, TxPolicy,
+//                                    window length, sample rate)
+//   HelloAck     gateway -> client   seq 0; HelloAckMsg (session id, status)
+//   SampleChunk  client -> gateway   seq = dense chunk counter from 0; the
+//                                    gateway rejects any gap or reorder.
+//                                    Payload: N x int32 ADC codes.
+//   BeatVerdict  gateway -> client   seq = per-session verdict sequence
+//                                    (dense, the FleetEngine delivery
+//                                    order contract); BeatVerdictMsg.
+//   FullBeat     client -> gateway   seq = dense beat-upload counter;
+//                                    FullBeatMsg + window samples. Resent
+//                                    after reconnect until acked
+//                                    (at-least-once; the gateway dedupes).
+//   Heartbeat    either direction    seq = sender's heartbeat counter;
+//                                    empty payload; peer echoes with Ack.
+//   Ack          either direction    seq echoes the acknowledged frame's
+//                                    seq; AckMsg names the acked type.
+//   Bye          client -> gateway   graceful close: the gateway flushes
+//                                    the session tail as BeatVerdict
+//                                    frames, then closes the connection.
+//
+// FrameParser is the receive side: feed() raw socket bytes, then pull
+// complete frames with next(). It is incremental (handles any fragmentation
+// TCP produces) and fails *sticky*: a bad magic, version, length or CRC
+// marks the stream Corrupt and every later next() repeats that verdict —
+// on a byte stream there is no trustworthy resynchronization point, so the
+// connection must be torn down and re-established (the client's
+// reconnect/backoff path).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace hbrp::net {
+
+inline constexpr std::uint16_t kWireMagic = 0xECB5;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+/// Upper bound on one frame's payload; caps parser buffering and keeps a
+/// corrupt length field from ever looking plausible. Large enough for a
+/// FullBeat of kMaxWindowSamples plus its fixed fields.
+inline constexpr std::size_t kMaxPayloadBytes = 1u << 16;
+/// Bounds for the typed payloads (checked by the codecs on both sides).
+inline constexpr std::size_t kMaxChunkSamples = 8192;
+inline constexpr std::size_t kMaxWindowSamples = 4096;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,
+  HelloAck = 2,
+  SampleChunk = 3,
+  BeatVerdict = 4,
+  FullBeat = 5,
+  Heartbeat = 6,
+  Ack = 7,
+  Bye = 8,
+};
+
+const char* to_string(FrameType t);
+
+/// Node -> gateway transmission policy (the paper's energy knob).
+enum class TxPolicy : std::uint8_t {
+  /// Ship every raw sample; the gateway classifies (baseline system).
+  StreamEverything = 0,
+  /// Classify on the node; normal beats leave a 1-byte local record,
+  /// pathological/Unknown beats upload the full window (proposed system).
+  Selective = 1,
+};
+
+const char* to_string(TxPolicy p);
+
+struct HelloMsg {
+  std::uint32_t node_id = 0;
+  TxPolicy policy = TxPolicy::StreamEverything;
+  /// Beat window length the node will upload in FullBeat frames; the
+  /// gateway refuses a handshake whose window does not match its model.
+  std::uint16_t window = 0;
+  std::uint32_t fs_hz = 0;
+};
+
+enum class HelloStatus : std::uint8_t {
+  Ok = 0,
+  FleetFull = 1,     ///< admission control refused the session
+  BadWindow = 2,     ///< window length does not match the gateway's model
+  BadVersion = 3,    ///< protocol version mismatch
+};
+
+const char* to_string(HelloStatus s);
+
+struct HelloAckMsg {
+  std::uint64_t session = 0;
+  HelloStatus status = HelloStatus::Ok;
+};
+
+struct BeatVerdictMsg {
+  std::uint64_t r_peak = 0;
+  std::uint8_t beat_class = 0;  ///< ecg::BeatClass
+  std::uint8_t quality = 0;     ///< dsp::SignalQuality
+};
+
+/// Fixed prefix of a FullBeat payload; `count` window samples follow.
+struct FullBeatMsg {
+  std::uint64_t r_peak = 0;
+  std::uint8_t beat_class = 0;  ///< node's local verdict (ecg::BeatClass)
+  std::uint8_t quality = 0;     ///< dsp::SignalQuality at the beat
+  std::uint16_t count = 0;      ///< window samples in this frame (0 when the
+                                ///< signal was Suspect: escalation metadata
+                                ///< only, no trustworthy window exists)
+};
+
+struct AckMsg {
+  FrameType acked = FrameType::Ack;
+};
+
+/// One complete, CRC-verified frame as surfaced by FrameParser::next().
+/// `payload` views the parser's buffer and is valid only until the next
+/// feed()/next() call — decode or copy before continuing.
+struct FrameView {
+  FrameType type = FrameType::Heartbeat;
+  std::uint64_t seq = 0;
+  std::span<const unsigned char> payload;
+};
+
+// --- encode --------------------------------------------------------------
+
+/// Appends one complete frame (header + payload + CRC) to `out`.
+void append_frame(std::vector<unsigned char>& out, FrameType type,
+                  std::uint64_t seq, std::span<const unsigned char> payload);
+
+std::vector<unsigned char> encode_hello(const HelloMsg& m);
+std::vector<unsigned char> encode_hello_ack(const HelloAckMsg& m);
+std::vector<unsigned char> encode_beat_verdict(const BeatVerdictMsg& m);
+std::vector<unsigned char> encode_ack(const AckMsg& m);
+/// SampleChunk payload: `samples.size()` int32 codes (<= kMaxChunkSamples).
+std::vector<unsigned char> encode_sample_chunk(
+    std::span<const dsp::Sample> samples);
+/// FullBeat payload: fixed fields + `window.size()` int32 codes
+/// (<= kMaxWindowSamples; `m.count` is overwritten with window.size()).
+std::vector<unsigned char> encode_full_beat(
+    FullBeatMsg m, std::span<const dsp::Sample> window);
+
+// --- decode --------------------------------------------------------------
+// Strict: the payload must have exactly the expected size (and internally
+// consistent counts); anything else returns nullopt/false and the caller
+// treats the frame as a protocol violation.
+
+std::optional<HelloMsg> decode_hello(std::span<const unsigned char> payload);
+std::optional<HelloAckMsg> decode_hello_ack(
+    std::span<const unsigned char> payload);
+std::optional<BeatVerdictMsg> decode_beat_verdict(
+    std::span<const unsigned char> payload);
+std::optional<AckMsg> decode_ack(std::span<const unsigned char> payload);
+/// Appends the chunk's samples to `out`; false on malformed payload.
+bool decode_sample_chunk(std::span<const unsigned char> payload,
+                         std::vector<dsp::Sample>& out);
+/// Decodes the fixed fields and fills `window`; false on malformed payload.
+bool decode_full_beat(std::span<const unsigned char> payload, FullBeatMsg& m,
+                      std::vector<dsp::Sample>& window);
+
+// --- incremental receive -------------------------------------------------
+
+class FrameParser {
+ public:
+  enum class Status : std::uint8_t {
+    Ok,        ///< a frame was produced
+    NeedMore,  ///< no complete frame buffered yet
+    Corrupt,   ///< stream is unrecoverable (sticky; see error())
+  };
+
+  /// Appends raw received bytes. Returns false (and goes Corrupt) if the
+  /// unconsumed backlog would exceed the parser's bound — a peer that
+  /// never completes a frame cannot grow the buffer without limit.
+  bool feed(std::span<const unsigned char> bytes);
+
+  /// Extracts the next complete frame into `out` (payload views internal
+  /// storage; valid until the next feed()/next()).
+  Status next(FrameView& out);
+
+  bool corrupt() const { return corrupt_; }
+  const std::string& error() const { return error_; }
+
+  /// Unconsumed buffered bytes (diagnostics / tests).
+  std::size_t buffered() const { return buf_.size() - head_; }
+
+ private:
+  Status fail(const char* reason);
+
+  std::vector<unsigned char> buf_;
+  std::size_t head_ = 0;
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+}  // namespace hbrp::net

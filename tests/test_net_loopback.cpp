@@ -1,0 +1,566 @@
+// End-to-end loopback tests for the src/net subsystem: gateway + client
+// round trips, verdict bit-identity vs direct FleetEngine ingest across
+// thread/shard counts, the selective-transmission policy, corrupted-frame
+// rejection, reconnect recovery with at-least-once uploads, admission
+// refusal, and session-leak checks.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "ecg/dataset.hpp"
+#include "ecg/synth.hpp"
+#include "net/client.hpp"
+#include "net/gateway.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "service/fleet.hpp"
+
+namespace {
+
+using namespace hbrp;
+using Clock = std::chrono::steady_clock;
+
+class NetLoopbackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecg::DatasetBuilderConfig cfg;
+    cfg.record_duration_s = 120.0;
+    cfg.max_per_record_per_class = 20;
+    cfg.seed = 181;
+    const auto ts1 = ecg::build_dataset({150, 150, 150}, cfg);
+    cfg.max_per_record_per_class = 80;
+    cfg.seed = 182;
+    const auto ts2 = ecg::build_dataset({1200, 120, 150}, cfg);
+    core::TwoStepConfig tcfg;
+    tcfg.ga.population = 4;
+    tcfg.ga.generations = 2;
+    tcfg.seed = 18;
+    const core::TwoStepTrainer trainer(ts1, ts2, tcfg);
+    bundle_ = new embedded::EmbeddedClassifier(trainer.run().quantize());
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+
+  static const embedded::EmbeddedClassifier* bundle_;
+};
+
+const embedded::EmbeddedClassifier* NetLoopbackTest::bundle_ = nullptr;
+
+std::vector<double> patient_lead(std::uint64_t seed, double seconds = 30.0) {
+  ecg::SynthConfig cfg;
+  cfg.profile = seed % 2 == 0 ? ecg::RecordProfile::PvcOccasional
+                              : ecg::RecordProfile::NormalSinus;
+  cfg.duration_s = seconds;
+  cfg.num_leads = 1;
+  cfg.seed = seed;
+  const auto rec = ecg::generate_record(cfg);
+  return {rec.leads[0].begin(), rec.leads[0].end()};
+}
+
+/// The exact integer codes a node's double input becomes on the wire.
+std::vector<dsp::Sample> wire_codes(const std::vector<double>& lead) {
+  const core::MonitorConfig mc;
+  std::vector<dsp::Sample> codes;
+  codes.reserve(lead.size());
+  dsp::Sample last = 0;
+  for (const double x : lead)
+    codes.push_back(net::SensorNodeClient::sanitize(x, mc.quality, last,
+                                                    nullptr));
+  return codes;
+}
+
+struct VerdictSig {
+  std::uint64_t sequence;
+  std::uint64_t r_peak;
+  std::uint8_t beat_class;
+  std::uint8_t quality;
+  bool operator==(const VerdictSig&) const = default;
+};
+
+/// Reference path: the same sanitized codes offered straight into a
+/// FleetEngine session (no sockets), pumped to completion.
+std::vector<VerdictSig> direct_ingest(
+    const embedded::EmbeddedClassifier& classifier,
+    std::span<const dsp::Sample> codes, std::size_t threads,
+    std::size_t shards) {
+  service::FleetConfig cfg;
+  cfg.threads = threads;
+  cfg.shards = shards;
+  service::FleetEngine engine(classifier, cfg);
+  std::vector<VerdictSig> out;
+  const auto id =
+      engine.open_session([&out](const service::SessionResult& r) {
+        out.push_back(VerdictSig{
+            r.sequence, static_cast<std::uint64_t>(r.beat.r_peak),
+            static_cast<std::uint8_t>(r.beat.predicted),
+            static_cast<std::uint8_t>(r.beat.quality)});
+      });
+  EXPECT_TRUE(id.has_value());
+  std::size_t off = 0;
+  while (off < codes.size()) {
+    const std::size_t n = std::min<std::size_t>(1024, codes.size() - off);
+    const auto res = engine.offer(*id, codes.subspan(off, n));
+    off += res.accepted;
+    engine.pump();
+  }
+  engine.drain();
+  EXPECT_TRUE(engine.close_session(*id));
+  return out;
+}
+
+/// Gateway on its own serve() thread; stopped and joined on destruction.
+struct GatewayHarness {
+  net::GatewayServer gw;
+  std::thread thread;
+
+  GatewayHarness(const embedded::EmbeddedClassifier& classifier,
+                 net::GatewayConfig cfg)
+      : gw(classifier, std::move(cfg)),
+        thread([this] { gw.serve(); }) {}
+  ~GatewayHarness() {
+    gw.stop();
+    thread.join();
+  }
+};
+
+bool poll_client_until(net::SensorNodeClient& cl,
+                       const std::function<bool()>& done,
+                       int budget_ms = 10000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+  while (Clock::now() < deadline) {
+    if (done()) return true;
+    cl.poll_once(2);
+  }
+  return done();
+}
+
+/// Waits until the gateway has finalized every connection and session (its
+/// serve thread needs a round or two after the last client leaves).
+void await_gateway_idle(net::GatewayServer& gw, int budget_ms = 5000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+  while ((gw.connection_count() != 0 || gw.engine().session_count() != 0) &&
+         Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+TEST_F(NetLoopbackTest, GracefulCloseReleasesConnectionAndSession) {
+  GatewayHarness harness(*bundle_, {});
+  net::NodeConfig ncfg;
+  ncfg.port = harness.gw.port();
+  net::SensorNodeClient client(*bundle_, ncfg);
+  ASSERT_TRUE(poll_client_until(client, [&] { return client.established(); }));
+  EXPECT_EQ(harness.gw.engine().session_count(), 1u);
+  client.close(5000);
+  EXPECT_EQ(client.state(), net::LinkState::Closed);
+  await_gateway_idle(harness.gw);
+  EXPECT_EQ(harness.gw.connection_count(), 0u);
+  EXPECT_EQ(harness.gw.engine().session_count(), 0u);
+  EXPECT_EQ(harness.gw.stats().conns_accepted.load(), 1u);
+  EXPECT_EQ(harness.gw.stats().conns_closed.load(), 1u);
+}
+
+TEST_F(NetLoopbackTest, StreamEverythingIsBitIdenticalToDirectIngest) {
+  const auto lead = patient_lead(7);
+  const auto codes = wire_codes(lead);
+  const auto reference = direct_ingest(*bundle_, codes, 1, 1);
+  ASSERT_FALSE(reference.empty());
+  // The engine's own determinism contract, restated here because the wire
+  // claim leans on it: any thread/shard count produces the same stream.
+  EXPECT_EQ(direct_ingest(*bundle_, codes, 4, 3), reference);
+
+  for (const auto [threads, shards] :
+       {std::pair<std::size_t, std::size_t>{1, 1}, {4, 3}}) {
+    net::GatewayConfig gcfg;
+    gcfg.fleet.threads = threads;
+    gcfg.fleet.shards = shards;
+    GatewayHarness harness(*bundle_, gcfg);
+
+    net::NodeConfig ncfg;
+    ncfg.port = harness.gw.port();
+    ncfg.policy = net::TxPolicy::StreamEverything;
+    net::SensorNodeClient client(*bundle_, ncfg);
+    std::vector<VerdictSig> got;
+    client.set_verdict_sink(
+        [&got](std::uint64_t seq, const net::BeatVerdictMsg& v) {
+          got.push_back(VerdictSig{seq, v.r_peak, v.beat_class, v.quality});
+        });
+
+    client.push(std::span<const double>(lead));
+    client.finish();
+    EXPECT_TRUE(client.drain(20000));
+    client.close(5000);
+
+    EXPECT_EQ(client.state(), net::LinkState::Closed);
+    EXPECT_EQ(got, reference)
+        << "threads=" << threads << " shards=" << shards;
+    EXPECT_EQ(client.stats().verdict_seq_gaps, 0u);
+    EXPECT_EQ(client.stats().frames_dropped, 0u);
+  }
+}
+
+TEST_F(NetLoopbackTest, IntegerAndSanitizedDoublePushesAreEquivalent) {
+  // The double path may carry non-finite garbage; what crosses the wire is
+  // the sanitized code stream, so verdicts must match pushing those codes.
+  auto lead = patient_lead(9);
+  lead[100] = std::numeric_limits<double>::quiet_NaN();
+  lead[101] = std::numeric_limits<double>::infinity();
+  lead[500] = 1e12;  // clamped to the rail
+  const auto codes = wire_codes(lead);
+  const auto reference = direct_ingest(*bundle_, codes, 2, 2);
+
+  GatewayHarness harness(*bundle_, {});
+  net::NodeConfig ncfg;
+  ncfg.port = harness.gw.port();
+  net::SensorNodeClient client(*bundle_, ncfg);
+  std::vector<VerdictSig> got;
+  client.set_verdict_sink(
+      [&got](std::uint64_t seq, const net::BeatVerdictMsg& v) {
+        got.push_back(VerdictSig{seq, v.r_peak, v.beat_class, v.quality});
+      });
+  client.push(std::span<const double>(lead));
+  client.finish();
+  EXPECT_TRUE(client.drain(20000));
+  client.close(5000);
+
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(client.stats().sanitized_nonfinite, 2u);
+}
+
+TEST_F(NetLoopbackTest, SelectivePolicyKeepsNormalBeatsLocal) {
+  // Mostly-normal rhythm: the node's monitor equals the fleet session's
+  // monitor, so the reference run predicts the exact local/upload split.
+  const auto lead = patient_lead(9);
+  const auto reference = direct_ingest(*bundle_, wire_codes(lead), 1, 1);
+  std::size_t expect_local = 0, expect_full = 0, expect_meta = 0;
+  for (const auto& r : reference) {
+    const bool good = static_cast<dsp::SignalQuality>(r.quality) ==
+                      dsp::SignalQuality::Good;
+    const bool path =
+        ecg::is_pathological(static_cast<ecg::BeatClass>(r.beat_class));
+    if (good && !path)
+      ++expect_local;  // 1-byte record, zero radio
+    else if (good)
+      ++expect_full;  // full window upload
+    else
+      ++expect_meta;  // Suspect signal: escalation metadata, no window
+  }
+  ASSERT_GT(expect_local, 0u);
+  ASSERT_GT(expect_full, 0u);
+
+  GatewayHarness harness(*bundle_, {});
+  net::NodeConfig ncfg;
+  ncfg.port = harness.gw.port();
+  ncfg.policy = net::TxPolicy::Selective;
+  ncfg.heartbeat_interval_ms = 0;  // exact byte accounting below
+  net::SensorNodeClient client(*bundle_, ncfg);
+  std::vector<std::uint64_t> verdict_seqs;
+  client.set_verdict_sink(
+      [&verdict_seqs](std::uint64_t seq, const net::BeatVerdictMsg&) {
+        verdict_seqs.push_back(seq);
+      });
+
+  client.push(std::span<const double>(lead));
+  client.finish();
+  EXPECT_TRUE(client.drain(20000));
+  client.close(5000);
+
+  const net::TxStats& s = client.stats();
+  EXPECT_EQ(s.beats_local, expect_local);
+  EXPECT_EQ(s.beats_uploaded, expect_full + expect_meta);
+  EXPECT_EQ(client.local_log().size(), s.beats_local);
+  EXPECT_EQ(client.unacked_full_beats(), 0u) << "every upload must be acked";
+  // One gateway verdict per distinct upload, in upload order.
+  ASSERT_EQ(verdict_seqs.size(), s.beats_uploaded);
+  for (std::size_t i = 0; i < verdict_seqs.size(); ++i)
+    EXPECT_EQ(verdict_seqs[i], i);
+  // Local records carry class+quality in 4 bits; normal beats only.
+  for (const std::uint8_t rec : client.local_log()) {
+    EXPECT_FALSE(ecg::is_pathological(
+        static_cast<ecg::BeatClass>(rec & 0x3u)));
+    EXPECT_EQ(static_cast<dsp::SignalQuality>((rec >> 2) & 0x3u),
+              dsp::SignalQuality::Good);
+  }
+
+  const auto& gs = harness.gw.stats();
+  EXPECT_EQ(gs.full_beats_rx.load(), s.beats_uploaded);
+  EXPECT_EQ(gs.samples_rx.load(), 0u) << "selective mode ships no raw chunks";
+
+  // Exact bytes-on-wire accounting: HELLO + BYE + one frame per upload —
+  // nothing else leaves the node (heartbeats disabled above).
+  const std::size_t w = bundle_->projector().expected_window();
+  const std::uint64_t expect_bytes =
+      (net::kHeaderBytes + 11) + net::kHeaderBytes +
+      expect_full * (net::kHeaderBytes + 12 + sizeof(dsp::Sample) * w) +
+      expect_meta * (net::kHeaderBytes + 12);
+  EXPECT_EQ(s.bytes_tx, expect_bytes);
+
+  // The paper's point: the selective policy costs a fraction of shipping
+  // the raw 4-byte-per-sample stream.
+  const std::uint64_t stream_everything_bytes =
+      static_cast<std::uint64_t>(lead.size()) * sizeof(dsp::Sample);
+  EXPECT_LT(s.bytes_tx, stream_everything_bytes / 2);
+  const platform::PowerModel power;
+  EXPECT_GT(net::radio_energy_j(s, power), 0.0);
+  EXPECT_LT(net::radio_energy_j(s, power),
+            static_cast<double>(stream_everything_bytes) *
+                power.radio_j_per_byte / 2);
+}
+
+TEST_F(NetLoopbackTest, GatewayDropsCorruptAndOutOfSeqConnections) {
+  GatewayHarness harness(*bundle_, {});
+  const std::uint16_t port = harness.gw.port();
+
+  const auto raw_session = [&](const std::vector<unsigned char>& bytes) {
+    net::Socket s = net::connect_loopback(port);
+    ASSERT_TRUE(s.valid());
+    // Loopback connect completes fast; wait for writability then blast.
+    pollfd p{};
+    p.fd = s.fd();
+    p.events = POLLOUT;
+    ASSERT_GT(::poll(&p, 1, 2000), 0);
+    std::size_t off = 0;
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    while (off < bytes.size() && Clock::now() < deadline) {
+      const auto r = net::send_some(
+          s.fd(), std::span<const unsigned char>(bytes).subspan(off));
+      if (r.n > 0) off += r.n;
+      if (r.error) break;
+      if (r.would_block) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+    }
+    // The gateway must answer by closing the connection.
+    unsigned char buf[512];
+    p.events = POLLIN;
+    while (Clock::now() < deadline) {
+      (void)::poll(&p, 1, 50);
+      const auto r = net::recv_some(s.fd(), buf);
+      if (r.eof || r.error) return;
+      if (r.would_block) continue;
+    }
+    FAIL() << "gateway did not close the misbehaving connection";
+  };
+
+  // 1) Garbage from byte one: parser Corrupt, no session ever opened.
+  raw_session(std::vector<unsigned char>(64, 0xA5));
+
+  // 2) Valid HELLO, then a frame whose CRC is wrong.
+  {
+    net::HelloMsg m;
+    m.policy = net::TxPolicy::StreamEverything;
+    m.fs_hz = 360;
+    std::vector<unsigned char> bytes;
+    net::append_frame(bytes, net::FrameType::Hello, 0, net::encode_hello(m));
+    const std::size_t mark = bytes.size();
+    net::append_frame(bytes, net::FrameType::Heartbeat, 1, {});
+    bytes[mark + net::kHeaderBytes - 1] ^= 0xFF;  // corrupt the CRC
+    raw_session(bytes);
+  }
+
+  // 3) Valid HELLO, then a chunk with a sequence gap.
+  {
+    net::HelloMsg m;
+    m.policy = net::TxPolicy::StreamEverything;
+    m.fs_hz = 360;
+    std::vector<unsigned char> bytes;
+    net::append_frame(bytes, net::FrameType::Hello, 0, net::encode_hello(m));
+    const std::vector<dsp::Sample> codes(16, 100);
+    net::append_frame(bytes, net::FrameType::SampleChunk, 5,
+                      net::encode_sample_chunk(codes));
+    raw_session(bytes);
+  }
+
+  // 4) Selective HELLO with a window the gateway's model cannot accept.
+  {
+    net::HelloMsg m;
+    m.policy = net::TxPolicy::Selective;
+    m.window = static_cast<std::uint16_t>(
+        bundle_->projector().expected_window() + 7);
+    m.fs_hz = 360;
+    std::vector<unsigned char> bytes;
+    net::append_frame(bytes, net::FrameType::Hello, 0, net::encode_hello(m));
+    raw_session(bytes);
+  }
+
+  // Give the gateway a beat to finish closing, then check the books: every
+  // abuse was counted, nothing crashed, and no session leaked.
+  await_gateway_idle(harness.gw);
+  EXPECT_EQ(harness.gw.connection_count(), 0u);
+  EXPECT_EQ(harness.gw.engine().session_count(), 0u);
+  const auto& gs = harness.gw.stats();
+  EXPECT_GE(gs.frame_rejects.load(), 2u);   // garbage + bad CRC
+  EXPECT_GE(gs.seq_rejects.load(), 1u);     // the chunk gap
+  EXPECT_GE(gs.conns_dropped_protocol.load(), 3u);
+
+  // A well-behaved client still gets full service afterwards.
+  const auto lead = patient_lead(3, 10.0);
+  const auto reference = direct_ingest(*bundle_, wire_codes(lead), 1, 1);
+  net::NodeConfig ncfg;
+  ncfg.port = port;
+  net::SensorNodeClient client(*bundle_, ncfg);
+  std::vector<VerdictSig> got;
+  client.set_verdict_sink(
+      [&got](std::uint64_t seq, const net::BeatVerdictMsg& v) {
+        got.push_back(VerdictSig{seq, v.r_peak, v.beat_class, v.quality});
+      });
+  client.push(std::span<const double>(lead));
+  client.finish();
+  EXPECT_TRUE(client.drain(20000));
+  client.close(5000);
+  EXPECT_EQ(got, reference);
+}
+
+TEST_F(NetLoopbackTest, ClientReconnectsWithBackoffAndResendsUnacked) {
+  const auto lead = patient_lead(4);  // PVC profile: guarantees uploads
+  std::uint16_t port = 0;
+
+  net::NodeConfig ncfg;
+  ncfg.policy = net::TxPolicy::Selective;
+  ncfg.backoff_initial_ms = 5;
+  ncfg.backoff_max_ms = 50;
+
+  std::vector<std::uint64_t> verdict_seqs;
+  std::optional<net::SensorNodeClient> client;
+
+  {
+    GatewayHarness first(*bundle_, {});
+    port = first.gw.port();
+    ncfg.port = port;
+    client.emplace(*bundle_, ncfg);
+    client->set_verdict_sink(
+        [&verdict_seqs](std::uint64_t seq, const net::BeatVerdictMsg&) {
+          verdict_seqs.push_back(seq);
+        });
+    ASSERT_TRUE(poll_client_until(
+        *client, [&] { return client->established(); }));
+    // Queue the whole record (uploads land in the unacked window), then
+    // kill the gateway before the client gets to flush everything.
+    client->push(std::span<const double>(lead));
+    client->finish();
+    ASSERT_GT(client->stats().beats_uploaded, 0u);
+  }
+
+  // Gateway is gone: the client must notice and enter backoff, not crash.
+  ASSERT_TRUE(poll_client_until(*client, [&] {
+    return client->state() == net::LinkState::Backoff ||
+           client->state() == net::LinkState::Connecting ||
+           client->state() == net::LinkState::Idle;
+  }));
+
+  // Same port, new gateway (a fresh fleet): the client reconnects and
+  // retransmits every unacked upload until acked.
+  GatewayHarness second(*bundle_, [&] {
+    net::GatewayConfig g;
+    g.port = port;
+    return g;
+  }());
+  ASSERT_TRUE(poll_client_until(
+      *client,
+      [&] { return client->established() && client->unacked_full_beats() == 0; },
+      20000));
+  EXPECT_GE(client->stats().reconnects, 1u);
+  client->close(5000);
+  EXPECT_EQ(client->state(), net::LinkState::Closed);
+
+  // Every upload produced exactly one verdict (the gateway dedupes
+  // at-least-once retransmits): seqs are unique and cover the uploads.
+  std::sort(verdict_seqs.begin(), verdict_seqs.end());
+  EXPECT_TRUE(std::adjacent_find(verdict_seqs.begin(), verdict_seqs.end()) ==
+              verdict_seqs.end())
+      << "duplicate verdict for a retransmitted upload";
+  EXPECT_EQ(verdict_seqs.size(), client->stats().beats_uploaded);
+  await_gateway_idle(second.gw);
+  EXPECT_EQ(second.gw.engine().session_count(), 0u);
+}
+
+TEST_F(NetLoopbackTest, AdmissionRefusalIsSignalledAndRecoverable) {
+  net::GatewayConfig gcfg;
+  gcfg.fleet.max_sessions = 1;
+  GatewayHarness harness(*bundle_, gcfg);
+
+  net::NodeConfig acfg;
+  acfg.port = harness.gw.port();
+  net::SensorNodeClient a(*bundle_, acfg);
+  ASSERT_TRUE(poll_client_until(a, [&] { return a.established(); }));
+
+  net::NodeConfig bcfg = acfg;
+  bcfg.backoff_initial_ms = 5;
+  bcfg.backoff_max_ms = 20;
+  net::SensorNodeClient b(*bundle_, bcfg);
+  ASSERT_TRUE(poll_client_until(
+      b, [&] { return b.stats().hello_rejects >= 2; }));
+  EXPECT_FALSE(b.established());
+  EXPECT_EQ(harness.gw.engine().session_count(), 1u);
+
+  // The slot frees when A leaves; B's ongoing retry loop must then win it.
+  a.close(5000);
+  ASSERT_TRUE(poll_client_until(b, [&] { return b.established(); }));
+  EXPECT_EQ(harness.gw.engine().session_count(), 1u);
+  b.close(5000);
+
+  await_gateway_idle(harness.gw);
+  EXPECT_EQ(harness.gw.engine().session_count(), 0u);
+  EXPECT_EQ(harness.gw.connection_count(), 0u);
+}
+
+TEST_F(NetLoopbackTest, ConcurrentMixedPolicyClients) {
+  net::GatewayConfig gcfg;
+  gcfg.fleet.threads = 4;
+  gcfg.fleet.shards = 2;
+  GatewayHarness harness(*bundle_, gcfg);
+
+  constexpr std::size_t kClients = 4;
+  std::vector<std::vector<double>> leads;
+  std::vector<std::vector<VerdictSig>> got(kClients);
+  std::vector<net::TxStats> stats(kClients);
+  for (std::size_t i = 0; i < kClients; ++i)
+    leads.push_back(patient_lead(i, 15.0));
+
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      net::NodeConfig ncfg;
+      ncfg.port = harness.gw.port();
+      ncfg.node_id = static_cast<std::uint32_t>(i);
+      ncfg.policy = i % 2 == 0 ? net::TxPolicy::StreamEverything
+                               : net::TxPolicy::Selective;
+      net::SensorNodeClient client(*bundle_, ncfg);
+      client.set_verdict_sink(
+          [&got, i](std::uint64_t seq, const net::BeatVerdictMsg& v) {
+            got[i].push_back(
+                VerdictSig{seq, v.r_peak, v.beat_class, v.quality});
+          });
+      client.push(std::span<const double>(leads[i]));
+      client.finish();
+      EXPECT_TRUE(client.drain(30000)) << "client " << i;
+      client.close(5000);
+      stats[i] = client.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kClients; ++i) {
+    if (i % 2 == 0) {
+      // Streaming clients: the wire stream is bit-identical to direct
+      // ingest even with three other sessions competing for the engine.
+      EXPECT_EQ(got[i], direct_ingest(*bundle_, wire_codes(leads[i]), 1, 1))
+          << "client " << i;
+      EXPECT_EQ(stats[i].verdict_seq_gaps, 0u);
+    } else {
+      EXPECT_EQ(got[i].size(), stats[i].beats_uploaded) << "client " << i;
+    }
+    EXPECT_EQ(stats[i].frames_dropped, 0u) << "client " << i;
+  }
+  await_gateway_idle(harness.gw);
+  EXPECT_EQ(harness.gw.engine().session_count(), 0u);
+  EXPECT_EQ(harness.gw.connection_count(), 0u);
+}
+
+}  // namespace

@@ -47,6 +47,35 @@ TEST(FleetTelemetry, HistogramSaturatesExtremes) {
   EXPECT_GT(h.quantile_us(1.0), 1e6);
 }
 
+TEST(FleetTelemetry, HistogramBucketEdgesAreMonotone) {
+  // The documented geometry: bucket 0 is [0,1) us, bucket i is
+  // [2^(i-1), 2^i) us. A value placed in bucket i must therefore report a
+  // quantile edge of exactly 2^i, and walking the quantile axis must be
+  // monotone non-decreasing — a dashboard reading p50 <= p90 <= p99 relies
+  // on the bucket walk never going backwards.
+  LatencyHistogram h;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets - 1; ++i) {
+    LatencyHistogram single;
+    const double v = i == 0 ? 0.5 : static_cast<double>(1u << (i - 1));
+    single.record_us(v);
+    EXPECT_EQ(single.quantile_us(1.0), static_cast<double>(1ull << i))
+        << "value " << v << " should land in bucket " << i;
+  }
+
+  for (int i = 0; i < 10000; ++i)
+    h.record_us(static_cast<double>((i * 37) % 100000));
+  double prev = 0.0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile_us(q);
+    EXPECT_GE(cur, prev) << "quantile walk went backwards at q=" << q;
+    // Every reported quantile is an exact bucket upper edge (power of two).
+    const auto as_int = static_cast<std::uint64_t>(cur);
+    EXPECT_EQ(static_cast<double>(as_int), cur);
+    EXPECT_EQ(as_int & (as_int - 1), 0u) << cur << " is not a bucket edge";
+    prev = cur;
+  }
+}
+
 TEST(FleetTelemetry, AtomicMaxTracksRunningMaximum) {
   AtomicMax m;
   EXPECT_EQ(m.value(), 0u);
@@ -55,6 +84,34 @@ TEST(FleetTelemetry, AtomicMaxTracksRunningMaximum) {
   EXPECT_EQ(m.value(), 7u);
   m.note(123);
   EXPECT_EQ(m.value(), 123u);
+}
+
+TEST(FleetTelemetry, AtomicMaxConcurrentHighWaterIsExact) {
+  // The CAS loop must never lose the true maximum, no matter how writers
+  // interleave — including writers racing with strictly smaller values and
+  // a reader polling mid-flight. The global max is planted exactly once by
+  // one thread at an arbitrary point in its sequence.
+  constexpr int kThreads = 8, kPerThread = 50000;
+  constexpr std::uint64_t kPlanted = 1u << 30;
+  AtomicMax m;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Descending runs maximize CAS contention on stale `cur` values.
+        m.note(static_cast<std::uint64_t>(kPerThread - i + w));
+        if (w == 3 && i == kPerThread / 2) m.note(kPlanted);
+      }
+    });
+  }
+  std::uint64_t observed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = m.value();
+    EXPECT_GE(v, observed) << "high-water mark moved backwards";
+    observed = v;
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(m.value(), kPlanted);
 }
 
 TEST(FleetTelemetry, SessionJsonHasSchemaFields) {
