@@ -1,0 +1,158 @@
+// Adversarial scenario bench: the robustness envelope the CI gate watches.
+//
+// Replays the standard scenario suite (scenario::standard_scenarios —
+// AFib-like RR chaos, sustained VT, pacing, artefact storms, electrode
+// drops, clock skew, sample-rate mismatch, clean-ward control) through:
+//
+//   direct     FleetEngine ingest — scored against AAMI ground truth
+//              (NDR/ARR/miss/false per scenario);
+//   stream     the wire path under lossless chaos (fragmentation +
+//              jitter), *gated* on bit-identity with direct (exit 1);
+//   selective  the wire path under lossy chaos (seeded connection kills +
+//              bit flips), *gated* on upload integrity: every FULL_BEAT
+//              gets exactly one verdict (exit 1 otherwise); bytes on the
+//              wire recorded per policy.
+//
+// Everything is deterministic: fixed scenario seeds, a fixed trainer
+// config (NOT scaled by --quick, so quick-run metrics are directly
+// comparable against the committed full-run BENCH_scenarios.json), and
+// seeded chaos. --quick only trims the suite to its first three
+// scenarios; scripts/robustness_gate.py skips baseline keys absent from
+// a fresh report, so the quick run still gates what it does cover.
+//
+// Output: BENCH_scenarios.json (scripts/robustness_gate.py compares a
+// fresh run against the committed baseline and fails CI on degradation).
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/trainer.hpp"
+#include "ecg/dataset.hpp"
+#include "scenario/chaos.hpp"
+#include "scenario/episodes.hpp"
+#include "scenario/runner.hpp"
+
+namespace {
+
+using namespace hbrp;
+
+constexpr double kDurationS = 40.0;
+constexpr std::uint64_t kSeedBase = 9000;
+
+embedded::EmbeddedClassifier train_fixed(std::size_t threads) {
+  ecg::DatasetBuilderConfig dcfg;
+  dcfg.record_duration_s = 180.0;
+  dcfg.max_per_record_per_class = 20;
+  dcfg.seed = 311;
+  const auto ts1 = ecg::build_dataset({150, 150, 150}, dcfg);
+  dcfg.max_per_record_per_class = 100;
+  dcfg.seed = 312;
+  const auto ts2 = ecg::build_dataset({2500, 220, 280}, dcfg);
+  core::TwoStepConfig tcfg;
+  tcfg.ga.population = 8;
+  tcfg.ga.generations = 6;
+  tcfg.seed = 313;
+  tcfg.threads = threads;
+  return core::TwoStepTrainer(ts1, ts2, tcfg).run().quantize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "scenarios");
+  bench::JsonReport report("scenarios");
+
+  std::printf("training classifier (fixed config, seeds 311/312/313)...\n");
+  const auto classifier = train_fixed(args.threads);
+
+  auto specs = scenario::standard_scenarios(kDurationS, kSeedBase);
+  if (args.quick) specs.resize(3);  // clean_ward, afib, sustained_vt
+
+  scenario::ChaosConfig lossless;
+  lossless.seed = 5;
+  lossless.max_burst = 97;
+  lossless.jitter_probability = 0.3;
+  lossless.jitter_max_ms = 2;
+
+  scenario::ChaosConfig lossy;
+  lossy.seed = 17;
+  lossy.kill_probability = 0.5;
+  lossy.kill_after_min_bytes = 2048;
+  lossy.kill_after_max_bytes = 16384;
+  lossy.bit_flip_rate = 5e-5;
+
+  report.set("quick", args.quick);
+  report.set("duration_s", kDurationS);
+  report.set("seed_base", kSeedBase);
+  report.set("scenario_count", specs.size());
+
+  std::printf("\n%-18s %6s %6s %6s %6s %9s %9s %3s\n", "scenario", "NDR",
+              "ARR", "miss", "false", "B(stream)", "B(select)", "id");
+  bool all_ok = true;
+  for (const auto& spec : specs) {
+    const auto stream = scenario::build_scenario(spec);
+    const auto direct = scenario::run_direct(classifier, stream);
+    const auto score = scenario::score_verdicts(stream, direct);
+
+    const auto wire_stream = scenario::run_wire(
+        classifier, stream, net::TxPolicy::StreamEverything, &lossless);
+    const bool identity =
+        wire_stream.completed && wire_stream.verdicts == direct;
+
+    const auto wire_sel = scenario::run_wire(
+        classifier, stream, net::TxPolicy::Selective, &lossy, 1, 1,
+        /*drain_budget_ms=*/120000);
+    const bool selective_ok =
+        wire_sel.completed &&
+        wire_sel.tx.verdicts_rx == wire_sel.tx.beats_uploaded &&
+        wire_sel.tx.verdicts_rx == wire_sel.verdicts.size();
+
+    const std::string p = "sc_" + spec.name + "_";
+    report.set(p + "beats", stream.truth.size());
+    report.set(p + "obscured", score.obscured);
+    report.set(p + "ndr", score.ndr);
+    report.set(p + "arr", score.arr);
+    report.set(p + "miss_rate", score.miss_rate);
+    report.set(p + "false_rate", score.false_rate);
+    report.set(p + "rr_sdnn_ms", stream.rr.sdnn_ms);
+    report.set(p + "bytes_stream", wire_stream.tx.bytes_tx);
+    report.set(p + "bytes_selective", wire_sel.tx.bytes_tx);
+    report.set(p + "uploads", wire_sel.tx.beats_uploaded);
+    report.set(p + "chaos_kills", wire_sel.chaos_kills);
+    report.set(p + "chaos_bit_flips", wire_sel.chaos_bit_flips);
+    report.set(p + "identity", identity);
+    report.set(p + "selective_ok", selective_ok);
+
+    std::printf("%-18s %6.3f %6.3f %6.3f %6.3f %9llu %9llu %3s\n",
+                spec.name.c_str(), score.ndr, score.arr, score.miss_rate,
+                score.false_rate,
+                static_cast<unsigned long long>(wire_stream.tx.bytes_tx),
+                static_cast<unsigned long long>(wire_sel.tx.bytes_tx),
+                identity && selective_ok ? "ok" : "XX");
+    if (!identity) {
+      std::fprintf(stderr, "%s: wire/direct verdict divergence\n",
+                   spec.name.c_str());
+      all_ok = false;
+    }
+    if (!selective_ok) {
+      std::fprintf(stderr,
+                   "%s: selective integrity violation (uploads %llu, "
+                   "verdicts %llu)\n",
+                   spec.name.c_str(),
+                   static_cast<unsigned long long>(
+                       wire_sel.tx.beats_uploaded),
+                   static_cast<unsigned long long>(wire_sel.tx.verdicts_rx));
+      all_ok = false;
+    }
+  }
+
+  report.set("all_ok", all_ok);
+  report.write(args.json_path);
+  std::printf("\nwrote %s\n", args.json_path.c_str());
+  if (!all_ok) {
+    std::fprintf(stderr, "scenario identity/integrity gate FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -129,6 +129,10 @@ int main(int argc, char** argv) {
   net::GatewayConfig gcfg;
   gcfg.fleet.threads = threads;
   gcfg.fleet.max_sessions = nodes;
+  // Ward liveness: a node silent for 5 s (no samples, no heartbeat — the
+  // client default heartbeats at 1 s) is presumed dead and evicted, so a
+  // crashed sensor can never pin a fleet session forever.
+  gcfg.idle_timeout_ms = 5000;
   net::GatewayServer gateway(classifier, gcfg);
   std::printf("\nGateway on 127.0.0.1:%u — %zu executor threads, %zu "
               "shards\n",

@@ -20,7 +20,15 @@
 #      committed BENCH_microkernels.json by scripts/perf_gate.py — fails on
 #      >15% per-op CPU-time regression (tolerance doubled on virtualized
 #      hosts, skipped outright when the CPU model is unknown or differs
-#      from the baseline's). One retry absorbs a noisy first pass.
+#      from the baseline's). One retry absorbs a noisy first pass;
+#   7. robustness gate: a quick bench_scenarios pass (adversarial ward
+#      suite replayed direct + over chaotic loopback TCP) compared against
+#      the committed BENCH_scenarios.json by scripts/robustness_gate.py —
+#      fails when AAMI NDR/ARR degrade, miss/false rates rise, or a
+#      wire-identity/selective-integrity flag goes false. No retry: the
+#      scenario metrics are fully seeded, so any drift is a real behavior
+#      change. A tamper self-check first asserts the gate actually fails
+#      on an injected regression, so a silently broken gate cannot pass.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -76,6 +84,27 @@ if ! run_perf_gate; then
   run_perf_gate
 fi
 
+# --- 1e. robustness gate: adversarial scenarios vs committed baseline -----
+echo "==== robustness gate self-check (gate must fail on injected regression)"
+./build/bench/bench_scenarios --quick --threads=0 \
+  --json=build/BENCH_scenarios_quick.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_scenarios_quick.json", encoding="utf-8") as f:
+    report = json.load(f)
+report["sc_sustained_vt_arr"] -= 0.10
+with open("build/BENCH_scenarios_tampered.json", "w", encoding="utf-8") as f:
+    json.dump(report, f)
+EOF
+if python3 scripts/robustness_gate.py BENCH_scenarios.json \
+    build/BENCH_scenarios_tampered.json >/dev/null 2>&1; then
+  echo "robustness gate self-check FAILED: tampered report passed the gate" >&2
+  exit 1
+fi
+echo "==== robustness gate (bench_scenarios vs BENCH_scenarios.json)"
+python3 scripts/robustness_gate.py BENCH_scenarios.json \
+  build/BENCH_scenarios_quick.json
+
 if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
   echo "==== sanitizer jobs skipped"
   exit 0
@@ -85,9 +114,11 @@ fi
 run_suite build-asan -DENABLE_SANITIZERS=ON
 ctest --test-dir build-asan --output-on-failure -j
 
-# --- 3. TSan: executor + engine + fleet + net tests -----------------------
+# --- 3. TSan: executor + engine + fleet + net + scenario tests ------------
+# NB: -R must precede bare -j — ctest 3.25 otherwise consumes "-R" as the
+# job count and silently runs the full suite.
 run_suite build-tsan -DENABLE_TSAN=ON
-ctest --test-dir build-tsan --output-on-failure -j \
-  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire'
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire|Scenario' -j
 
 echo "==== CI sweep complete"

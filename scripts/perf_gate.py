@@ -30,10 +30,16 @@ DEFAULT_TOLERANCE = 0.15
 def load_report(path):
     try:
         with open(path, encoding="utf-8") as f:
-            return json.load(f)
+            data = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"perf_gate: {path} is valid JSON but not an object "
+              f"(got {type(data).__name__}); not a bench report",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
 
 
 def main(argv):
@@ -82,8 +88,10 @@ def main(argv):
     only_fresh = sorted(k for k in fresh
                         if k.endswith("_ns_per_op") and k not in base)
     if only_base:
-        print(f"perf_gate: note — {len(only_base)} baseline key(s) missing "
-              f"from fresh run: {', '.join(only_base)}")
+        # Warn-and-skip, never fail: a quick/partial fresh run (or a retired
+        # benchmark) legitimately lacks baseline keys.
+        print(f"perf_gate: WARNING — {len(only_base)} baseline key(s) "
+              f"missing from fresh run, skipped: {', '.join(only_base)}")
     if only_fresh:
         print(f"perf_gate: note — {len(only_fresh)} new key(s) not in "
               f"baseline yet: {', '.join(only_fresh)}")
@@ -94,8 +102,11 @@ def main(argv):
     regressions = []
     for key in shared:
         b, f = base[key], fresh[key]
-        if not (isinstance(b, (int, float)) and isinstance(f, (int, float))
+        if isinstance(b, bool) or isinstance(f, bool) or not (
+                isinstance(b, (int, float)) and isinstance(f, (int, float))
                 and b > 0):
+            print(f"perf_gate: WARNING — {key} is not a comparable pair "
+                  f"({b!r} vs {f!r}), skipped")
             continue
         ratio = f / b
         marker = ""

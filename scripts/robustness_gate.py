@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""CI robustness gate over the committed adversarial-scenario baseline.
+
+Usage: robustness_gate.py BASELINE_JSON FRESH_JSON [--tolerance=0.02]
+                                                   [--bytes-tolerance=0.10]
+
+Both inputs are BENCH_scenarios.json reports (bench_scenarios --json=...).
+For every scenario the two reports share, the gate FAILS (exit 1) when:
+
+  - the fresh ``sc_<name>_identity`` or ``sc_<name>_selective_ok`` flag is
+    false — the wire path diverged from direct ingest, or the selective
+    path lost/duplicated an upload under chaos (these are correctness
+    bits, tolerance does not apply);
+  - ``ndr`` or ``arr`` dropped by more than ``tolerance`` (absolute);
+  - ``miss_rate`` or ``false_rate`` rose by more than ``tolerance``.
+
+Bytes-on-wire (``bytes_stream``/``bytes_selective``) drifting more than
+``bytes-tolerance`` (relative) only WARNS: byte counts move legitimately
+with protocol framing changes, and the paper's energy argument has its own
+bench. Scenarios present only in the baseline are warn-skipped, so a
+``--quick`` fresh run (a trimmed suite) still gates what it covers.
+Everything both runs compute is deterministic (fixed seeds, fixed trainer
+config), so any numeric drift at all is a real behavior change, not noise;
+the tolerance only absorbs intentional small reshapes of the pipeline.
+
+Exit codes: 0 pass/skip, 1 regression, 2 usage or unreadable input.
+"""
+
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.02
+DEFAULT_BYTES_TOLERANCE = 0.10
+
+# Per-scenario metrics: (suffix, direction, fatal). direction +1 = higher
+# is better (a drop fails), -1 = lower is better (a rise fails).
+METRICS = [
+    ("ndr", +1, True),
+    ("arr", +1, True),
+    ("miss_rate", -1, True),
+    ("false_rate", -1, True),
+]
+FLAG_SUFFIXES = ["identity", "selective_ok"]
+BYTES_SUFFIXES = ["bytes_stream", "bytes_selective"]
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"robustness_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"robustness_gate: {path} is valid JSON but not an object "
+              f"(got {type(data).__name__}); not a bench report",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def scenario_names(report):
+    names = []
+    for key in report:
+        if key.startswith("sc_") and key.endswith("_ndr"):
+            names.append(key[len("sc_"):-len("_ndr")])
+    return sorted(names)
+
+
+def numeric(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def main(argv):
+    tolerance = DEFAULT_TOLERANCE
+    bytes_tolerance = DEFAULT_BYTES_TOLERANCE
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            try:
+                tolerance = float(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"robustness_gate: bad value in '{arg}'",
+                      file=sys.stderr)
+                return 2
+        elif arg.startswith("--bytes-tolerance="):
+            try:
+                bytes_tolerance = float(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"robustness_gate: bad value in '{arg}'",
+                      file=sys.stderr)
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2 or not 0.0 <= tolerance < 1.0:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+
+    base = load_report(paths[0])
+    fresh = load_report(paths[1])
+
+    base_names = scenario_names(base)
+    fresh_names = scenario_names(fresh)
+    shared = [n for n in base_names if n in fresh_names]
+    only_base = [n for n in base_names if n not in fresh_names]
+    only_fresh = [n for n in fresh_names if n not in base_names]
+    if only_base:
+        print(f"robustness_gate: WARNING — {len(only_base)} baseline "
+              f"scenario(s) missing from fresh run, skipped: "
+              f"{', '.join(only_base)}")
+    if only_fresh:
+        print(f"robustness_gate: note — new scenario(s) not in baseline "
+              f"yet: {', '.join(only_fresh)}")
+    if not shared:
+        print("robustness_gate: SKIP — no shared scenarios to compare")
+        return 0
+
+    failures = []
+    for name in shared:
+        prefix = f"sc_{name}_"
+        for suffix in FLAG_SUFFIXES:
+            flag = fresh.get(prefix + suffix)
+            if flag is None:
+                print(f"robustness_gate: WARNING — {prefix + suffix} "
+                      f"missing from fresh run, skipped")
+            elif flag is not True:
+                failures.append((name, suffix, "correctness flag is false"))
+        for suffix, direction, fatal in METRICS:
+            key = prefix + suffix
+            b, f = base.get(key), fresh.get(key)
+            if not (numeric(b) and numeric(f)):
+                print(f"robustness_gate: WARNING — {key} is not a "
+                      f"comparable pair ({b!r} vs {f!r}), skipped")
+                continue
+            delta = (f - b) * direction  # negative = got worse
+            marker = ""
+            if delta < -tolerance:
+                marker = "  <-- REGRESSION" if fatal else "  (warn)"
+                if fatal:
+                    failures.append(
+                        (name, suffix, f"{b:.3f} -> {f:.3f}"))
+            print(f"  {key:<38} {b:>7.3f} -> {f:>7.3f}{marker}")
+        for suffix in BYTES_SUFFIXES:
+            key = prefix + suffix
+            b, f = base.get(key), fresh.get(key)
+            if not (numeric(b) and numeric(f)) or b <= 0:
+                continue
+            drift = f / b - 1.0
+            if abs(drift) > bytes_tolerance:
+                print(f"robustness_gate: WARNING — {key} drifted "
+                      f"{drift:+.1%} ({b:.0f} -> {f:.0f} bytes); not fatal, "
+                      f"but check the framing if this is unexpected")
+
+    if fresh.get("all_ok") is False:
+        failures.append(("(suite)", "all_ok",
+                         "bench_scenarios reported an internal gate failure"))
+
+    if failures:
+        print(f"\nrobustness_gate: FAIL — {len(failures)} regression(s) vs "
+              f"{paths[0]}:")
+        for name, metric, detail in failures:
+            print(f"  {name}/{metric}: {detail}")
+        print("If the change is intentional, regenerate the baseline with\n"
+              "  ./build/bench/bench_scenarios --threads=0 "
+              "--json=BENCH_scenarios.json\n"
+              "and commit it with the change that explains it.")
+        return 1
+
+    print(f"robustness_gate: PASS — {len(shared)} scenario(s) within "
+          f"{tolerance:.2f} of {paths[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -81,6 +81,116 @@ void ConfusionMatrix::merge(const ConfusionMatrix& other) {
     for (std::size_t p = 0; p < 4; ++p) counts_[t][p] += other.counts_[t][p];
 }
 
+const char* to_string(AamiClass c) {
+  switch (c) {
+    case AamiClass::N: return "N";
+    case AamiClass::S: return "S";
+    case AamiClass::V: return "V";
+    case AamiClass::F: return "F";
+    case AamiClass::Q: return "Q";
+  }
+  return "?";
+}
+
+AamiClass to_aami(ecg::BeatClass c) {
+  switch (c) {
+    case ecg::BeatClass::N: return AamiClass::N;
+    case ecg::BeatClass::L: return AamiClass::N;  // BBB is AAMI-normal
+    case ecg::BeatClass::V: return AamiClass::V;
+    case ecg::BeatClass::Unknown: return AamiClass::Q;
+  }
+  return AamiClass::Q;
+}
+
+void AamiConfusion::add(AamiClass truth, AamiClass predicted) {
+  ++counts_[static_cast<std::size_t>(truth)]
+           [static_cast<std::size_t>(predicted)];
+}
+
+void AamiConfusion::add_missed(AamiClass truth) {
+  ++missed_[static_cast<std::size_t>(truth)];
+}
+
+void AamiConfusion::add_false_detection(AamiClass predicted) {
+  ++false_[static_cast<std::size_t>(predicted)];
+}
+
+std::size_t AamiConfusion::count(AamiClass truth, AamiClass predicted) const {
+  return counts_[static_cast<std::size_t>(truth)]
+                [static_cast<std::size_t>(predicted)];
+}
+
+std::size_t AamiConfusion::missed(AamiClass truth) const {
+  return missed_[static_cast<std::size_t>(truth)];
+}
+
+std::size_t AamiConfusion::false_detections(AamiClass predicted) const {
+  return false_[static_cast<std::size_t>(predicted)];
+}
+
+std::size_t AamiConfusion::total_matched() const {
+  std::size_t acc = 0;
+  for (const auto& row : counts_)
+    for (const std::size_t c : row) acc += c;
+  return acc;
+}
+
+std::size_t AamiConfusion::total_truth() const {
+  std::size_t acc = total_matched();
+  for (const std::size_t m : missed_) acc += m;
+  return acc;
+}
+
+double AamiConfusion::sensitivity(AamiClass c) const {
+  const auto t = static_cast<std::size_t>(c);
+  std::size_t truth_total = missed_[t];
+  for (const std::size_t n : counts_[t]) truth_total += n;
+  if (truth_total == 0) return 0.0;
+  return static_cast<double>(counts_[t][t]) /
+         static_cast<double>(truth_total);
+}
+
+double AamiConfusion::ppv(AamiClass c) const {
+  const auto p = static_cast<std::size_t>(c);
+  std::size_t pred_total = false_[p];
+  for (const auto& row : counts_) pred_total += row[p];
+  if (pred_total == 0) return 0.0;
+  return static_cast<double>(counts_[p][p]) /
+         static_cast<double>(pred_total);
+}
+
+double AamiConfusion::ndr() const {
+  std::size_t matched_n = 0;
+  for (const std::size_t c : counts_[0]) matched_n += c;
+  if (matched_n == 0) return 0.0;
+  return static_cast<double>(counts_[0][0]) /
+         static_cast<double>(matched_n);
+}
+
+double AamiConfusion::arr() const {
+  std::size_t abnormal = 0;
+  std::size_t recognized = 0;
+  for (std::size_t t = 1; t < kNumAamiClasses; ++t) {
+    abnormal += missed_[t];
+    for (std::size_t p = 0; p < kNumAamiClasses; ++p) {
+      abnormal += counts_[t][p];
+      if (is_aami_abnormal(static_cast<AamiClass>(p)))
+        recognized += counts_[t][p];
+    }
+  }
+  if (abnormal == 0) return 0.0;
+  return static_cast<double>(recognized) / static_cast<double>(abnormal);
+}
+
+void AamiConfusion::merge(const AamiConfusion& other) {
+  for (std::size_t t = 0; t < kNumAamiClasses; ++t) {
+    missed_[t] += other.missed_[t];
+    false_[t] += other.false_[t];
+    for (std::size_t p = 0; p < kNumAamiClasses; ++p)
+      counts_[t][p] += other.counts_[t][p];
+  }
+}
+
 std::vector<OperatingPoint> pareto_front(std::vector<OperatingPoint> points) {
   // Sort by descending ARR; walk keeping points whose NDR exceeds the best
   // seen so far. Result reversed into ascending-ARR order.

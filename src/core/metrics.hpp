@@ -44,6 +44,77 @@ class ConfusionMatrix {
   std::array<std::array<std::size_t, 4>, ecg::kNumClasses> counts_{};
 };
 
+// --- AAMI EC57 inter-patient evaluation layer ---------------------------
+//
+// The scenario engine (src/scenario) scores adversarial replays under the
+// ANSI/AAMI EC57 beat taxonomy instead of the paper's internal {N, V, L}:
+//   N — normal + bundle-branch-block beats (BBB conducts from the sinus
+//       node, so the paper's L class is AAMI-normal),
+//   S — supraventricular ectopic (no generator source yet; kept so the
+//       matrix has the standard five classes),
+//   V — ventricular ectopic,
+//   F — fusion of ventricular and normal,
+//   Q — paced / unclassifiable (the pipeline's Unknown maps here).
+
+enum class AamiClass : std::uint8_t { N = 0, S = 1, V = 2, F = 3, Q = 4 };
+
+inline constexpr std::size_t kNumAamiClasses = 5;
+
+const char* to_string(AamiClass c);
+
+/// Maps a pipeline prediction onto the AAMI taxonomy: N -> N, L -> N
+/// (BBB is AAMI-normal), V -> V, Unknown -> Q. The pipeline never
+/// *predicts* S or F; those appear only as scenario ground truth.
+AamiClass to_aami(ecg::BeatClass c);
+
+/// True when an AAMI class activates the detailed analysis (everything
+/// except plain normal).
+constexpr bool is_aami_abnormal(AamiClass c) { return c != AamiClass::N; }
+
+/// 5x5 AAMI confusion matrix with explicit detection-failure accounting:
+/// a truth beat the detector never produced a prediction for is a miss
+/// (it still counts against sensitivity, per EC57), and a prediction with
+/// no matching truth beat is a false detection (counts against PPV).
+class AamiConfusion {
+ public:
+  void add(AamiClass truth, AamiClass predicted);
+  void add_missed(AamiClass truth);
+  void add_false_detection(AamiClass predicted);
+
+  std::size_t count(AamiClass truth, AamiClass predicted) const;
+  std::size_t missed(AamiClass truth) const;
+  std::size_t false_detections(AamiClass predicted) const;
+
+  /// Matched beats (excludes misses and false detections).
+  std::size_t total_matched() const;
+  /// All truth beats: matched + missed.
+  std::size_t total_truth() const;
+
+  /// Recall of `c` over all truth-`c` beats including missed ones;
+  /// 0 if the scenario contains no such beats.
+  double sensitivity(AamiClass c) const;
+  /// Precision of `c` over all `c` predictions including false
+  /// detections; 0 if the class was never predicted.
+  double ppv(AamiClass c) const;
+
+  /// The paper's headline pair lifted onto the AAMI taxonomy: NDR is the
+  /// fraction of truth-N beats predicted N, ARR the fraction of truth
+  /// S/V/F/Q beats routed to the detailed analysis. Missed beats count
+  /// in neither numerator (a missed beat was neither discarded as normal
+  /// nor escalated) but ARR's denominator includes missed abnormal beats
+  /// — an abnormal beat the detector lost is a recognition failure.
+  double ndr() const;
+  double arr() const;
+
+  void merge(const AamiConfusion& other);
+
+ private:
+  std::array<std::array<std::size_t, kNumAamiClasses>, kNumAamiClasses>
+      counts_{};
+  std::array<std::size_t, kNumAamiClasses> missed_{};
+  std::array<std::size_t, kNumAamiClasses> false_{};
+};
+
 /// One operating point of the NDR/ARR trade-off (Fig. 5).
 struct OperatingPoint {
   double alpha = 0.0;

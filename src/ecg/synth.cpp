@@ -123,28 +123,21 @@ Fiducials absolute_fiducials(const RelativeFiducials& rel, double center_s,
   return f;
 }
 
-}  // namespace
+// The per-record "patient" identity shared by both entry points: class
+// templates drawn from the morphology split and the overall gain.
+struct PatientTemplates {
+  BeatMorphology n, v, l;
+  double gain = 1.0;
+};
 
-Record generate_record(const SynthConfig& cfg) {
-  HBRP_REQUIRE(cfg.fs_hz > 0, "generate_record(): fs must be positive");
-  HBRP_REQUIRE(cfg.num_leads >= 1 && cfg.num_leads <= 3,
-               "generate_record(): 1..3 leads supported");
-  HBRP_REQUIRE(cfg.duration_s >= 2.0,
-               "generate_record(): duration must be >= 2 s");
-
-  math::Rng rng(cfg.seed);
+// Renders `beats` into an annotated record. Consumes `beat_rng` (one
+// jitter draw sequence per beat, in order) and `rng` (one split per lead
+// for noise), so the caller's preamble fixes the whole draw layout.
+Record render_core(const SynthConfig& cfg, std::span<const PlacedBeat> beats,
+                   const PatientTemplates& tmpl, math::Rng& beat_rng,
+                   math::Rng& rng) {
   const auto n =
       static_cast<std::size_t>(cfg.duration_s * cfg.fs_hz);
-
-  // Per-record ("per-patient") class templates.
-  math::Rng morph_rng = rng.split();
-  const BeatMorphology tmpl_n = make_template(BeatClass::N, morph_rng);
-  const BeatMorphology tmpl_v = make_template(BeatClass::V, morph_rng);
-  const BeatMorphology tmpl_l = make_template(BeatClass::L, morph_rng);
-  const double patient_gain = rng.uniform(0.8, 1.25);
-
-  math::Rng rhythm_rng = rng.split();
-  const std::vector<PlannedBeat> planned = plan_rhythm(cfg, rhythm_rng);
 
   // Accumulate the clean signal in mV per lead.
   std::vector<std::vector<double>> mv(
@@ -152,14 +145,13 @@ Record generate_record(const SynthConfig& cfg) {
 
   Record rec;
   rec.fs_hz = cfg.fs_hz;
-  rec.beats.reserve(planned.size());
+  rec.beats.reserve(beats.size());
 
-  math::Rng beat_rng = rng.split();
-  for (const PlannedBeat& pb : planned) {
-    const BeatMorphology& tmpl = pb.cls == BeatClass::N   ? tmpl_n
-                                 : pb.cls == BeatClass::V ? tmpl_v
-                                                          : tmpl_l;
-    const BeatMorphology beat = jitter_morphology(tmpl, beat_rng);
+  for (const PlacedBeat& pb : beats) {
+    const BeatMorphology& base = pb.cls == BeatClass::N   ? tmpl.n
+                                 : pb.cls == BeatClass::V ? tmpl.v
+                                                          : tmpl.l;
+    const BeatMorphology beat = jitter_morphology(base, beat_rng);
 
     const double lo_s = pb.center_s + beat.support_begin_s();
     const double hi_s = pb.center_s + beat.support_end_s();
@@ -174,13 +166,15 @@ Record generate_record(const SynthConfig& cfg) {
       for (const WaveParams& w : beat.waves()) {
         const double z = (t - w.center_s) / w.width_s;
         if (std::abs(z) > 5.0) continue;
-        const double g = patient_gain * w.amp_mv * std::exp(-0.5 * z * z);
+        const double g =
+            pb.amp_scale * tmpl.gain * w.amp_mv * std::exp(-0.5 * z * z);
         for (int lead = 0; lead < cfg.num_leads; ++lead)
           mv[static_cast<std::size_t>(lead)][i] +=
               g * kLeadGain[lead][static_cast<std::size_t>(w.role)];
       }
     }
 
+    if (!pb.annotate) continue;
     BeatAnnotation ann;
     ann.sample = to_sample(pb.center_s, cfg.fs_hz, n);
     ann.cls = pb.cls;
@@ -230,6 +224,61 @@ Record generate_record(const SynthConfig& cfg) {
     for (std::size_t i = 0; i < n; ++i) out[i] = cfg.adc.to_adu(sig[i]);
   }
   return rec;
+}
+
+void check_config(const SynthConfig& cfg, const char* who) {
+  HBRP_REQUIRE(cfg.fs_hz > 0, "fs must be positive");
+  HBRP_REQUIRE(cfg.num_leads >= 1 && cfg.num_leads <= 3,
+               "1..3 leads supported");
+  HBRP_REQUIRE(cfg.duration_s >= 2.0, "duration must be >= 2 s");
+  (void)who;
+}
+
+// The seed layout both entry points share: one morphology split (three
+// templates), the patient gain, one split reserved for the rhythm model,
+// one split for per-beat jitter, then per-lead noise splits inside
+// render_core. render_planned() discards the rhythm split so that a given
+// seed names the same patient whichever entry point renders it.
+PatientTemplates draw_patient(math::Rng& rng) {
+  math::Rng morph_rng = rng.split();
+  const BeatMorphology tmpl_n = make_template(BeatClass::N, morph_rng);
+  const BeatMorphology tmpl_v = make_template(BeatClass::V, morph_rng);
+  const BeatMorphology tmpl_l = make_template(BeatClass::L, morph_rng);
+  const double gain = rng.uniform(0.8, 1.25);
+  return PatientTemplates{tmpl_n, tmpl_v, tmpl_l, gain};
+}
+
+}  // namespace
+
+Record generate_record(const SynthConfig& cfg) {
+  check_config(cfg, "generate_record()");
+
+  math::Rng rng(cfg.seed);
+  const PatientTemplates tmpl = draw_patient(rng);
+
+  math::Rng rhythm_rng = rng.split();
+  const std::vector<PlannedBeat> planned = plan_rhythm(cfg, rhythm_rng);
+  std::vector<PlacedBeat> placed;
+  placed.reserve(planned.size());
+  for (const PlannedBeat& pb : planned)
+    placed.push_back(PlacedBeat{pb.center_s, pb.cls, 1.0, true});
+
+  math::Rng beat_rng = rng.split();
+  return render_core(cfg, placed, tmpl, beat_rng, rng);
+}
+
+Record render_planned(const SynthConfig& cfg,
+                      std::span<const PlacedBeat> beats) {
+  check_config(cfg, "render_planned()");
+  for (std::size_t i = 1; i < beats.size(); ++i)
+    HBRP_REQUIRE(beats[i - 1].center_s <= beats[i].center_s,
+                 "render_planned(): beats must be sorted by center_s");
+
+  math::Rng rng(cfg.seed);
+  const PatientTemplates tmpl = draw_patient(rng);
+  (void)rng.split();  // rhythm split: unused, keeps the seed layout shared
+  math::Rng beat_rng = rng.split();
+  return render_core(cfg, beats, tmpl, beat_rng, rng);
 }
 
 ProfileMix expected_mix(RecordProfile profile) {

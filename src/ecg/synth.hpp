@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "ecg/morphology.hpp"
 #include "ecg/types.hpp"
@@ -46,6 +47,28 @@ struct SynthConfig {
 
 /// Generates one annotated record. Deterministic in `cfg.seed`.
 Record generate_record(const SynthConfig& cfg);
+
+/// One externally scripted beat for render_planned(): where it lands, what
+/// class it is, and how it is reported. The scenario engine (src/scenario)
+/// uses this to compose rhythms generate_record()'s profile model cannot
+/// express — AFib-like irregular RR, sustained VT runs, paced rhythms,
+/// fusion beats (a second, non-annotated beat overlapping an annotated one).
+struct PlacedBeat {
+  double center_s = 0.0;         ///< R-peak time (seconds)
+  BeatClass cls = BeatClass::N;  ///< morphology template + annotation class
+  double amp_scale = 1.0;        ///< extra amplitude factor (fusion blending)
+  bool annotate = true;          ///< false: render only, no annotation
+};
+
+/// Renders an externally planned beat sequence through the same per-record
+/// morphology templates, lead gains, noise model and ADC as
+/// generate_record(). Deterministic in `cfg.seed`, and shares the seed
+/// layout with generate_record(): the same seed yields the same "patient"
+/// (templates, gain, noise character) regardless of which entry point
+/// renders them. `beats` must be sorted by center_s; cfg.profile and
+/// cfg.heart_rate_bpm are ignored (the plan replaces the rhythm model).
+Record render_planned(const SynthConfig& cfg,
+                      std::span<const PlacedBeat> beats);
 
 /// Fraction of beats of each class a profile produces on average
 /// (used by the dataset builder to plan record counts).

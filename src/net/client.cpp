@@ -274,11 +274,24 @@ void SensorNodeClient::handle_frame(const FrameView& f) {
         disconnect(now, true);
         return;
       }
-      ++stats_.verdicts_rx;
       if (cfg_.policy == TxPolicy::StreamEverything) {
+        ++stats_.verdicts_rx;
         if (f.seq != next_verdict_seq_) ++stats_.verdict_seq_gaps;
         next_verdict_seq_ = f.seq + 1;
+        if (on_verdict_) on_verdict_(f.seq, *v);
+        return;
       }
+      // Selective: the verdict is the authoritative acknowledgement of
+      // upload seq f.seq — release the held payload. At-least-once
+      // retransmission plus the gateway's dup re-verdict means the same
+      // seq can arrive again; dedup so the application sees each upload's
+      // verdict exactly once.
+      unacked_.erase(f.seq);
+      if (!mark_verdict_seen(f.seq)) {
+        ++stats_.verdict_dups;
+        return;
+      }
+      ++stats_.verdicts_rx;
       if (on_verdict_) on_verdict_(f.seq, *v);
       return;
     }
@@ -289,7 +302,9 @@ void SensorNodeClient::handle_frame(const FrameView& f) {
         disconnect(now, true);
         return;
       }
-      if (ack->acked == FrameType::FullBeat) unacked_.erase(f.seq);
+      // A FULL_BEAT's wire-level ACK confirms receipt only; the upload
+      // stays held until its BEAT_VERDICT (see above) so a drop between
+      // ACK and verdict cannot lose the gateway's answer.
       return;
     }
     case FrameType::Heartbeat: {
@@ -303,6 +318,19 @@ void SensorNodeClient::handle_frame(const FrameView& f) {
       disconnect(now, true);
       return;
   }
+}
+
+bool SensorNodeClient::mark_verdict_seen(std::uint64_t seq) {
+  if (seq < verdict_seen_below_) return false;
+  if (!verdict_seen_.insert(seq).second) return false;
+  // Compact the contiguous prefix: upload seqs are dense from 0, so in the
+  // common in-order case the set stays empty and the watermark advances.
+  while (!verdict_seen_.empty() &&
+         *verdict_seen_.begin() == verdict_seen_below_) {
+    verdict_seen_.erase(verdict_seen_.begin());
+    ++verdict_seen_below_;
+  }
+  return true;
 }
 
 bool SensorNodeClient::pump_io(Clock::time_point now, int timeout_ms) {

@@ -22,8 +22,13 @@
 // Link robustness: connect/reconnect with exponential backoff (reset on a
 // successful handshake), a bounded send queue that sheds oldest sample
 // chunks first (counted, never silently), heartbeats on an idle link, and
-// at-least-once FULL_BEAT delivery — uploads are held until the gateway's
-// ACK and retransmitted after a reconnect (the gateway dedupes by seq).
+// at-least-once FULL_BEAT delivery — an upload is held until its
+// BEAT_VERDICT arrives (the verdict is the authoritative acknowledgement;
+// the wire-level ACK only confirms receipt) and retransmitted after a
+// reconnect. The gateway answers duplicates with a recomputed verdict and
+// the client dedupes verdicts by upload seq, so a connection drop between
+// ACK and verdict can neither lose a pathological beat's verdict nor
+// deliver it twice.
 // A CRC/framing violation on the receive path is treated exactly like a
 // dead socket: tear down, back off, reconnect.
 //
@@ -41,6 +46,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -91,8 +97,12 @@ struct TxStats {
   std::uint64_t sanitized_nonfinite = 0;
   std::uint64_t beats_local = 0;     ///< normal beats kept as local records
   std::uint64_t beats_uploaded = 0;  ///< FULL_BEAT frames queued
-  std::uint64_t verdicts_rx = 0;
+  std::uint64_t verdicts_rx = 0;     ///< unique verdicts delivered to the sink
   std::uint64_t verdict_seq_gaps = 0;
+  /// Selective only: repeated verdicts for an already-delivered upload seq
+  /// (at-least-once retransmission + the gateway's dup re-verdict), dropped
+  /// before the sink.
+  std::uint64_t verdict_dups = 0;
 };
 
 /// Radio energy implied by this link's transmitted bytes (paper §IV-E):
@@ -199,6 +209,10 @@ class SensorNodeClient {
   bool step_link(Clock::time_point now, int timeout_ms);
   bool pump_io(Clock::time_point now, int timeout_ms);
   void handle_frame(const FrameView& f);
+  /// Selective verdict dedup: true exactly once per upload seq. Seen seqs
+  /// compact into a contiguous prefix (uploads are densely numbered from
+  /// 0), so the set only holds the out-of-order window.
+  bool mark_verdict_seen(std::uint64_t seq);
   void on_established(Clock::time_point now);
   void disconnect(Clock::time_point now, bool backoff);
   void send_hello();
@@ -227,6 +241,8 @@ class SensorNodeClient {
   // Receive side.
   FrameParser parser_;
   std::uint64_t next_verdict_seq_ = 0;
+  std::uint64_t verdict_seen_below_ = 0;      // selective dedup watermark
+  std::set<std::uint64_t> verdict_seen_;      // seen seqs >= the watermark
   VerdictSink on_verdict_;
 
   // Link state machine.

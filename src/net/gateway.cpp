@@ -247,11 +247,16 @@ void GatewayServer::on_full_beat(Conn& c, const FrameView& f) {
   }
   enqueue_frame(c, FrameType::Ack, f.seq, encode_ack(AckMsg{FrameType::FullBeat}));
   if (dup) {
+    // The first transmission's verdict may have died with a previous
+    // connection (the client holds an upload until its verdict arrives).
+    // Recompute from this frame's own payload — classification is
+    // deterministic, so the resent verdict is bit-identical — and answer
+    // again; the client dedupes by seq. Counted as a dup, not a new beat.
     stats_.full_beat_dups.fetch_add(1, std::memory_order_relaxed);
-    return;
+  } else {
+    c.last_full_seq = f.seq;
+    stats_.full_beats_rx.fetch_add(1, std::memory_order_relaxed);
   }
-  c.last_full_seq = f.seq;
-  stats_.full_beats_rx.fetch_add(1, std::memory_order_relaxed);
   // Re-classify the uploaded window with the gateway's model — the check
   // pass before the detailed delineation stage. A 0-sample escalation
   // (Suspect signal on the node) has no trustworthy window: Unknown.

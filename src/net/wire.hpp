@@ -30,8 +30,10 @@
 //                                    order contract); BeatVerdictMsg.
 //   FullBeat     client -> gateway   seq = dense beat-upload counter;
 //                                    FullBeatMsg + window samples. Resent
-//                                    after reconnect until acked
-//                                    (at-least-once; the gateway dedupes).
+//                                    after reconnect until its BeatVerdict
+//                                    arrives (at-least-once; the gateway
+//                                    re-verdicts duplicates and the client
+//                                    dedupes verdicts by seq).
 //   Heartbeat    either direction    seq = sender's heartbeat counter;
 //                                    empty payload; peer echoes with Ack.
 //   Ack          either direction    seq echoes the acknowledged frame's

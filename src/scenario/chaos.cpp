@@ -1,0 +1,237 @@
+#include "scenario/chaos.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "math/check.hpp"
+#include "math/rng.hpp"
+
+namespace hbrp::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+}  // namespace
+
+/// One client<->gateway pair. `down` is the accepted client socket, `up`
+/// the proxy's own connection to the gateway. Each direction stages read
+/// bytes (already corrupted) in FIFO blocks with a release time.
+struct ChaosProxy::Relay {
+  struct Block {
+    std::vector<unsigned char> bytes;
+    std::size_t head = 0;
+    Clock::time_point release;
+  };
+  struct Direction {
+    std::deque<Block> q;
+    bool peer_eof = false;  ///< source side hit EOF; flush then close
+  };
+
+  net::Socket down;
+  net::Socket up;
+  bool up_connecting = true;
+  bool alive = true;
+  math::Rng rng{1};
+  std::optional<std::uint64_t> kill_after;  ///< byte budget, if armed
+  std::uint64_t relayed = 0;
+  Direction to_up;    ///< client -> gateway
+  Direction to_down;  ///< gateway -> client
+};
+
+ChaosProxy::ChaosProxy(ChaosConfig cfg)
+    : cfg_(cfg), listener_(cfg.listen_port) {
+  HBRP_REQUIRE(cfg_.upstream_port != 0, "ChaosProxy: upstream port required");
+  HBRP_REQUIRE(cfg_.kill_probability >= 0.0 && cfg_.kill_probability <= 1.0 &&
+                   cfg_.bit_flip_rate >= 0.0 && cfg_.bit_flip_rate <= 1.0 &&
+                   cfg_.jitter_probability >= 0.0 &&
+                   cfg_.jitter_probability <= 1.0,
+               "ChaosProxy: probabilities must be in [0, 1]");
+  HBRP_REQUIRE(cfg_.kill_after_min_bytes <= cfg_.kill_after_max_bytes,
+               "ChaosProxy: kill byte range inverted");
+}
+
+ChaosProxy::~ChaosProxy() = default;
+
+void ChaosProxy::accept_pending() {
+  for (;;) {
+    net::Socket s = listener_.accept();
+    if (!s.valid()) return;
+    auto r = std::make_unique<Relay>();
+    r->down = std::move(s);
+    r->up = net::connect_loopback(cfg_.upstream_port);
+    // The fault schedule is a pure function of (seed, connection ordinal):
+    // a sequentially reconnecting client sees the same chaos every run.
+    r->rng = math::Rng(cfg_.seed ^ (0x9E3779B97F4A7C15ULL * (next_ordinal_ + 1)));
+    ++next_ordinal_;
+    if (!r->up.valid()) continue;  // upstream refused: drop the client too
+    if (r->rng.bernoulli(cfg_.kill_probability))
+      r->kill_after = static_cast<std::uint64_t>(r->rng.uniform_int(
+          static_cast<std::int64_t>(cfg_.kill_after_min_bytes),
+          static_cast<std::int64_t>(cfg_.kill_after_max_bytes)));
+    stats_.conns_relayed.fetch_add(1, std::memory_order_relaxed);
+    relays_.push_back(std::move(r));
+  }
+}
+
+void ChaosProxy::kill_relay(Relay& r) {
+  r.down.close();
+  r.up.close();
+  r.alive = false;
+  stats_.conns_killed.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ChaosProxy::pump_relay(Relay& r) {
+  if (!r.alive) return 0;
+  const auto now = Clock::now();
+  std::size_t moved = 0;
+
+  // Finish the upstream non-blocking connect before relaying anything.
+  if (r.up_connecting) {
+    pollfd pfd{r.up.fd(), POLLOUT, 0};
+    if (::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLOUT) != 0) {
+      if (!net::connect_finished(r.up.fd())) {
+        r.down.close();
+        r.up.close();
+        r.alive = false;
+        return 0;
+      }
+      r.up_connecting = false;
+    } else {
+      return 0;
+    }
+  }
+
+  const auto ingest = [&](int fd, Relay::Direction& dir) {
+    if (dir.peer_eof) return;
+    unsigned char buf[kReadChunk];
+    for (;;) {
+      const net::IoResult res = net::recv_some(fd, buf);
+      if (res.n == 0) {
+        if (res.eof || res.error) dir.peer_eof = true;
+        return;
+      }
+      std::vector<unsigned char> block(buf, buf + res.n);
+      if (cfg_.bit_flip_rate > 0.0) {
+        for (unsigned char& b : block) {
+          if (r.rng.bernoulli(cfg_.bit_flip_rate)) {
+            b = static_cast<unsigned char>(b ^ (1u << r.rng.uniform_index(8)));
+            stats_.bits_flipped.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      auto release = now;
+      if (cfg_.jitter_max_ms > 0 && r.rng.bernoulli(cfg_.jitter_probability)) {
+        release += std::chrono::milliseconds(
+            r.rng.uniform_int(0, cfg_.jitter_max_ms));
+        stats_.blocks_delayed.fetch_add(1, std::memory_order_relaxed);
+      }
+      // FIFO invariant: a block never releases before its predecessor.
+      if (!dir.q.empty() && dir.q.back().release > release)
+        release = dir.q.back().release;
+      dir.q.push_back({std::move(block), 0, release});
+      r.relayed += res.n;
+      stats_.bytes_relayed.fetch_add(res.n, std::memory_order_relaxed);
+    }
+  };
+  ingest(r.down.fd(), r.to_up);
+  ingest(r.up.fd(), r.to_down);
+
+  if (r.kill_after && r.relayed >= *r.kill_after) {
+    kill_relay(r);
+    return moved;
+  }
+
+  const auto drain = [&](Relay::Direction& dir, int fd) {
+    while (!dir.q.empty()) {
+      Relay::Block& blk = dir.q.front();
+      if (blk.release > now) return;
+      std::span<const unsigned char> span(blk.bytes);
+      span = span.subspan(blk.head);
+      if (cfg_.max_burst > 0 && span.size() > cfg_.max_burst)
+        span = span.first(cfg_.max_burst);
+      const net::IoResult res = net::send_some(fd, span);
+      if (res.n == 0) {
+        if (res.error) {
+          r.down.close();
+          r.up.close();
+          r.alive = false;
+        }
+        return;
+      }
+      blk.head += res.n;
+      moved += res.n;
+      if (blk.head >= blk.bytes.size()) dir.q.pop_front();
+      // One burst per poll round keeps the fragmentation honest: the
+      // receiver must reassemble across genuinely separate reads.
+      if (cfg_.max_burst > 0) return;
+    }
+  };
+  drain(r.to_up, r.up.fd());
+  if (r.alive) drain(r.to_down, r.down.fd());
+
+  // A direction whose source is gone closes once its backlog is flushed.
+  if (r.alive && (r.to_up.peer_eof || r.to_down.peer_eof) &&
+      r.to_up.q.empty() && r.to_down.q.empty()) {
+    r.down.close();
+    r.up.close();
+    r.alive = false;
+  }
+  return moved;
+}
+
+std::size_t ChaosProxy::poll_once(int timeout_ms) {
+  // Shorten the wait to the earliest staged release so jitter resolves
+  // promptly; pending bursts (max_burst pacing) also cap the wait.
+  const auto now = Clock::now();
+  int wait = timeout_ms;
+  for (const auto& r : relays_) {
+    if (!r->alive) continue;
+    for (const Relay::Direction* dir : {&r->to_up, &r->to_down}) {
+      if (dir->q.empty()) continue;
+      const auto& blk = dir->q.front();
+      const int ms = blk.release <= now
+                         ? 0
+                         : static_cast<int>(
+                               std::chrono::duration_cast<
+                                   std::chrono::milliseconds>(blk.release -
+                                                              now)
+                                   .count()) +
+                               1;
+      wait = std::min(wait, ms);
+    }
+    if (r->up_connecting) wait = std::min(wait, 1);
+  }
+
+  std::vector<pollfd> fds;
+  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  for (const auto& r : relays_) {
+    if (!r->alive) continue;
+    short down_ev = POLLIN;
+    short up_ev = r->up_connecting ? POLLOUT : POLLIN;
+    if (!r->to_down.q.empty()) down_ev |= POLLOUT;
+    if (!r->to_up.q.empty() && !r->up_connecting) up_ev |= POLLOUT;
+    fds.push_back(pollfd{r->down.fd(), down_ev, 0});
+    fds.push_back(pollfd{r->up.fd(), up_ev, 0});
+  }
+  (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               std::max(wait, 0));
+
+  if ((fds[0].revents & POLLIN) != 0) accept_pending();
+  std::size_t moved = 0;
+  for (auto& r : relays_) moved += pump_relay(*r);
+  std::erase_if(relays_, [](const std::unique_ptr<Relay>& r) {
+    return !r->alive;
+  });
+  return moved;
+}
+
+void ChaosProxy::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) (void)poll_once(5);
+}
+
+}  // namespace hbrp::scenario

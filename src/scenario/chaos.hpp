@@ -1,0 +1,116 @@
+// scenario::ChaosProxy — a seeded fault-injecting TCP relay for the wire
+// path.
+//
+// Sits between a SensorNodeClient and the GatewayServer on loopback:
+// the client connects to the proxy's port, the proxy opens its own
+// connection to the real gateway, and every byte crosses a deterministic
+// gauntlet:
+//
+//   bit flips        each relayed byte is corrupted (one random bit XOR)
+//                    with probability bit_flip_rate — exercises the CRC +
+//                    sticky-Corrupt teardown on both frame parsers;
+//   connection kills with probability kill_probability per connection, a
+//                    byte budget is drawn at accept time and both sockets
+//                    are destroyed the instant the relayed total crosses
+//                    it — mid-frame, mid-handshake, wherever it lands;
+//   fragmentation    max_burst caps every relay write, forcing the worst
+//                    TCP segmentation the parsers must already handle;
+//   latency jitter   a staged block may be held for a few milliseconds
+//                    before release. Blocks release strictly FIFO per
+//                    direction, so this is pure delay — never reorder —
+//                    and the relayed byte *content* is unchanged.
+//
+// Determinism: every decision is drawn from an Rng seeded by
+// (cfg.seed, connection ordinal). A single client driving the link
+// produces a deterministic connection order, so the same seed yields the
+// same kill points and the same flipped bits, run after run — which is
+// what lets tests assert exact end-to-end outcomes *through* the chaos.
+//
+// Threading: single-threaded like GatewayServer — one caller drives
+// poll_once()/serve(); stop() and the stats are safe from other threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace hbrp::scenario {
+
+struct ChaosConfig {
+  /// Proxy listen port on 127.0.0.1 (0 = ephemeral; read back via port()).
+  std::uint16_t listen_port = 0;
+  /// The real gateway's port; one upstream connection per accepted client.
+  std::uint16_t upstream_port = 0;
+  std::uint64_t seed = 1;
+
+  /// Per-connection probability that a kill byte-budget is armed.
+  double kill_probability = 0.0;
+  std::size_t kill_after_min_bytes = 1024;
+  std::size_t kill_after_max_bytes = 64 * 1024;
+
+  /// Per-relayed-byte probability of XOR-ing one random bit.
+  double bit_flip_rate = 0.0;
+
+  /// Cap on bytes per relay write (0 = unlimited): forced fragmentation.
+  std::size_t max_burst = 0;
+
+  /// Per staged block: hold for uniform_int(0, jitter_max_ms) milliseconds
+  /// with probability jitter_probability. FIFO release — delay, not
+  /// reorder.
+  double jitter_probability = 0.0;
+  int jitter_max_ms = 0;
+};
+
+/// Single-writer (the poll thread) relaxed-atomic counters.
+struct ChaosStats {
+  std::atomic<std::uint64_t> conns_relayed{0};
+  std::atomic<std::uint64_t> conns_killed{0};
+  std::atomic<std::uint64_t> bytes_relayed{0};
+  std::atomic<std::uint64_t> bits_flipped{0};
+  std::atomic<std::uint64_t> blocks_delayed{0};
+};
+
+class ChaosProxy {
+ public:
+  /// Binds the listener immediately; throws hbrp::Error if the port is
+  /// unavailable.
+  explicit ChaosProxy(ChaosConfig cfg);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// One relay round: accept, read + corrupt + stage, release due blocks.
+  /// `timeout_ms` bounds the poll(2) wait (shortened to the next jitter
+  /// release). Returns bytes moved, so a driver can tell progress.
+  std::size_t poll_once(int timeout_ms);
+
+  /// poll_once(5) until stop() is called (from any thread).
+  void serve();
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  struct Relay;
+
+  void accept_pending();
+  std::size_t pump_relay(Relay& r);
+  void kill_relay(Relay& r);
+
+  ChaosConfig cfg_;
+  net::TcpListener listener_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  std::uint64_t next_ordinal_ = 0;
+  ChaosStats stats_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hbrp::scenario

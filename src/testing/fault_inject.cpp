@@ -20,6 +20,29 @@ const char* to_string(FaultKind kind) {
   return "?";
 }
 
+void append_burst_train(std::vector<FaultEvent>& events, math::Rng& rng,
+                        FaultKind kind, std::size_t start, std::size_t span,
+                        std::size_t count, std::size_t min_len,
+                        std::size_t max_len, double magnitude, double rate) {
+  HBRP_REQUIRE(min_len > 0 && min_len <= max_len,
+               "append_burst_train: need 0 < min_len <= max_len");
+  HBRP_REQUIRE(span >= max_len,
+               "append_burst_train: window shorter than the longest burst");
+  for (std::size_t b = 0; b < count; ++b) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(min_len),
+        static_cast<std::int64_t>(max_len)));
+    const std::size_t offset = rng.uniform_index(span - len + 1);
+    FaultEvent e;
+    e.kind = kind;
+    e.start = start + offset;
+    e.duration = len;
+    e.magnitude = magnitude;
+    e.rate = rate;
+    events.push_back(e);
+  }
+}
+
 FaultInjector::FaultInjector(FaultInjectorConfig cfg)
     : cfg_(std::move(cfg)), rng_(cfg_.seed) {
   HBRP_REQUIRE(cfg_.rail_low < cfg_.rail_high,

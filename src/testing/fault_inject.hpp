@@ -54,6 +54,19 @@ struct FaultInjectorConfig {
   dsp::Sample rail_high = 2047;
 };
 
+/// Appends a seeded train of `count` short `kind` bursts scattered over
+/// input indices [start, start + span): each burst's length is drawn
+/// uniformly from [min_len, max_len] and its offset uniformly within the
+/// window (bursts may overlap; FaultInjector composes overlapping events).
+/// `magnitude`/`rate` carry through to every burst. The scenario engine
+/// uses this for artefact storms and electrode-drop episodes; determinism
+/// flows entirely from the caller's `rng`.
+void append_burst_train(std::vector<FaultEvent>& events, math::Rng& rng,
+                        FaultKind kind, std::size_t start, std::size_t span,
+                        std::size_t count, std::size_t min_len,
+                        std::size_t max_len, double magnitude,
+                        double rate = 0.05);
+
 class FaultInjector {
  public:
   explicit FaultInjector(FaultInjectorConfig cfg);

@@ -107,4 +107,64 @@ TEST(Pareto, EqualArrKeepsBestNdr) {
   EXPECT_DOUBLE_EQ(front[0].ndr, 0.95);
 }
 
+using hbrp::core::AamiClass;
+using hbrp::core::AamiConfusion;
+using hbrp::core::to_aami;
+
+TEST(Aami, BeatClassMapping) {
+  // L is a conduction-pattern normal under EC57; Unknown maps to Q.
+  EXPECT_EQ(to_aami(BeatClass::N), AamiClass::N);
+  EXPECT_EQ(to_aami(BeatClass::L), AamiClass::N);
+  EXPECT_EQ(to_aami(BeatClass::V), AamiClass::V);
+  EXPECT_EQ(to_aami(BeatClass::Unknown), AamiClass::Q);
+  EXPECT_FALSE(hbrp::core::is_aami_abnormal(AamiClass::N));
+  EXPECT_TRUE(hbrp::core::is_aami_abnormal(AamiClass::Q));
+}
+
+TEST(Aami, SensitivityIncludesMisses) {
+  AamiConfusion cm;
+  cm.add(AamiClass::V, AamiClass::V);
+  cm.add(AamiClass::V, AamiClass::V);
+  cm.add(AamiClass::V, AamiClass::N);
+  cm.add_missed(AamiClass::V);  // undetected beats count against recall
+  EXPECT_DOUBLE_EQ(cm.sensitivity(AamiClass::V), 2.0 / 4.0);
+  EXPECT_EQ(cm.total_truth(), 4u);
+  EXPECT_EQ(cm.total_matched(), 3u);
+}
+
+TEST(Aami, PpvIncludesFalseDetections) {
+  AamiConfusion cm;
+  cm.add(AamiClass::V, AamiClass::V);
+  cm.add(AamiClass::N, AamiClass::V);
+  cm.add_false_detection(AamiClass::V);  // noise spike called a beat
+  EXPECT_DOUBLE_EQ(cm.ppv(AamiClass::V), 1.0 / 3.0);
+}
+
+TEST(Aami, NdrArrLiftedOntoAamiTaxonomy) {
+  AamiConfusion cm;
+  cm.add(AamiClass::N, AamiClass::N);
+  cm.add(AamiClass::N, AamiClass::N);
+  cm.add(AamiClass::N, AamiClass::V);  // false alarm on a normal
+  cm.add(AamiClass::V, AamiClass::V);
+  cm.add(AamiClass::S, AamiClass::Q);  // escalated-to-unknown counts as
+                                       // recognized abnormal
+  cm.add(AamiClass::F, AamiClass::N);  // abnormal lost as normal
+  cm.add_missed(AamiClass::V);         // missed abnormal hurts ARR
+  EXPECT_DOUBLE_EQ(cm.ndr(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.arr(), 2.0 / 4.0);
+}
+
+TEST(Aami, MergeAddsAllThreeAccounts) {
+  AamiConfusion a, b;
+  a.add(AamiClass::N, AamiClass::N);
+  a.add_missed(AamiClass::V);
+  b.add(AamiClass::N, AamiClass::N);
+  b.add_false_detection(AamiClass::Q);
+  a.merge(b);
+  EXPECT_EQ(a.count(AamiClass::N, AamiClass::N), 2u);
+  EXPECT_EQ(a.missed(AamiClass::V), 1u);
+  EXPECT_EQ(a.false_detections(AamiClass::Q), 1u);
+  EXPECT_EQ(a.total_truth(), 3u);
+}
+
 }  // namespace

@@ -293,4 +293,32 @@ TEST_F(FaultInjectionTest, GarbageIntSamplesAreClampedAndCounted) {
   EXPECT_GT(run_int(fresh, lead).size(), 10u);
 }
 
+TEST(BurstTrain, GeneratesBoundedSeededBursts) {
+  std::vector<FaultEvent> events;
+  hbrp::math::Rng rng(77);
+  hbrp::testing::append_burst_train(events, rng, FaultKind::LeadOff,
+                                    /*start=*/1000, /*span=*/36000,
+                                    /*count=*/5, /*min_len=*/180,
+                                    /*max_len=*/720, /*magnitude=*/10.0);
+  ASSERT_EQ(events.size(), 5u);
+  for (const FaultEvent& e : events) {
+    EXPECT_EQ(e.kind, FaultKind::LeadOff);
+    EXPECT_GE(e.start, 1000u);
+    EXPECT_LE(e.start + e.duration, 1000u + 36000u);
+    EXPECT_GE(e.duration, 180u);
+    EXPECT_LE(e.duration, 720u);
+    EXPECT_DOUBLE_EQ(e.magnitude, 10.0);
+  }
+  // Same seed, same schedule — the property the scenario engine leans on.
+  std::vector<FaultEvent> again;
+  hbrp::math::Rng rng2(77);
+  hbrp::testing::append_burst_train(again, rng2, FaultKind::LeadOff, 1000,
+                                    36000, 5, 180, 720, 10.0);
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].start, events[i].start);
+    EXPECT_EQ(again[i].duration, events[i].duration);
+  }
+}
+
 }  // namespace

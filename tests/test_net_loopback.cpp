@@ -558,6 +558,46 @@ TEST_F(NetLoopbackTest, ConcurrentMixedPolicyClients) {
     }
     EXPECT_EQ(stats[i].frames_dropped, 0u) << "client " << i;
   }
+}
+
+TEST_F(NetLoopbackTest, IdleTimeoutEvictsSilentClientAndClosesSession) {
+  net::GatewayConfig gcfg;
+  gcfg.idle_timeout_ms = 60;
+  GatewayHarness harness(*bundle_, gcfg);
+
+  // Heartbeat interval far beyond the timeout: once the client stops
+  // being polled it goes silent from the gateway's point of view.
+  net::NodeConfig ncfg;
+  ncfg.port = harness.gw.port();
+  ncfg.heartbeat_interval_ms = 10000;
+  net::SensorNodeClient client(*bundle_, ncfg);
+  ASSERT_TRUE(poll_client_until(client, [&] { return client.established(); }));
+  EXPECT_EQ(harness.gw.engine().session_count(), 1u);
+
+  // Do NOT poll the client again: no heartbeats leave the node. The
+  // gateway must evict the connection and tear down its fleet session.
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (harness.gw.stats().conns_dropped_idle.load() == 0 &&
+         Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  EXPECT_EQ(harness.gw.stats().conns_dropped_idle.load(), 1u);
+  await_gateway_idle(harness.gw);
+  EXPECT_EQ(harness.gw.connection_count(), 0u);
+  EXPECT_EQ(harness.gw.engine().session_count(), 0u);
+  EXPECT_EQ(harness.gw.stats().conns_closed.load(), 1u);
+
+  // A heartbeating client under the same timeout is never evicted.
+  net::NodeConfig live_cfg;
+  live_cfg.port = harness.gw.port();
+  live_cfg.heartbeat_interval_ms = 15;
+  net::SensorNodeClient live(*bundle_, live_cfg);
+  ASSERT_TRUE(poll_client_until(live, [&] { return live.established(); }));
+  const auto hold = Clock::now() + std::chrono::milliseconds(300);
+  while (Clock::now() < hold) live.poll_once(2);
+  EXPECT_TRUE(live.established());
+  EXPECT_EQ(harness.gw.stats().conns_dropped_idle.load(), 1u);
+  live.close(5000);
   await_gateway_idle(harness.gw);
   EXPECT_EQ(harness.gw.engine().session_count(), 0u);
   EXPECT_EQ(harness.gw.connection_count(), 0u);
