@@ -28,6 +28,9 @@
 #include "ecg/synth.hpp"
 #include "embedded/int_classifier.hpp"
 #include "kernels/cpu.hpp"
+#include "kernels/dsp_condition.hpp"
+#include "kernels/dsp_peaks.hpp"
+#include "kernels/dsp_wavelet.hpp"
 #include "kernels/fuzzify.hpp"
 #include "kernels/sparse_ternary.hpp"
 #include "rp/packed_matrix.hpp"
@@ -76,6 +79,72 @@ void BM_PeakDetect(benchmark::State& state) {
                           static_cast<std::int64_t>(sig.size()));
 }
 BENCHMARK(BM_PeakDetect)->Unit(benchmark::kMillisecond);
+
+// --- Block DSP front-end: the SoA kernels the streaming monitor and batch
+// pipeline now run (src/kernels/dsp_*), measured through the once-per-process
+// scalar/AVX2 dispatch with warm scratch — the steady state of a session.
+// Same 30 s input as the per-sample baselines above, so <op>_ns_per_op vs
+// <op>Block_ns_per_op is a like-for-like before/after of the refactor.
+
+void BM_ConditionEcgBlock(benchmark::State& state) {
+  const auto rec = bench_record(30.0);
+  kernels::ConditionScratch scratch;
+  dsp::Signal out;
+  for (auto _ : state) {
+    kernels::condition_ecg_block(rec.leads[0], dsp::FilterConfig{}, scratch,
+                                 out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rec.leads[0].size()));
+}
+BENCHMARK(BM_ConditionEcgBlock)->Unit(benchmark::kMicrosecond);
+
+void BM_WaveletBlock(benchmark::State& state) {
+  const auto& sig = conditioned_30s();
+  kernels::WaveletScratch scratch;
+  dsp::WaveletDecomposition out;
+  for (auto _ : state) {
+    kernels::wavelet_decompose_block(sig, dsp::kWaveletScales, scratch, out);
+    benchmark::DoNotOptimize(out.approx.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sig.size()));
+}
+BENCHMARK(BM_WaveletBlock)->Unit(benchmark::kMicrosecond);
+
+void BM_PeakDetectBlock(benchmark::State& state) {
+  const auto& sig = conditioned_30s();
+  kernels::PeakScratch scratch;
+  std::vector<std::size_t> peaks;
+  for (auto _ : state) {
+    kernels::detect_r_peaks_block(sig, dsp::PeakDetectorConfig{}, scratch,
+                                  peaks);
+    benchmark::DoNotOptimize(peaks.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sig.size()));
+}
+BENCHMARK(BM_PeakDetectBlock)->Unit(benchmark::kMicrosecond);
+
+void BM_AdaptiveThresholdDetect(benchmark::State& state) {
+  const auto& sig = conditioned_30s();
+  kernels::PeakScratch scratch;
+  std::vector<std::size_t> peaks;
+  dsp::PeakDetectorConfig cfg;
+  cfg.kind = dsp::PeakDetectorKind::AdaptiveThreshold;
+  for (auto _ : state) {
+    kernels::detect_r_peaks_adaptive(sig, cfg, scratch, peaks);
+    benchmark::DoNotOptimize(peaks.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sig.size()));
+}
+BENCHMARK(BM_AdaptiveThresholdDetect)->Unit(benchmark::kMicrosecond);
 
 // --- Projection: storage format (packed decode) vs execution format
 // (sparse index lists). Same matrix, same input, same int32 results; the
@@ -435,6 +504,24 @@ int main(int argc, char** argv) {
   const double fz_simd = reporter.find("FuzzifyFloatSimd");
   if (fz_scalar > 0.0 && fz_simd > 0.0)
     report.set("fuzzify_simd_speedup", fz_scalar / fz_simd);
+  // Block-DSP refactor headline: per-sample operator vs SoA block kernel on
+  // the same 30 s signal, and the adaptive fast path vs the full wavelet
+  // detector.
+  const struct {
+    const char* sample;
+    const char* block;
+    const char* key;
+  } dsp_pairs[] = {
+      {"ConditionEcg", "ConditionEcgBlock", "condition_block_speedup"},
+      {"WaveletDecompose", "WaveletBlock", "wavelet_block_speedup"},
+      {"PeakDetect", "PeakDetectBlock", "peak_block_speedup"},
+      {"PeakDetectBlock", "AdaptiveThresholdDetect", "adaptive_detect_speedup"},
+  };
+  for (const auto& p : dsp_pairs) {
+    const double sample = reporter.find(p.sample);
+    const double block = reporter.find(p.block);
+    if (sample > 0.0 && block > 0.0) report.set(p.key, sample / block);
+  }
   const double mf_scalar = reporter.find("IntMfScalar");
   const double mf_simd = reporter.find("IntMfSimd");
   if (mf_scalar > 0.0 && mf_simd > 0.0)

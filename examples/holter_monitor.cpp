@@ -9,9 +9,15 @@
 // (lead-off, saturation, NaN bursts) to show the signal-quality gating and
 // recovery behaviour a real ambulatory session depends on.
 //
-// Usage: holter_monitor [minutes-per-record]   (default 5)
+// Usage: holter_monitor [minutes-per-record] [detector]
+//   minutes-per-record: default 5
+//   detector: "wavelet" (default) or "adaptive" — selects the R-peak
+//             detector the streaming monitor runs (dsp::PeakDetectorKind).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <span>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/streaming.hpp"
@@ -38,6 +44,12 @@ const char* profile_name(hbrp::ecg::RecordProfile p) {
 int main(int argc, char** argv) {
   using namespace hbrp;
   const double minutes = argc > 1 ? std::atof(argv[1]) : 5.0;
+  dsp::PeakDetectorKind detector = dsp::PeakDetectorKind::Wavelet;
+  if (argc > 2 && std::strcmp(argv[2], "adaptive") == 0)
+    detector = dsp::PeakDetectorKind::AdaptiveThreshold;
+  std::printf("R-peak detector: %s\n",
+              detector == dsp::PeakDetectorKind::Wavelet ? "wavelet"
+                                                         : "adaptive");
 
   // Train once (reduced GA keeps the example snappy).
   std::printf("Training classifier...\n");
@@ -55,7 +67,9 @@ int main(int argc, char** argv) {
   tcfg.seed = 33;
   const core::TwoStepTrainer trainer(ts1, ts2, tcfg);
   const auto trained = trainer.run();
-  const core::RealTimePipeline pipeline(trained.quantize());
+  core::PipelineConfig pipe_cfg;
+  pipe_cfg.peak.kind = detector;
+  const core::RealTimePipeline pipeline(trained.quantize(), pipe_cfg);
 
   const ecg::RecordProfile profiles[] = {
       ecg::RecordProfile::NormalSinus, ecg::RecordProfile::PvcOccasional,
@@ -124,7 +138,9 @@ int main(int argc, char** argv) {
        static_cast<std::size_t>(2 * fs), 0.0, 0.25},
   };
 
-  core::StreamingBeatMonitor monitor(trained.quantize());
+  core::MonitorConfig mon_cfg;
+  mon_cfg.peak.kind = detector;
+  core::StreamingBeatMonitor monitor(trained.quantize(), mon_cfg);
   std::size_t beats_total = 0, beats_suspect = 0;
   testing::FaultInjector injector(fcfg);
   // Beats stream straight into the sink as they finalize — no per-sample
@@ -133,8 +149,19 @@ int main(int argc, char** argv) {
     ++beats_total;
     beats_suspect += b.quality == dsp::SignalQuality::Suspect;
   };
-  for (const auto x : lead)
-    for (const double y : injector.feed(x)) monitor.push(y, sink);
+  // Replay in ADC-DMA-sized blocks through the monitor's block entry point
+  // (the fault injector still mangles sample-by-sample, like the front end
+  // would).
+  std::vector<double> block;
+  constexpr std::size_t kBlock = 1024;
+  for (const auto x : lead) {
+    for (const double y : injector.feed(x)) block.push_back(y);
+    if (block.size() >= kBlock) {
+      monitor.push_block(std::span<const double>(block), sink);
+      block.clear();
+    }
+  }
+  monitor.push_block(std::span<const double>(block), sink);
   monitor.flush(sink);
   const auto& stats = monitor.stats();  // cumulative: survives flush()
 

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Full CI sweep: tier-1 build + tests, then the sanitizer matrix.
 #
-#   1. default (Release) build, full ctest suite — the tier-1 gate;
+#   1. default (Release) build, full ctest suite — the tier-1 gate — then
+#      the DSP kernel-equivalence subset re-run under HBRP_FORCE_SCALAR=1,
+#      so the scalar halves of the block kernels are gated even on AVX2
+#      hosts;
 #   2. ASan + UBSan build (-DENABLE_SANITIZERS=ON), full ctest suite;
 #   3. TSan build (-DENABLE_TSAN=ON), executor/engine/fleet/net-focused
 #      ctest subset — races in core::Executor, the parallel GA fitness
@@ -58,6 +61,15 @@ run_suite() {
 # --- 1. tier-1: default build + full suite --------------------------------
 run_suite build
 ctest --test-dir build --output-on-failure -j
+
+# --- 1a. DSP kernel equivalence, forced-scalar dispatch -------------------
+# The full suite above already ran the KernelsDsp/DetectorEquivalence
+# binaries under the default once-per-process dispatch (AVX2 where the host
+# has it); this re-run pins the dispatcher to the scalar kernels so both
+# code paths of every block DSP kernel are gated on every CI host.
+echo "==== DSP kernel equivalence under HBRP_FORCE_SCALAR=1"
+HBRP_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
+  -R 'KernelsDsp|DetectorEquivalence' -j
 
 # --- 1b. fleet soak smoke: scaling grid + bit-identity gate ---------------
 # Quick-run reports stay under build/ so a CI pass never dirties the tree
@@ -119,6 +131,6 @@ ctest --test-dir build-asan --output-on-failure -j
 # job count and silently runs the full suite.
 run_suite build-tsan -DENABLE_TSAN=ON
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire|Scenario' -j
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire|Scenario|KernelsDsp|DetectorEquivalence' -j
 
 echo "==== CI sweep complete"

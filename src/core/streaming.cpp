@@ -68,8 +68,17 @@ void StreamingBeatMonitor::push_impl(dsp::Sample x, const BeatSink* beats,
 
   if (cfg_.quality_gating) {
     const bool was_bad = quality_state_ == dsp::SignalQuality::Bad;
-    if (const auto update = sqi_.push(x))
-      on_quality_update(*update, beats, pending);
+    if (const auto update = sqi_.push(x)) {
+      if (*update != quality_state_) {
+        // A real transition: drain the conditioner's pending batch first so
+        // every scan that would have preceded this moment on the per-sample
+        // path happens before the transition is recorded. Same-state SQI
+        // updates (the common case, one per SQI chunk) skip the sync and
+        // keep the conditioner batching at full size.
+        sync_conditioner(beats, pending);
+        on_quality_update(*update, beats, pending);
+      }
+    }
     if (was_bad || quality_state_ == dsp::SignalQuality::Bad) {
       // Suppressed: consumed while in (or entering / just leaving) the Bad
       // state. Recovery re-arms on the next accepted sample.
@@ -79,9 +88,35 @@ void StreamingBeatMonitor::push_impl(dsp::Sample x, const BeatSink* beats,
     if (needs_rearm_) rearm(idx);
   }
 
-  if (const auto y = conditioner_.push(x)) buffer_.push_back(*y);
-  if (buffer_.size() >= chunk_samples_)
-    scan(/*final_pass=*/false, beats, pending);
+  conditioner_.push(x, cond_out_);
+  if (!cond_out_.empty()) append_conditioned(beats, pending);
+}
+
+void StreamingBeatMonitor::append_conditioned(const BeatSink* beats,
+                                              const PendingBeatSink* pending) {
+  // Slice the staged conditioner output into the rolling buffer, scanning
+  // exactly when it reaches chunk_samples_ — the per-sample path appended
+  // one sample at a time and scanned at the same crossings, so the verdict
+  // stream is independent of the conditioner's batch boundaries.
+  std::size_t i = 0;
+  while (i < cond_out_.size()) {
+    HBRP_ASSERT(buffer_.size() < chunk_samples_);
+    const std::size_t take =
+        std::min(chunk_samples_ - buffer_.size(), cond_out_.size() - i);
+    buffer_.insert(buffer_.end(),
+                   cond_out_.begin() + static_cast<std::ptrdiff_t>(i),
+                   cond_out_.begin() + static_cast<std::ptrdiff_t>(i + take));
+    i += take;
+    if (buffer_.size() >= chunk_samples_)
+      scan(/*final_pass=*/false, beats, pending);
+  }
+  cond_out_.clear();
+}
+
+void StreamingBeatMonitor::sync_conditioner(const BeatSink* beats,
+                                            const PendingBeatSink* pending) {
+  conditioner_.sync(cond_out_);
+  if (!cond_out_.empty()) append_conditioned(beats, pending);
 }
 
 void StreamingBeatMonitor::push(dsp::Sample x, const BeatSink& sink) {
@@ -98,6 +133,26 @@ void StreamingBeatMonitor::push(dsp::Sample x, const PendingBeatSink& sink) {
 
 void StreamingBeatMonitor::push(double x, const PendingBeatSink& sink) {
   push_impl(x, nullptr, &sink);
+}
+
+void StreamingBeatMonitor::push_block(std::span<const dsp::Sample> xs,
+                                      const BeatSink& sink) {
+  for (const dsp::Sample x : xs) push_impl(x, &sink, nullptr);
+}
+
+void StreamingBeatMonitor::push_block(std::span<const double> xs,
+                                      const BeatSink& sink) {
+  for (const double x : xs) push_impl(x, &sink, nullptr);
+}
+
+void StreamingBeatMonitor::push_block(std::span<const dsp::Sample> xs,
+                                      const PendingBeatSink& sink) {
+  for (const dsp::Sample x : xs) push_impl(x, nullptr, &sink);
+}
+
+void StreamingBeatMonitor::push_block(std::span<const double> xs,
+                                      const PendingBeatSink& sink) {
+  for (const double x : xs) push_impl(x, nullptr, &sink);
 }
 
 std::vector<MonitorBeat> StreamingBeatMonitor::push(dsp::Sample x) {
@@ -152,7 +207,7 @@ void StreamingBeatMonitor::on_quality_update(dsp::SignalQuality next,
       buffer_.resize(cut > buffer_base_ ? cut - buffer_base_ : 0);
     if (!buffer_.empty()) scan(/*final_pass=*/true, beats, pending);
     buffer_.clear();
-    conditioner_ = dsp::StreamingConditioner(cfg_.filter);
+    conditioner_.reset();
     needs_rearm_ = true;
   }
   if (leaving_bad) ++stats_.recoveries;
@@ -170,9 +225,11 @@ dsp::SignalQuality StreamingBeatMonitor::quality_at(
 
 void StreamingBeatMonitor::scan(bool final_pass, const BeatSink* beats,
                                 const PendingBeatSink* pending) {
-  dsp::PeakDetectorConfig det_cfg = cfg_.peak;
-  const std::vector<std::size_t> peaks =
-      dsp::detect_r_peaks(buffer_, det_cfg);
+  // Wavelet (bit-identical to dsp::detect_r_peaks, the pre-block-kernel
+  // detector) or the adaptive fast path, per cfg_.peak.kind; either way the
+  // member scratch keeps the steady-state scan allocation-free.
+  kernels::detect_r_peaks_kind(buffer_, cfg_.peak, peak_scratch_, peaks_);
+  const std::vector<std::size_t>& peaks = peaks_;
 
   // A beat is finalized once its full window fits safely inside the chunk:
   // keep a guard of window_after plus half an overlap from the right edge
@@ -260,14 +317,20 @@ void StreamingBeatMonitor::flush(const PendingBeatSink& sink) {
 
 void StreamingBeatMonitor::flush_impl(const BeatSink* beats,
                                       const PendingBeatSink* pending) {
-  const std::vector<dsp::Sample> tail = conditioner_.flush();
-  buffer_.insert(buffer_.end(), tail.begin(), tail.end());
+  // Two-step drain mirrors the per-sample path exactly: first the pending
+  // batch (whose outputs would have streamed out one by one, scanning at
+  // chunk crossings), then the right-border tail, appended wholesale before
+  // one final scan — the same shape StreamingConditioner::flush() had.
+  sync_conditioner(beats, pending);
+  conditioner_.flush_tail(cond_out_);
+  buffer_.insert(buffer_.end(), cond_out_.begin(), cond_out_.end());
+  cond_out_.clear();
   scan(/*final_pass=*/true, beats, pending);
   buffer_.clear();
   buffer_base_ = 0;
   emitted_up_to_ = 0;
   input_index_ = 0;
-  conditioner_ = dsp::StreamingConditioner(cfg_.filter);
+  conditioner_.reset();
   sqi_.reset();
   quality_state_ = dsp::SignalQuality::Good;
   baseline_quality_ = dsp::SignalQuality::Good;
@@ -290,7 +353,7 @@ std::size_t StreamingBeatMonitor::memory_samples() const {
 }
 
 std::size_t StreamingBeatMonitor::latency() const {
-  return conditioner_.delay() + chunk_samples_;
+  return conditioner_.delay() + conditioner_.batch_slack() + chunk_samples_;
 }
 
 }  // namespace hbrp::core

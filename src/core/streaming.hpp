@@ -3,11 +3,13 @@
 // RealTimePipeline (core/pipeline.hpp) emulates the WBSN application over a
 // whole recorded lead at once; this class is the push-one-ADC-sample-at-a-
 // time equivalent with bounded memory, which is what actually runs on the
-// node: a streaming conditioner feeds a rolling analysis buffer of a few
-// seconds; whenever the buffer fills, the wavelet peak detector scans it,
-// beats far enough from the buffer's right edge are finalized, classified by
-// the embedded integer classifier and reported; the buffer then slides,
-// keeping one overlap region so no beat is lost at a chunk boundary.
+// node: a block conditioner (kernels/dsp_condition.hpp) batches raw samples
+// and feeds a rolling analysis buffer of a few seconds; whenever the buffer
+// fills, the configured peak detector (wavelet by default, or the adaptive-
+// threshold fast path — see dsp::PeakDetectorKind) scans it, beats far
+// enough from the buffer's right edge are finalized, classified by the
+// embedded integer classifier and reported; the buffer then slides, keeping
+// one overlap region so no beat is lost at a chunk boundary.
 //
 // The monitor covers the classification sub-system (1) of the paper's
 // Fig. 6 — the decision *whether* a beat needs the detailed multi-lead
@@ -33,8 +35,9 @@
 
 #include "dsp/peak_detect.hpp"
 #include "dsp/quality.hpp"
-#include "dsp/streaming.hpp"
 #include "embedded/bundle.hpp"
+#include "kernels/dsp_condition.hpp"
+#include "kernels/dsp_peaks.hpp"
 
 namespace hbrp::core {
 
@@ -114,6 +117,15 @@ class StreamingBeatMonitor {
   /// clamps the rest into the ADC range before the integer path sees them.
   void push(double x, const BeatSink& sink);
 
+  /// Block entry points: feed a contiguous run of samples. Exactly
+  /// equivalent to pushing each sample in order — same beats, same order,
+  /// same stats — but the natural shape for batch producers (drain queues,
+  /// record replay) now that the conditioner itself works in blocks.
+  void push_block(std::span<const dsp::Sample> xs, const BeatSink& sink);
+  void push_block(std::span<const double> xs, const BeatSink& sink);
+  void push_block(std::span<const dsp::Sample> xs, const PendingBeatSink& sink);
+  void push_block(std::span<const double> xs, const PendingBeatSink& sink);
+
   /// Finalizes everything still buffered into `sink` and resets the monitor
   /// (the cumulative stats() survive).
   void flush(const BeatSink& sink);
@@ -140,8 +152,8 @@ class StreamingBeatMonitor {
   /// Worst-case number of samples held across all internal state.
   std::size_t memory_samples() const;
 
-  /// Input-to-report latency bound, in samples (conditioner delay plus one
-  /// full analysis chunk).
+  /// Input-to-report latency bound, in samples (conditioner delay plus its
+  /// batching slack plus one full analysis chunk).
   std::size_t latency() const;
 
   /// Current acquisition-quality state of the degradation machine.
@@ -169,12 +181,22 @@ class StreamingBeatMonitor {
                          const PendingBeatSink* pending);
   dsp::SignalQuality quality_at(std::size_t absolute) const;
   void rearm(std::size_t at_absolute);
+  /// Moves cond_out_ into the rolling buffer, scanning at every exact
+  /// chunk-boundary crossing — the same scan positions the per-sample
+  /// conditioner produced, so verdict streams are unchanged by batching.
+  void append_conditioned(const BeatSink* beats,
+                          const PendingBeatSink* pending);
+  /// Drains the conditioner's pending batch through append_conditioned().
+  void sync_conditioner(const BeatSink* beats, const PendingBeatSink* pending);
 
   embedded::EmbeddedClassifier classifier_;
   // Reused across beats on the classifying path (no per-beat allocation).
   embedded::ClassifyScratch classify_scratch_;
   MonitorConfig cfg_;
-  dsp::StreamingConditioner conditioner_;
+  kernels::BlockConditioner conditioner_;
+  dsp::Signal cond_out_;  // conditioner output staging (reused)
+  kernels::PeakScratch peak_scratch_;
+  std::vector<std::size_t> peaks_;  // detector output (reused)
   dsp::SignalQualityEstimator sqi_;
   dsp::Signal buffer_;           // rolling conditioned samples
   std::size_t buffer_base_ = 0;  // absolute index of buffer_[0]

@@ -11,12 +11,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dsp/signal.hpp"
 #include "dsp/wavelet.hpp"
 
 namespace hbrp::dsp {
+
+/// Which R-peak detector a streaming consumer runs. Wavelet is the paper's
+/// cross-scale modulus-maxima detector (the accuracy reference);
+/// AdaptiveThreshold is the O(1)-per-sample running-amplitude-decay fast
+/// path in kernels/dsp_peaks.hpp, accuracy-gated against the wavelet
+/// detector by tests/test_detector_equivalence.cpp.
+enum class PeakDetectorKind : std::uint8_t { Wavelet, AdaptiveThreshold };
 
 struct PeakDetectorConfig {
   int fs_hz = kMitBihFs;
@@ -35,6 +43,24 @@ struct PeakDetectorConfig {
   double searchback_rr_factor = 1.66;
   /// Threshold scaling during search-back.
   double searchback_frac = 0.4;
+
+  /// Detector selection for streaming consumers (core::StreamingBeatMonitor
+  /// and everything above it). Batch dsp::detect_r_peaks always runs the
+  /// wavelet detector; kernels::detect_r_peaks_adaptive reads the fields
+  /// below.
+  PeakDetectorKind kind = PeakDetectorKind::Wavelet;
+  /// Exponential decay rate (per second) of the running QRS-energy estimate
+  /// between beats.
+  double adaptive_decay_per_s = 1.0;
+  /// Trigger threshold as a fraction of the running QRS-energy estimate.
+  /// 0.5 clears synthetic tall-T and noisy-LBBB records with the
+  /// slope-energy front end (see kernels::detect_r_peaks_adaptive).
+  double adaptive_frac = 0.5;
+  /// Floor for the running estimate, as a fraction of the median per-block
+  /// energy maximum (keeps long pauses from decaying into the noise floor).
+  double adaptive_floor_frac = 0.05;
+  /// Forward apex-search window after a threshold crossing (s).
+  double adaptive_search_s = 0.10;
 };
 
 /// Detects R-peak sample indices in a conditioned (baseline-free) ECG lead.

@@ -39,28 +39,41 @@ std::vector<Sample> chain_flush(Chain chain) {
 }  // namespace
 
 SlidingExtremum::SlidingExtremum(Kind kind, std::size_t length)
-    : kind_(kind), half_(length / 2) {
+    : kind_(kind), half_(length / 2), ring_(length + 1) {
   HBRP_REQUIRE(length >= 1 && length % 2 == 1,
                "SlidingExtremum: length must be odd and >= 1");
 }
 
-std::optional<Sample> SlidingExtremum::push(Sample x) {
-  auto better = [this](Sample candidate, Sample incumbent) {
-    return kind_ == Kind::Min ? candidate <= incumbent
-                              : candidate >= incumbent;
-  };
-  auto insert = [&](std::ptrdiff_t i, Sample v) {
-    while (!window_.empty() && better(v, window_.back().second))
-      window_.pop_back();
-    window_.emplace_back(i, v);
-  };
+SlidingExtremum::Entry& SlidingExtremum::wedge_back() {
+  std::size_t i = head_ + count_ - 1;
+  if (i >= ring_.size()) i -= ring_.size();
+  return ring_[i];
+}
 
+void SlidingExtremum::wedge_insert(std::ptrdiff_t index, Sample value) {
+  // Erode the wedge from the back: entries no better than the newcomer can
+  // never be a window extremum again (the newcomer is newer and at least as
+  // good). Ties evict too, keeping the wedge minimal.
+  const bool is_min = kind_ == Kind::Min;
+  while (count_ > 0) {
+    const Sample incumbent = wedge_back().value;
+    const bool better = is_min ? value <= incumbent : value >= incumbent;
+    if (!better) break;
+    --count_;
+  }
+  std::size_t i = head_ + count_;
+  if (i >= ring_.size()) i -= ring_.size();
+  ring_[i] = {index, value};
+  ++count_;
+}
+
+std::optional<Sample> SlidingExtremum::push(Sample x) {
   if (next_in_ == 0) {
     // Left border: the batch operator replicates x[0] outside the signal.
     for (std::ptrdiff_t i = -static_cast<std::ptrdiff_t>(half_); i < 0; ++i)
-      insert(i, x);
+      wedge_insert(i, x);
   }
-  insert(next_in_, x);
+  wedge_insert(next_in_, x);
   last_ = x;
   const std::ptrdiff_t center = next_in_ - static_cast<std::ptrdiff_t>(half_);
   ++next_in_;
@@ -71,11 +84,13 @@ std::optional<Sample> SlidingExtremum::push(Sample x) {
 std::optional<Sample> SlidingExtremum::emit_for_center(std::ptrdiff_t center) {
   HBRP_ASSERT(center == next_out_);
   const std::ptrdiff_t lower = center - static_cast<std::ptrdiff_t>(half_);
-  while (!window_.empty() && window_.front().first < lower)
-    window_.pop_front();
-  HBRP_ASSERT(!window_.empty());
+  while (count_ > 0 && ring_[head_].index < lower) {
+    --count_;
+    if (++head_ == ring_.size()) head_ = 0;
+  }
+  HBRP_ASSERT(count_ > 0);
   ++next_out_;
-  return window_.front().second;
+  return ring_[head_].value;
 }
 
 std::vector<Sample> SlidingExtremum::flush() {
@@ -83,7 +98,8 @@ std::vector<Sample> SlidingExtremum::flush() {
   // Right border: replicate the final sample for the last half_ outputs.
   for (std::size_t k = 0; k < half_ && next_in_ > 0; ++k)
     if (const auto y = push(last_)) out.push_back(*y);
-  window_.clear();
+  head_ = 0;
+  count_ = 0;
   next_in_ = 0;
   next_out_ = 0;
   return out;

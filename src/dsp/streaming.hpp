@@ -41,15 +41,31 @@ class SlidingExtremum {
   std::vector<Sample> flush();
 
   std::size_t delay() const { return half_; }
-  /// Upper bound on retained samples (the RAM the kernel needs).
+  /// Upper bound on retained samples (the RAM the kernel needs). Also the
+  /// wedge ring capacity: the window spans length samples and one extra
+  /// slot absorbs the push-before-evict transient.
   std::size_t memory_samples() const { return 2 * half_ + 2; }
 
  private:
+  /// One monotonic-wedge entry: a sample that is still a candidate extremum
+  /// for some future window position.
+  struct Entry {
+    std::ptrdiff_t index = 0;
+    Sample value = 0;
+  };
+
   std::optional<Sample> emit_for_center(std::ptrdiff_t center);
+  void wedge_insert(std::ptrdiff_t index, Sample value);
+  Entry& wedge_back();
 
   Kind kind_;
   std::size_t half_;
-  std::deque<std::pair<std::ptrdiff_t, Sample>> window_;  // monotonic deque
+  // Monotonic wedge in a fixed flat ring (no deque, no per-sample heap
+  // traffic): values run from the window extremum at the front towards the
+  // newest sample at the back, front-evicted as the window slides.
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;   // ring slot of the front entry
+  std::size_t count_ = 0;  // live entries
   std::ptrdiff_t next_in_ = 0;   // index of the next input sample
   std::ptrdiff_t next_out_ = 0;  // centre index of the next output
   Sample last_ = 0;

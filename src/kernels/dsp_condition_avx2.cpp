@@ -1,0 +1,204 @@
+// AVX2 forms of the block-conditioning passes. This TU is compiled with
+// -mavx2 (no FMA — the chain is pure integer, but the flag set matches the
+// other AVX2 TUs). Every pass below performs the same exact integer
+// min/max/add/sub/shift per element as its scalar counterpart in
+// dsp_condition.cpp, so scalar and AVX2 conditioning are bit-identical by
+// construction; tests/test_kernels_dsp.cpp gates it anyway.
+#include "kernels/dsp_condition.hpp"
+
+#if HBRP_KERNELS_X86
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+namespace hbrp::kernels::detail {
+
+namespace {
+
+using dsp::Sample;
+
+inline __m256i load(const Sample* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(Sample* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+}  // namespace
+
+void merge_extremum_avx2(const Sample* suffix, const Sample* prefix,
+                         std::size_t n, bool is_min, Sample* out) {
+  std::size_t i = 0;
+  if (is_min) {
+    for (; i + 8 <= n; i += 8)
+      store(out + i, _mm256_min_epi32(load(suffix + i), load(prefix + i)));
+    for (; i < n; ++i) out[i] = std::min(suffix[i], prefix[i]);
+  } else {
+    for (; i + 8 <= n; i += 8)
+      store(out + i, _mm256_max_epi32(load(suffix + i), load(prefix + i)));
+    for (; i < n; ++i) out[i] = std::max(suffix[i], prefix[i]);
+  }
+}
+
+void extremum3_avx2(const Sample* x, std::size_t n, bool is_min,
+                    Sample* out) {
+  // Centred 3-tap window directly over the input (n >= 2, out != x):
+  // out[i] = op(x[i - 1], x[i], x[i + 1]) with replicated borders, which
+  // collapses to 2-tap at both ends.
+  if (is_min) {
+    out[0] = std::min(x[0], x[1]);
+    std::size_t i = 1;
+    for (; i + 9 <= n; i += 8)
+      store(out + i, _mm256_min_epi32(
+                         _mm256_min_epi32(load(x + i - 1), load(x + i)),
+                         load(x + i + 1)));
+    for (; i + 1 < n; ++i) out[i] = std::min({x[i - 1], x[i], x[i + 1]});
+    out[n - 1] = std::min(x[n - 2], x[n - 1]);
+  } else {
+    out[0] = std::max(x[0], x[1]);
+    std::size_t i = 1;
+    for (; i + 9 <= n; i += 8)
+      store(out + i, _mm256_max_epi32(
+                         _mm256_max_epi32(load(x + i - 1), load(x + i)),
+                         load(x + i + 1)));
+    for (; i + 1 < n; ++i) out[i] = std::max({x[i - 1], x[i], x[i + 1]});
+    out[n - 1] = std::max(x[n - 2], x[n - 1]);
+  }
+}
+
+namespace {
+
+// In-register inclusive scans (log-step shift network). `ident` fills the
+// lanes shifted in: INT32_MAX for min, INT32_MIN for max, so the extra op
+// is a no-op on real lanes and exactness is preserved.
+template <bool IsMin>
+inline __m256i vop(__m256i a, __m256i b) {
+  if constexpr (IsMin) return _mm256_min_epi32(a, b);
+  return _mm256_max_epi32(a, b);
+}
+
+template <bool IsMin>
+inline __m256i scan_prefix8(__m256i v, __m256i ident) {
+  // Shift values toward higher lanes by 1, 2, then 4, combining each time.
+  __m256i t = _mm256_permute2x128_si256(v, ident, 0x02);  // [ident.lo, v.lo]
+  v = vop<IsMin>(v, _mm256_alignr_epi8(v, t, 12));
+  t = _mm256_permute2x128_si256(v, ident, 0x02);
+  v = vop<IsMin>(v, _mm256_alignr_epi8(v, t, 8));
+  v = vop<IsMin>(v, _mm256_permute2x128_si256(v, ident, 0x02));
+  return v;
+}
+
+template <bool IsMin>
+inline __m256i scan_suffix8(__m256i v, __m256i ident) {
+  // Mirror image: shift values toward lower lanes by 1, 2, then 4.
+  __m256i t = _mm256_permute2x128_si256(v, ident, 0x21);  // [v.hi, ident.lo]
+  v = vop<IsMin>(v, _mm256_alignr_epi8(t, v, 4));
+  t = _mm256_permute2x128_si256(v, ident, 0x21);
+  v = vop<IsMin>(v, _mm256_alignr_epi8(t, v, 8));
+  v = vop<IsMin>(v, _mm256_permute2x128_si256(v, ident, 0x21));
+  return v;
+}
+
+template <bool IsMin>
+inline Sample sop(Sample a, Sample b) {
+  if constexpr (IsMin) return a < b ? a : b;
+  return a > b ? a : b;
+}
+
+template <bool IsMin>
+void prefix_scan_blocks(const Sample* q, std::size_t total,
+                        std::size_t block_len, Sample* out) {
+  const Sample identity =
+      IsMin ? std::numeric_limits<Sample>::max()
+            : std::numeric_limits<Sample>::min();
+  const __m256i identv = _mm256_set1_epi32(identity);
+  for (std::size_t b = 0; b < total; b += block_len) {
+    const std::size_t end = std::min(total, b + block_len);
+    __m256i carry = identv;
+    std::size_t j = b;
+    for (; j + 8 <= end; j += 8) {
+      __m256i v = scan_prefix8<IsMin>(load(q + j), identv);
+      v = vop<IsMin>(v, carry);
+      store(out + j, v);
+      // Broadcast the last lane as the next chunk's carry-in.
+      carry = _mm256_permutevar8x32_epi32(v, _mm256_set1_epi32(7));
+    }
+    Sample run = _mm256_cvtsi256_si32(carry);
+    for (; j < end; ++j) {
+      run = sop<IsMin>(run, q[j]);
+      out[j] = run;
+    }
+  }
+}
+
+template <bool IsMin>
+void suffix_scan_blocks(Sample* q, std::size_t total, std::size_t block_len) {
+  const Sample identity =
+      IsMin ? std::numeric_limits<Sample>::max()
+            : std::numeric_limits<Sample>::min();
+  const __m256i identv = _mm256_set1_epi32(identity);
+  for (std::size_t b = 0; b < total; b += block_len) {
+    const std::size_t end = std::min(total, b + block_len);
+    const std::size_t len = end - b;
+    const std::size_t vec_end = b + (len / 8) * 8;  // vector region [b, vec_end)
+    Sample run = identity;
+    for (std::size_t j = end; j-- > vec_end;) {
+      run = sop<IsMin>(run, q[j]);
+      q[j] = run;
+    }
+    __m256i carry = _mm256_set1_epi32(run);
+    for (std::size_t j = vec_end; j > b; j -= 8) {
+      __m256i v = scan_suffix8<IsMin>(load(q + j - 8), identv);
+      v = vop<IsMin>(v, carry);
+      store(q + j - 8, v);
+      carry = _mm256_broadcastd_epi32(_mm256_castsi256_si128(v));
+    }
+  }
+}
+
+}  // namespace
+
+void prefix_scan_blocks_avx2(const Sample* q, std::size_t total,
+                             std::size_t block_len, bool is_min, Sample* out) {
+  if (is_min)
+    prefix_scan_blocks<true>(q, total, block_len, out);
+  else
+    prefix_scan_blocks<false>(q, total, block_len, out);
+}
+
+void suffix_scan_blocks_avx2(Sample* q, std::size_t total,
+                             std::size_t block_len, bool is_min) {
+  if (is_min)
+    suffix_scan_blocks<true>(q, total, block_len);
+  else
+    suffix_scan_blocks<false>(q, total, block_len);
+}
+
+void subtract_avx2(const Sample* a, const Sample* b, std::size_t n,
+                   Sample* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    store(out + i, _mm256_sub_epi32(load(a + i), load(b + i)));
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void average_round_avx2(const Sample* a, const Sample* b, std::size_t n,
+                        Sample* out) {
+  // (a + b + 1) >> 1 with an arithmetic shift, matching the scalar form
+  // (and dsp::suppress_noise) on negative sums.
+  const __m256i one = _mm256_set1_epi32(1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i sum =
+        _mm256_add_epi32(_mm256_add_epi32(load(a + i), load(b + i)), one);
+    store(out + i, _mm256_srai_epi32(sum, 1));
+  }
+  for (; i < n; ++i) out[i] = (a[i] + b[i] + 1) >> 1;
+}
+
+}  // namespace hbrp::kernels::detail
+
+#endif  // HBRP_KERNELS_X86

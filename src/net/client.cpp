@@ -71,6 +71,13 @@ void SensorNodeClient::push(double x) {
 }
 
 void SensorNodeClient::push(std::span<const dsp::Sample> xs) {
+  if (monitor_.has_value()) {
+    // Block fast path: the monitor's conditioner batches across the whole
+    // span instead of sample-at-a-time.
+    stats_.samples_in += xs.size();
+    monitor_->push_block(xs, pending_sink_);
+    return;
+  }
   for (const dsp::Sample x : xs) push(x);
 }
 

@@ -34,7 +34,8 @@ bool rhythm_episode_at(const ScenarioSpec& spec, double t,
                        const Episode** out) {
   for (const EpisodeKind k : {EpisodeKind::AfibIrregularRr,
                               EpisodeKind::SustainedVt,
-                              EpisodeKind::PacedRhythm}) {
+                              EpisodeKind::PacedRhythm,
+                              EpisodeKind::SupraventricularRun}) {
     const Episode* e = active_episode(spec, t, k);
     if (e != nullptr) {
       *out = e;
@@ -123,6 +124,7 @@ const char* to_string(EpisodeKind kind) {
     case EpisodeKind::ElectrodeDrop: return "electrode-drop";
     case EpisodeKind::ClockSkew: return "clock-skew";
     case EpisodeKind::RateMismatch: return "rate-mismatch";
+    case EpisodeKind::SupraventricularRun: return "supraventricular-run";
   }
   return "?";
 }
@@ -211,6 +213,19 @@ ScenarioStream build_scenario(const ScenarioSpec& spec) {
           }
           rr = plan_rng.uniform(0.33, 0.40);  // ~160-180 bpm
           prev_was_pvc = true;
+          break;
+        }
+        case EpisodeKind::SupraventricularRun: {
+          // Atrial ectopy: normal (narrow) QRS morphology landing far too
+          // early, slightly smaller from incomplete ventricular filling.
+          // AAMI S — premature + supraventricular origin. To a pipeline
+          // classifying on morphology alone these look exactly like N (the
+          // paper's three-class model has no S concept), which is what the
+          // robustness scorer should surface rather than divide by zero.
+          placed.push_back({t, ecg::BeatClass::N, 0.92, true});
+          planned.push_back({core::AamiClass::S, false});
+          rr = rr_base * plan_rng.uniform(0.45, 0.62);
+          prev_was_pvc = false;
           break;
         }
         case EpisodeKind::PacedRhythm: {
@@ -439,6 +454,14 @@ std::vector<ScenarioSpec> standard_scenarios(double duration_s,
   mismatch.episodes.push_back(
       {EpisodeKind::RateMismatch, mid, duration_s * 0.25, 300.0 / 360.0});
   specs.push_back(mismatch);
+
+  // Appended after the original eight so existing per-index seeds
+  // (seed_base + i) and any "first N scenarios" bench subsets are stable.
+  ScenarioSpec svrun;
+  svrun.name = "supraventricular_run";
+  svrun.episodes.push_back(
+      {EpisodeKind::SupraventricularRun, mid, 15.0, 1.0});
+  specs.push_back(svrun);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     specs[i].duration_s = duration_s;

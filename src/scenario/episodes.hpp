@@ -27,7 +27,11 @@
 //                    move with it;
 //   RateMismatch     a mid-record firmware misconfiguration: one segment
 //                    is resampled by a large factor (e.g. 300 Hz data on a
-//                    360 Hz contract), splicing cleanly back afterwards.
+//                    360 Hz contract), splicing cleanly back afterwards;
+//   SupraventricularRun  a run of premature narrow-QRS beats (atrial
+//                    ectopy): normal morphology arriving far too early,
+//                    AAMI S ground truth — the class the AAMI robustness
+//                    gate previously never saw (zero denominator).
 //
 // Everything is deterministic in ScenarioSpec::seed: same spec, same
 // stream, bit for bit — the property the wire-path replay and the CI
@@ -51,6 +55,7 @@ enum class EpisodeKind : std::uint8_t {
   ElectrodeDrop,
   ClockSkew,
   RateMismatch,
+  SupraventricularRun,
 };
 
 const char* to_string(EpisodeKind kind);

@@ -143,14 +143,26 @@ void Session::process_drained(core::BeatBatch& shard_batch) {
     }
     pending_.push_back(p);
   };
-  for (std::size_t i = 0; i < drain_buf_.size(); ++i) {
+  // Feed the drained samples in stamp-delimited blocks: every sample in a
+  // block shares its enqueue stamp, so the monitor's block path (which
+  // batches conditioning across the whole run) sees the same per-beat
+  // stamps the old per-sample loop produced.
+  std::size_t i = 0;
+  while (i < drain_buf_.size()) {
     const std::uint64_t absolute = drain_base_ + i;
     while (stamp_i < drain_stamps_.size() &&
            drain_stamps_[stamp_i].upto <= absolute)
       ++stamp_i;
-    if (stamp_i < drain_stamps_.size())
+    std::size_t end = drain_buf_.size();
+    if (stamp_i < drain_stamps_.size()) {
       current_stamp = drain_stamps_[stamp_i].at;
-    monitor_.push(drain_buf_[i], sink);
+      const std::uint64_t upto = drain_stamps_[stamp_i].upto;
+      if (upto - drain_base_ < end)
+        end = static_cast<std::size_t>(upto - drain_base_);
+    }
+    monitor_.push_block(
+        std::span<const double>(drain_buf_.data() + i, end - i), sink);
+    i = end;
   }
   telemetry_.samples_processed.fetch_add(drain_buf_.size(),
                                          std::memory_order_relaxed);
@@ -212,7 +224,7 @@ std::size_t Session::close() {
   const core::BeatSink sink = [&](const core::MonitorBeat& b) {
     deliver_one(b, now);
   };
-  for (const double x : drain_buf_) monitor_.push(x, sink);
+  monitor_.push_block(std::span<const double>(drain_buf_), sink);
   telemetry_.samples_processed.fetch_add(drain_buf_.size(),
                                          std::memory_order_relaxed);
   drain_buf_.clear();
