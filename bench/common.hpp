@@ -167,6 +167,10 @@ class JsonReport {
   /// by each bench main next to its own figures.
   explicit JsonReport(const std::string& bench_name) {
     set("bench", bench_name);
+    // Report-format version, mirrored by the gate scripts: a gate reading
+    // a report with a NEWER schema warns and skips unknown keys instead of
+    // failing, so adding keys here never breaks an older checkout's CI.
+    set("schema_version", 2);
 #ifdef HBRP_GIT_COMMIT
     set("git_commit", HBRP_GIT_COMMIT);
 #else

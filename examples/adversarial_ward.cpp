@@ -18,9 +18,11 @@
 // actually absorbed. This is the human-readable twin of bench_scenarios
 // (whose JSON feeds the CI robustness gate).
 //
-// Usage: adversarial_ward [seconds] [seed]   (default 30 s, seed 9000)
+// Usage: adversarial_ward [seconds] [seed] [--seed=N]
+// (default 30 s, seed 9000; --seed overrides the positional seed)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/trainer.hpp"
 #include "ecg/dataset.hpp"
@@ -30,9 +32,31 @@
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const double seconds = argc > 1 ? std::atof(argv[1]) : 30.0;
-  const auto seed_base = static_cast<std::uint64_t>(
-      argc > 2 ? std::atoll(argv[2]) : 9000);
+  // Positional [seconds] [seed] for muscle memory; --seed=N wins over the
+  // positional seed so scripts can pin it without counting arguments.
+  double seconds = 30.0;
+  std::uint64_t seed_base = 9000;
+  bool seed_flag = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed_base = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+      seed_flag = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\n"
+                   "usage: adversarial_ward [seconds] [seed] [--seed=N]\n",
+                   argv[i]);
+      return 1;
+    } else if (positional == 0) {
+      seconds = std::atof(argv[i]);
+      ++positional;
+    } else {
+      if (!seed_flag)
+        seed_base = static_cast<std::uint64_t>(std::atoll(argv[i]));
+      ++positional;
+    }
+  }
   if (seconds < 30.0) {
     std::fprintf(stderr, "need at least 30 s per scenario\n");
     return 1;

@@ -9,10 +9,14 @@
 // (lead-off, saturation, NaN bursts) to show the signal-quality gating and
 // recovery behaviour a real ambulatory session depends on.
 //
-// Usage: holter_monitor [minutes-per-record] [detector]
+// Usage: holter_monitor [minutes-per-record] [detector] [--seed=N]
 //   minutes-per-record: default 5
 //   detector: "wavelet" (default) or "adaptive" — selects the R-peak
 //             detector the streaming monitor runs (dsp::PeakDetectorKind).
+//   --seed=N: base seed for the synthetic patient records (default 1000;
+//             patient i streams from N+i, the fault replay from N+1000).
+//             The trained model's seeds are fixed — only the simulated
+//             patients change.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,10 +47,28 @@ const char* profile_name(hbrp::ecg::RecordProfile p) {
 
 int main(int argc, char** argv) {
   using namespace hbrp;
-  const double minutes = argc > 1 ? std::atof(argv[1]) : 5.0;
+  double minutes = 5.0;
+  std::uint64_t seed_base = 1000;
   dsp::PeakDetectorKind detector = dsp::PeakDetectorKind::Wavelet;
-  if (argc > 2 && std::strcmp(argv[2], "adaptive") == 0)
-    detector = dsp::PeakDetectorKind::AdaptiveThreshold;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed_base = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\n"
+                   "usage: holter_monitor [minutes] [detector] [--seed=N]\n",
+                   argv[i]);
+      return 1;
+    } else if (positional == 0) {
+      minutes = std::atof(argv[i]);
+      ++positional;
+    } else {
+      if (std::strcmp(argv[i], "adaptive") == 0)
+        detector = dsp::PeakDetectorKind::AdaptiveThreshold;
+      ++positional;
+    }
+  }
   std::printf("R-peak detector: %s\n",
               detector == dsp::PeakDetectorKind::Wavelet ? "wavelet"
                                                          : "adaptive");
@@ -87,7 +109,7 @@ int main(int argc, char** argv) {
     ecg::SynthConfig scfg;
     scfg.profile = profiles[i];
     scfg.duration_s = minutes * 60.0;
-    scfg.seed = 1000 + i;
+    scfg.seed = seed_base + i;
     const auto rec = ecg::generate_record(scfg);
     const auto result = pipeline.process(rec);
 
@@ -118,7 +140,7 @@ int main(int argc, char** argv) {
   scfg.profile = ecg::RecordProfile::PvcOccasional;
   scfg.duration_s = minutes * 60.0;
   scfg.num_leads = 1;
-  scfg.seed = 2000;
+  scfg.seed = seed_base + 1000;
   const auto rec = ecg::generate_record(scfg);
   const auto& lead = rec.leads[0];
 

@@ -31,7 +31,11 @@
 #      wire-identity/selective-integrity flag goes false. No retry: the
 #      scenario metrics are fully seeded, so any drift is a real behavior
 #      change. A tamper self-check first asserts the gate actually fails
-#      on an injected regression, so a silently broken gate cannot pass.
+#      on an injected regression, so a silently broken gate cannot pass;
+#   8. drift gate: a quick bench_drift pass (tracker cost, morphology-shift
+#      detection latency, false-alarm sweep, thread/shard identity)
+#      compared against the committed BENCH_drift.json by the same
+#      robustness_gate.py (drift mode), with its own tamper self-check.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -63,13 +67,15 @@ run_suite build
 ctest --test-dir build --output-on-failure -j
 
 # --- 1a. DSP kernel equivalence, forced-scalar dispatch -------------------
-# The full suite above already ran the KernelsDsp/DetectorEquivalence
+# The full suite above already ran the KernelsDsp/DetectorEquivalence/Drift
 # binaries under the default once-per-process dispatch (AVX2 where the host
 # has it); this re-run pins the dispatcher to the scalar kernels so both
-# code paths of every block DSP kernel are gated on every CI host.
+# code paths of every block DSP kernel are gated on every CI host. The
+# drift suites ride along because the tracker consumes the projections the
+# kernels produce — its digests must be dispatch-independent too.
 echo "==== DSP kernel equivalence under HBRP_FORCE_SCALAR=1"
 HBRP_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
-  -R 'KernelsDsp|DetectorEquivalence' -j
+  -R 'KernelsDsp|DetectorEquivalence|Drift' -j
 
 # --- 1b. fleet soak smoke: scaling grid + bit-identity gate ---------------
 # Quick-run reports stay under build/ so a CI pass never dirties the tree
@@ -117,6 +123,27 @@ echo "==== robustness gate (bench_scenarios vs BENCH_scenarios.json)"
 python3 scripts/robustness_gate.py BENCH_scenarios.json \
   build/BENCH_scenarios_quick.json
 
+# --- 1f. drift gate: morphology-drift detection vs committed baseline -----
+echo "==== drift gate self-check (gate must fail on injected regression)"
+./build/bench/bench_drift --quick --threads=0 \
+  --json=build/BENCH_drift_quick.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_drift_quick.json", encoding="utf-8") as f:
+    report = json.load(f)
+report["drift_false_alarm_rate"] = 0.5
+with open("build/BENCH_drift_tampered.json", "w", encoding="utf-8") as f:
+    json.dump(report, f)
+EOF
+if python3 scripts/robustness_gate.py BENCH_drift.json \
+    build/BENCH_drift_tampered.json >/dev/null 2>&1; then
+  echo "drift gate self-check FAILED: tampered report passed the gate" >&2
+  exit 1
+fi
+echo "==== drift gate (bench_drift vs BENCH_drift.json)"
+python3 scripts/robustness_gate.py BENCH_drift.json \
+  build/BENCH_drift_quick.json
+
 if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
   echo "==== sanitizer jobs skipped"
   exit 0
@@ -126,11 +153,11 @@ fi
 run_suite build-asan -DENABLE_SANITIZERS=ON
 ctest --test-dir build-asan --output-on-failure -j
 
-# --- 3. TSan: executor + engine + fleet + net + scenario tests ------------
+# --- 3. TSan: executor + engine + fleet + net + scenario + drift tests ----
 # NB: -R must precede bare -j — ctest 3.25 otherwise consumes "-R" as the
 # job count and silently runs the full suite.
 run_suite build-tsan -DENABLE_TSAN=ON
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire|Scenario|KernelsDsp|DetectorEquivalence' -j
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire|Scenario|KernelsDsp|DetectorEquivalence|Drift' -j
 
 echo "==== CI sweep complete"

@@ -3,9 +3,23 @@
 
 Usage: robustness_gate.py BASELINE_JSON FRESH_JSON [--tolerance=0.02]
                                                    [--bytes-tolerance=0.10]
+                                                   [--beats-tolerance=6]
 
-Both inputs are BENCH_scenarios.json reports (bench_scenarios --json=...).
-For every scenario the two reports share, the gate FAILS (exit 1) when:
+Both inputs are bench reports. When they are BENCH_drift.json reports
+(``"bench": "drift"``) the drift mode gates instead:
+
+  - ``drift_identity`` false — the tracker's state diverged across
+    thread/shard layouts (fatal, no tolerance);
+  - ``drift_false_alarm_rate`` rose above the baseline — a previously
+    quiet scenario now alarms (fatal);
+  - a ``drift_detect_beats_m*`` that the baseline detected (value >= 0)
+    comes back -1 (never alarmed) or slower by more than
+    ``beats-tolerance`` beats (fatal);
+  - ``all_ok`` false — the bench's own internal gate tripped.
+
+Otherwise the inputs are BENCH_scenarios.json reports
+(bench_scenarios --json=...). For every scenario the two reports share,
+the gate FAILS (exit 1) when:
 
   - the fresh ``sc_<name>_identity`` or ``sc_<name>_selective_ok`` flag is
     false — the wire path diverged from direct ingest, or the selective
@@ -23,6 +37,11 @@ Everything both runs compute is deterministic (fixed seeds, fixed trainer
 config), so any numeric drift at all is a real behavior change, not noise;
 the tolerance only absorbs intentional small reshapes of the pipeline.
 
+Reports stamp a ``schema_version``; this gate understands version
+KNOWN_SCHEMA. A report with a newer schema warns once and the gate skips
+any key it does not recognize instead of failing, so adding report keys
+never breaks an older checkout's CI.
+
 Exit codes: 0 pass/skip, 1 regression, 2 usage or unreadable input.
 """
 
@@ -31,6 +50,8 @@ import sys
 
 DEFAULT_TOLERANCE = 0.02
 DEFAULT_BYTES_TOLERANCE = 0.10
+DEFAULT_BEATS_TOLERANCE = 6
+KNOWN_SCHEMA = 2
 
 # Per-scenario metrics: (suffix, direction, fatal). direction +1 = higher
 # is better (a drop fails), -1 = lower is better (a rise fails).
@@ -59,6 +80,84 @@ def load_report(path):
     return data
 
 
+def check_schema(report, path):
+    version = report.get("schema_version")
+    if isinstance(version, int) and version > KNOWN_SCHEMA:
+        print(f"robustness_gate: WARNING — {path} has schema_version "
+              f"{version} (this gate knows {KNOWN_SCHEMA}); unknown keys "
+              f"are skipped, not failed")
+
+
+def gate_drift(base, fresh, base_path, beats_tolerance):
+    """BENCH_drift.json mode: detection latency, false alarms, identity."""
+    failures = []
+
+    if fresh.get("drift_identity") is not True:
+        failures.append(("drift_identity",
+                         "tracker state diverged across thread/shard "
+                         "layouts"))
+
+    b_rate, f_rate = base.get("drift_false_alarm_rate"), \
+        fresh.get("drift_false_alarm_rate")
+    if numeric(b_rate) and numeric(f_rate):
+        marker = ""
+        if f_rate > b_rate:
+            marker = "  <-- REGRESSION"
+            failures.append(("drift_false_alarm_rate",
+                             f"{b_rate:.3f} -> {f_rate:.3f}"))
+        print(f"  {'drift_false_alarm_rate':<38} {b_rate:>7.3f} -> "
+              f"{f_rate:>7.3f}{marker}")
+    else:
+        print("robustness_gate: WARNING — drift_false_alarm_rate is not a "
+              f"comparable pair ({b_rate!r} vs {f_rate!r}), skipped")
+
+    detect_keys = sorted(k for k in base
+                         if k.startswith("drift_detect_beats_"))
+    for key in detect_keys:
+        b, f = base.get(key), fresh.get(key)
+        if not (numeric(b) and numeric(f)):
+            print(f"robustness_gate: WARNING — {key} missing from fresh "
+                  f"run, skipped")
+            continue
+        if b < 0:
+            # The baseline never alarmed at this magnitude (below the
+            # detection floor by design); nothing to hold the fresh run to.
+            continue
+        marker = ""
+        if f < 0:
+            marker = "  <-- REGRESSION"
+            failures.append((key, f"detected in {b:.0f} beats -> never"))
+        elif f - b > beats_tolerance:
+            marker = "  <-- REGRESSION"
+            failures.append((key, f"{b:.0f} -> {f:.0f} beats"))
+        print(f"  {key:<38} {b:>7.0f} -> {f:>7.0f}{marker}")
+
+    b_clean = base.get("drift_max_clean_score")
+    f_clean = fresh.get("drift_max_clean_score")
+    if numeric(b_clean) and numeric(f_clean) and f_clean > b_clean + 0.05:
+        print(f"robustness_gate: WARNING — drift_max_clean_score rose "
+              f"{b_clean:.3f} -> {f_clean:.3f}; the false-alarm margin is "
+              f"shrinking")
+
+    if fresh.get("all_ok") is False:
+        failures.append(("all_ok",
+                         "bench_drift reported an internal gate failure"))
+
+    if failures:
+        print(f"\nrobustness_gate: FAIL — {len(failures)} drift "
+              f"regression(s) vs {base_path}:")
+        for key, detail in failures:
+            print(f"  {key}: {detail}")
+        print("If the change is intentional, regenerate the baseline with\n"
+              "  ./build/bench/bench_drift --threads=0 "
+              "--json=BENCH_drift.json\nand commit it with the change that "
+              "explains it.")
+        return 1
+    print(f"robustness_gate: PASS — drift detection/false-alarm/identity "
+          f"within bounds of {base_path}")
+    return 0
+
+
 def scenario_names(report):
     names = []
     for key in report:
@@ -74,9 +173,17 @@ def numeric(value):
 def main(argv):
     tolerance = DEFAULT_TOLERANCE
     bytes_tolerance = DEFAULT_BYTES_TOLERANCE
+    beats_tolerance = DEFAULT_BEATS_TOLERANCE
     paths = []
     for arg in argv[1:]:
-        if arg.startswith("--tolerance="):
+        if arg.startswith("--beats-tolerance="):
+            try:
+                beats_tolerance = float(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"robustness_gate: bad value in '{arg}'",
+                      file=sys.stderr)
+                return 2
+        elif arg.startswith("--tolerance="):
             try:
                 tolerance = float(arg.split("=", 1)[1])
             except ValueError:
@@ -98,6 +205,16 @@ def main(argv):
 
     base = load_report(paths[0])
     fresh = load_report(paths[1])
+    check_schema(base, paths[0])
+    check_schema(fresh, paths[1])
+
+    if base.get("bench") == "drift" or fresh.get("bench") == "drift":
+        if base.get("bench") != fresh.get("bench"):
+            print(f"robustness_gate: cannot compare a '{base.get('bench')}' "
+                  f"report against a '{fresh.get('bench')}' report",
+                  file=sys.stderr)
+            return 2
+        return gate_drift(base, fresh, paths[0], beats_tolerance)
 
     base_names = scenario_names(base)
     fresh_names = scenario_names(fresh)

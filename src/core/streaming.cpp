@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/resample.hpp"
+#include "ecg/types.hpp"
 #include "math/check.hpp"
 
 namespace hbrp::core {
@@ -274,6 +275,13 @@ void StreamingBeatMonitor::scan(bool final_pass, const BeatSink* beats,
           buffer_.data() + (local_peak - cfg_.window_before),
           cfg_.window_before + cfg_.window_after};
       beat.predicted = classifier_.classify_window(window, classify_scratch_);
+      if (drift_ != nullptr) {
+        // classify_window left exactly k coefficients in the scratch.
+        drift_->observe(
+            std::span<const std::int32_t>(classify_scratch_.u.data(),
+                                          classify_scratch_.u.size()),
+            !ecg::is_pathological(beat.predicted));
+      }
       (*beats)(beat);
     } else {
       // Deferred path: the scan guards above guarantee the full window is

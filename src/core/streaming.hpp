@@ -35,6 +35,7 @@
 
 #include "dsp/peak_detect.hpp"
 #include "dsp/quality.hpp"
+#include "drift/tracker.hpp"
 #include "embedded/bundle.hpp"
 #include "kernels/dsp_condition.hpp"
 #include "kernels/dsp_peaks.hpp"
@@ -166,6 +167,17 @@ class StreamingBeatMonitor {
     return classifier_;
   }
 
+  /// Opt-in drift hook (non-owning, nullptr detaches): every beat the
+  /// monitor classifies itself is observed through the projection already
+  /// sitting in the classify scratch — zero extra projection cost. Beats
+  /// surrendered through a PendingBeatSink are NOT observed here (their
+  /// projection happens in the aggregator's batch; see service::Session),
+  /// and Suspect beats are skipped on both paths — they were never
+  /// projected, and doubtful signal must not teach the clusterer. The
+  /// tracker must outlive the monitor or be detached first.
+  void set_drift_tracker(drift::DriftTracker* tracker) { drift_ = tracker; }
+  drift::DriftTracker* drift_tracker() const { return drift_; }
+
  private:
   // Exactly one of `beats` / `pending` is non-null: the classifying sink and
   // the deferred sink share one implementation of the whole scan/gating
@@ -192,6 +204,7 @@ class StreamingBeatMonitor {
   embedded::EmbeddedClassifier classifier_;
   // Reused across beats on the classifying path (no per-beat allocation).
   embedded::ClassifyScratch classify_scratch_;
+  drift::DriftTracker* drift_ = nullptr;  // opt-in, non-owning
   MonitorConfig cfg_;
   kernels::BlockConditioner conditioner_;
   dsp::Signal cond_out_;  // conditioner output staging (reused)

@@ -211,6 +211,71 @@ TrainedClassifier TwoStepTrainer::train_with_projection(
                            alpha};
 }
 
+drift::TrainingCentroids compute_training_centroids(
+    const embedded::EmbeddedClassifier& cls, const ecg::BeatDataset& ds) {
+  HBRP_REQUIRE(!ds.beats.empty(),
+               "compute_training_centroids: empty dataset");
+  HBRP_REQUIRE(ds.window_size() == cls.projector().expected_window(),
+               "compute_training_centroids: window geometry mismatch");
+  const std::size_t k = cls.projector().coefficients();
+
+  // One accumulator per BeatClass value; classes absent from the dataset
+  // simply export no centroid.
+  constexpr std::size_t kClasses = 4;
+  std::vector<std::vector<double>> sum(kClasses,
+                                       std::vector<double>(k, 0.0));
+  std::vector<std::vector<double>> sumsq(kClasses,
+                                         std::vector<double>(k, 0.0));
+  std::vector<double> count(kClasses, 0.0);
+
+  rp::ProjectionScratch scratch;
+  std::vector<std::int32_t> u(k);
+  for (const auto& beat : ds.beats) {
+    cls.projector().project_int_into(beat.samples, u, scratch);
+    const auto c = static_cast<std::size_t>(beat.label);
+    count[c] += 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double x = static_cast<double>(u[i]);
+      sum[c][i] += x;
+      sumsq[c][i] += x * x;
+    }
+  }
+
+  drift::TrainingCentroids out;
+  out.coefficients = k;
+  double var_acc = 0.0;
+  double var_n = 0.0;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    if (count[c] == 0.0) continue;
+    drift::TrainingCentroids::Centroid centroid;
+    centroid.mean.resize(k);
+    centroid.mass = count[c];
+    double class_var = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double mean = sum[c][i] / count[c];
+      centroid.mean[i] = mean;
+      const double var = sumsq[c][i] / count[c] - mean * mean;
+      class_var += var;
+      var_acc += var;
+      var_n += 1.0;
+    }
+    // This class's own RMS sigma across coefficients: the unit the
+    // tracker's novelty distance to this centroid is measured in, so a
+    // naturally wide class (V spans far more of RP space than N) is not
+    // judged by the narrow classes' yardstick. Same degenerate-data floor
+    // as the global scale below.
+    centroid.sigma = std::max(
+        1.0, std::sqrt(std::max(0.0, class_var / static_cast<double>(k))));
+    out.centroids.push_back(std::move(centroid));
+  }
+  // Within-class RMS sigma over every (class, coefficient) pair: the unit
+  // the tracker's thresholds are expressed in. Floored at 1 so a
+  // degenerate dataset cannot produce a zero/NaN normalizer (integer
+  // projections have sigma >> 1 in practice).
+  out.scale = std::max(1.0, std::sqrt(std::max(0.0, var_acc / var_n)));
+  return out;
+}
+
 double TwoStepTrainer::fitness(const rp::TernaryMatrix& p) const {
   const TrainedClassifier trained = train_with_projection(p);
   const ProjectedDataset d2 = project_dataset(batch2_, trained.projector);

@@ -19,6 +19,7 @@
 #include "core/batch.hpp"
 #include "core/executor.hpp"
 #include "core/metrics.hpp"
+#include "drift/tracker.hpp"
 #include "ecg/dataset.hpp"
 #include "embedded/bundle.hpp"
 #include "math/mat.hpp"
@@ -64,6 +65,15 @@ ConfusionMatrix evaluate_embedded(const embedded::EmbeddedClassifier& cls,
                                   const Executor* executor = nullptr);
 
 /// Smallest alpha such that ARR >= min_arr on `data` (1.0 if unreachable).
+/// Exports the drift tracker's reference frame at model-build time: one
+/// centroid per beat class present in `ds`, computed over the classifier's
+/// own integer projections (the exact space observe() sees at runtime),
+/// plus the within-class RMS sigma that normalizes every tracker
+/// threshold. Use the training split (ts1) — the tracker's notion of
+/// "looks like training data" should match what the NFC was fit on.
+drift::TrainingCentroids compute_training_centroids(
+    const embedded::EmbeddedClassifier& cls, const ecg::BeatDataset& ds);
+
 double calibrate_alpha(const nfc::NeuroFuzzyClassifier& nfc,
                        const ProjectedDataset& data, double min_arr);
 

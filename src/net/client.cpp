@@ -36,6 +36,12 @@ SensorNodeClient::SensorNodeClient(embedded::EmbeddedClassifier classifier,
     pending_sink_ = [this](const core::PendingBeat& pb) {
       on_pending_beat(pb);
     };
+    // Drift escalation observes in on_pending_beat (which classifies every
+    // beat itself, including the monitor flush tail), so the monitor hook
+    // is deliberately NOT set — it would double-observe nothing here, but
+    // the single observation point keeps the accounting obvious.
+    if (cfg_.drift_centroids != nullptr)
+      drift_.emplace(*cfg_.drift_centroids, cfg_.drift);
   }
 }
 
@@ -101,14 +107,42 @@ void SensorNodeClient::on_pending_beat(const core::PendingBeat& pb) {
           : pb.beat.predicted;
   const auto cls = static_cast<std::uint8_t>(verdict);
   const auto quality = static_cast<std::uint8_t>(pb.beat.quality);
+  bool escalate = false;
+  if (drift_.has_value() && pb.needs_classification) {
+    // classify_window above left this beat's projection in scratch_.u —
+    // the tracker reuses it at zero extra projection cost. Suspect beats
+    // (needs_classification == false) carry no projection and are already
+    // uploaded in full anyway. Only normal verdicts can come back novel,
+    // which is exactly the escalation condition: a beat the selective
+    // policy would silently log as one local byte.
+    const drift::DriftObservation obs = drift_->observe(
+        std::span<const std::int32_t>(scratch_.u.data(), scratch_.u.size()),
+        !ecg::is_pathological(verdict));
+    if (obs.novel) {
+      const std::uint64_t beat_no = drift_->beats();
+      if (last_escalation_beat_ == 0 ||
+          beat_no - last_escalation_beat_ > cfg_.drift_min_gap_beats) {
+        escalate = true;
+        last_escalation_beat_ = beat_no;
+      }
+    }
+  }
   if (!ecg::is_pathological(verdict) &&
       pb.beat.quality == dsp::SignalQuality::Good) {
-    // The paper's optimized policy: a normal beat costs one local byte and
-    // zero radio. Class in bits [0,2), quality in bits [2,4).
-    ++stats_.beats_local;
-    local_log_.push_back(static_cast<std::uint8_t>((cls & 0x3u) |
-                                                   ((quality & 0x3u) << 2)));
-    return;
+    if (!escalate) {
+      // The paper's optimized policy: a normal beat costs one local byte
+      // and zero radio. Class in bits [0,2), quality in bits [2,4).
+      ++stats_.beats_local;
+      local_log_.push_back(static_cast<std::uint8_t>(
+          (cls & 0x3u) | ((quality & 0x3u) << 2)));
+      return;
+    }
+    // Drift escalation: the beat classified normal but its morphology is
+    // novel — upload the full window so the gateway can see it. The frame
+    // is an ordinary FULL_BEAT (held unacked, retransmitted across
+    // reconnects, deduped gateway-side by seq), just with a normal+Good
+    // header that the plain selective policy never produces.
+    ++stats_.drift_escalations;
   }
   FullBeatMsg m;
   m.r_peak = pb.beat.r_peak;
@@ -236,6 +270,26 @@ void SensorNodeClient::on_established(Clock::time_point now) {
     if (beat.sent) ++stats_.retransmits;
     enqueue(FrameType::FullBeat, seq, /*seq_at_send=*/false, beat.payload);
   }
+  // Beats classified during the backoff window are already queued with
+  // HIGHER seqs than the retransmissions appended above, so the queue can
+  // now hold uploads out of seq order. The gateway dedups cross-reconnect
+  // escalation counting with a per-node seq high-water, which silently
+  // swallows any upload arriving below an already-seen seq — FULL_BEATs
+  // must hit the wire in ascending seq. Reorder the queued FULL_BEATs
+  // (and only them — chunk frames keep their slots and their dense
+  // at-send numbering) back into seq order.
+  std::vector<std::size_t> slots;
+  for (std::size_t i = 0; i < sendq_.size(); ++i)
+    if (sendq_[i].type == FrameType::FullBeat) slots.push_back(i);
+  std::vector<QueuedFrame> fulls;
+  fulls.reserve(slots.size());
+  for (const std::size_t i : slots) fulls.push_back(std::move(sendq_[i]));
+  std::sort(fulls.begin(), fulls.end(),
+            [](const QueuedFrame& a, const QueuedFrame& b) {
+              return a.seq < b.seq;
+            });
+  for (std::size_t j = 0; j < slots.size(); ++j)
+    sendq_[slots[j]] = std::move(fulls[j]);
 }
 
 void SensorNodeClient::disconnect(Clock::time_point now, bool backoff) {

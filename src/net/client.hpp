@@ -45,12 +45,14 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
 #include <vector>
 
 #include "core/streaming.hpp"
+#include "drift/tracker.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "platform/energy.hpp"
@@ -80,6 +82,20 @@ struct NodeConfig {
   /// Give up on a handshake (connect or HELLO_ACK) after this long and
   /// retry with backoff.
   int handshake_timeout_ms = 2000;
+  /// Opt-in drift-triggered escalation (selective policy): when set, every
+  /// locally classified beat is observed by a drift::DriftTracker seeded
+  /// from these centroids, and a *novel* normal+Good beat — which the
+  /// selective policy would otherwise reduce to one local byte — is
+  /// escalated as a FULL_BEAT upload so the gateway sees the unfamiliar
+  /// waveform. Escalations ride the existing unacked/verdict-as-ack
+  /// machinery, so they survive reconnects without duplicate gateway
+  /// counting.
+  std::shared_ptr<const drift::TrainingCentroids> drift_centroids;
+  drift::DriftConfig drift;
+  /// Rate limit: at least this many observed beats between two drift
+  /// escalations (beat-count based, so behavior is deterministic under
+  /// replay; 0 = every novel normal beat escalates).
+  std::uint64_t drift_min_gap_beats = 8;
 };
 
 /// Per-link transmission accounting (single-writer: the driving thread).
@@ -103,6 +119,9 @@ struct TxStats {
   /// (at-least-once retransmission + the gateway's dup re-verdict), dropped
   /// before the sink.
   std::uint64_t verdict_dups = 0;
+  /// Normal+Good beats uploaded because the drift tracker flagged them
+  /// novel (subset of beats_uploaded).
+  std::uint64_t drift_escalations = 0;
 };
 
 /// Radio energy implied by this link's transmitted bytes (paper §IV-E):
@@ -172,6 +191,10 @@ class SensorNodeClient {
   /// One byte per normal beat kept on the node: class in the low 2 bits,
   /// SignalQuality in the next 2 — the paper's "verdict record".
   const std::vector<std::uint8_t>& local_log() const { return local_log_; }
+  /// The node's drift tracker (nullptr when drift escalation is off).
+  const drift::DriftTracker* drift_tracker() const {
+    return drift_.has_value() ? &*drift_ : nullptr;
+  }
   /// Bytes queued (send queue + partially written frame), for tests.
   std::size_t pending_bytes() const;
   std::size_t unacked_full_beats() const { return unacked_.size(); }
@@ -222,6 +245,8 @@ class SensorNodeClient {
   NodeConfig cfg_;
   std::optional<core::StreamingBeatMonitor> monitor_;  // selective only
   core::PendingBeatSink pending_sink_;
+  std::optional<drift::DriftTracker> drift_;  // opt-in novelty escalation
+  std::uint64_t last_escalation_beat_ = 0;    // drift_->beats() at last one
 
   // Ingest staging (stream mode) and the double-path sample-hold state.
   std::vector<dsp::Sample> stage_;

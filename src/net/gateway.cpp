@@ -39,7 +39,9 @@ std::string GatewayStats::json() const {
     return a.load(std::memory_order_relaxed);
   };
   std::string out = "{";
-  append_field(out, "conns_accepted", load(conns_accepted), /*first=*/true);
+  append_field(out, "schema_version", service::kTelemetrySchemaVersion,
+               /*first=*/true);
+  append_field(out, "conns_accepted", load(conns_accepted));
   append_field(out, "conns_closed", load(conns_closed));
   append_field(out, "conns_refused_capacity", load(conns_refused_capacity));
   append_field(out, "conns_dropped_protocol", load(conns_dropped_protocol));
@@ -55,6 +57,7 @@ std::string GatewayStats::json() const {
   append_field(out, "samples_rx", load(samples_rx));
   append_field(out, "full_beats_rx", load(full_beats_rx));
   append_field(out, "full_beat_dups", load(full_beat_dups));
+  append_field(out, "drift_escalations_rx", load(drift_escalations_rx));
   append_field(out, "verdicts_tx", load(verdicts_tx));
   append_field(out, "heartbeats_rx", load(heartbeats_rx));
   out += "}";
@@ -68,6 +71,7 @@ struct GatewayServer::Conn {
   std::size_t out_head = 0;
   std::optional<service::SessionId> session;
   TxPolicy policy = TxPolicy::StreamEverything;
+  std::uint32_t node_id = 0;
   bool hello_done = false;
   bool draining = false;  ///< flush `out`, then close
   bool alive = true;
@@ -154,6 +158,7 @@ void GatewayServer::on_hello(Conn& c, const FrameView& f) {
   }
   c.hello_done = true;
   c.policy = hello->policy;
+  c.node_id = hello->node_id;
   HelloAckMsg ack;
   const std::size_t expected = classifier_.projector().expected_window();
   if (hello->policy == TxPolicy::Selective && hello->window != expected) {
@@ -256,6 +261,24 @@ void GatewayServer::on_full_beat(Conn& c, const FrameView& f) {
   } else {
     c.last_full_seq = f.seq;
     stats_.full_beats_rx.fetch_add(1, std::memory_order_relaxed);
+    if (m.count != 0 &&
+        !ecg::is_pathological(static_cast<ecg::BeatClass>(
+            m.beat_class & 0x3u)) &&
+        static_cast<dsp::SignalQuality>(m.quality & 0x3u) ==
+            dsp::SignalQuality::Good) {
+      // The per-connection dup guard above forgets its high-water when a
+      // killed connection is replaced, so a retransmitted escalation can
+      // reach this branch looking fresh. The per-node map remembers what
+      // was already counted across reconnects (the client's upload seq
+      // space is connection-independent), keeping the fleet rollup
+      // exactly-once.
+      const auto [it, inserted] =
+          drift_counted_high_.try_emplace(c.node_id, f.seq);
+      if (inserted || f.seq > it->second) {
+        it->second = f.seq;
+        stats_.drift_escalations_rx.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   // Re-classify the uploaded window with the gateway's model — the check
   // pass before the detailed delineation stage. A 0-sample escalation

@@ -49,6 +49,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -96,6 +97,13 @@ struct GatewayStats {
   std::atomic<std::uint64_t> samples_rx{0};
   std::atomic<std::uint64_t> full_beats_rx{0};
   std::atomic<std::uint64_t> full_beat_dups{0};
+  /// FULL_BEATs whose node-side header says normal class + Good quality —
+  /// the plain selective policy never uploads those, so each one is a
+  /// drift-triggered novelty escalation. Deduped by a per-node seq
+  /// high-water that (unlike the per-connection full_beats_rx guard)
+  /// survives reconnects, so an escalation retransmitted after a
+  /// connection kill is never double-counted in the fleet rollup.
+  std::atomic<std::uint64_t> drift_escalations_rx{0};
   std::atomic<std::uint64_t> verdicts_tx{0};
   std::atomic<std::uint64_t> heartbeats_rx{0};
 
@@ -155,6 +163,13 @@ class GatewayServer {
   service::FleetEngine engine_;
   TcpListener listener_;
   std::vector<std::unique_ptr<Conn>> conns_;
+  /// Highest FULL_BEAT seq already counted as a drift escalation, per
+  /// node_id. Unlike Conn::last_full_seq this survives reconnects: the
+  /// client keeps its upload seq space across reconnects, so a
+  /// retransmitted escalation arriving on a fresh connection is still
+  /// recognized and the fleet rollup is counted exactly once. (Poll-thread
+  /// only, like Conn state.)
+  std::map<std::uint32_t, std::uint64_t> drift_counted_high_;
   GatewayStats stats_;
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> open_conns_{0};

@@ -74,6 +74,14 @@ class KernelCosts {
   double nfc_per_beat(std::size_t coefficients) const;
 
   /// Complete RP classifier (projection + NFC), per beat.
+  /// Online drift tracking (src/drift) per classified beat: the
+  /// nearest-centroid scan over `clusters` centroids of `coefficients`
+  /// dims, one Welford moment update of the winner, and the score-window
+  /// ring-buffer bookkeeping. The projection itself is NOT charged here —
+  /// the tracker reuses the classifier's coefficients.
+  double drift_update_per_beat(std::size_t coefficients,
+                               std::size_t clusters) const;
+
   double rp_classifier_per_beat(std::size_t coefficients, std::size_t window,
                                 std::size_t downsample) const;
 

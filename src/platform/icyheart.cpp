@@ -15,10 +15,24 @@ void validate(const ScenarioParams& p) {
 }
 }  // namespace
 
+namespace {
+
+// The drift tracker rides the classifier's projection, so its only cost
+// is the per-beat centroid update — zero when tracking is off.
+double drift_cycles_per_second(const KernelCosts& k,
+                               const ScenarioParams& p) {
+  if (p.drift_clusters == 0) return 0.0;
+  return p.beat_rate_hz *
+         k.drift_update_per_beat(p.coefficients, p.drift_clusters);
+}
+
+}  // namespace
+
 SystemLoad load_rp_classifier(const KernelCosts& k, const ScenarioParams& p) {
   validate(p);
-  return {p.beat_rate_hz *
-          k.rp_classifier_per_beat(p.coefficients, p.window, p.downsample)};
+  return {p.beat_rate_hz * k.rp_classifier_per_beat(p.coefficients, p.window,
+                                                    p.downsample) +
+          drift_cycles_per_second(k, p)};
 }
 
 SystemLoad load_subsystem1(const KernelCosts& k, const ScenarioParams& p) {
@@ -28,7 +42,8 @@ SystemLoad load_subsystem1(const KernelCosts& k, const ScenarioParams& p) {
       fs * (k.conditioning_per_sample() + k.wavelet_per_sample() +
             k.peak_logic_per_sample()) +
       p.beat_rate_hz *
-          k.rp_classifier_per_beat(p.coefficients, p.window, p.downsample);
+          k.rp_classifier_per_beat(p.coefficients, p.window, p.downsample) +
+      drift_cycles_per_second(k, p);
   return {per_second};
 }
 

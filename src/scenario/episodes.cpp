@@ -35,7 +35,8 @@ bool rhythm_episode_at(const ScenarioSpec& spec, double t,
   for (const EpisodeKind k : {EpisodeKind::AfibIrregularRr,
                               EpisodeKind::SustainedVt,
                               EpisodeKind::PacedRhythm,
-                              EpisodeKind::SupraventricularRun}) {
+                              EpisodeKind::SupraventricularRun,
+                              EpisodeKind::MorphologyShift}) {
     const Episode* e = active_episode(spec, t, k);
     if (e != nullptr) {
       *out = e;
@@ -125,6 +126,7 @@ const char* to_string(EpisodeKind kind) {
     case EpisodeKind::ClockSkew: return "clock-skew";
     case EpisodeKind::RateMismatch: return "rate-mismatch";
     case EpisodeKind::SupraventricularRun: return "supraventricular-run";
+    case EpisodeKind::MorphologyShift: return "morphology-shift";
   }
   return "?";
 }
@@ -226,6 +228,23 @@ ScenarioStream build_scenario(const ScenarioSpec& spec) {
           planned.push_back({core::AamiClass::S, false});
           rr = rr_base * plan_rng.uniform(0.45, 0.62);
           prev_was_pvc = false;
+          break;
+        }
+        case EpisodeKind::MorphologyShift: {
+          // A novel ectopic morphology absent from every training split: a
+          // conducted beat fused with a delayed bundle-branch-shaped
+          // wavefront — neither the N, V nor L template alone, so its RP
+          // projection lands away from all training centroids. The blend
+          // amplitude scales with episode magnitude (bench_drift sweeps it
+          // for the detection-latency curve). Ventricular-origin ectopy:
+          // AAMI V, moderately premature RR.
+          const double blend =
+              std::clamp(0.45 + 0.45 * rhythm->magnitude, 0.0, 1.0);
+          placed.push_back({t, ecg::BeatClass::N, 0.9, true});
+          placed.push_back({t + 0.06, ecg::BeatClass::L, blend, false});
+          planned.push_back({core::AamiClass::V, false});
+          rr = rr_base * plan_rng.uniform(0.50, 0.62);
+          prev_was_pvc = true;
           break;
         }
         case EpisodeKind::PacedRhythm: {
@@ -462,6 +481,15 @@ std::vector<ScenarioSpec> standard_scenarios(double duration_s,
   svrun.episodes.push_back(
       {EpisodeKind::SupraventricularRun, mid, 15.0, 1.0});
   specs.push_back(svrun);
+
+  // The drift tracker's target workload (src/drift): a sustained run of a
+  // composite shape no training split contains. Appended tenth, same
+  // index-stability contract as above.
+  ScenarioSpec shift;
+  shift.name = "morphology_shift";
+  shift.episodes.push_back(
+      {EpisodeKind::MorphologyShift, mid, duration_s * 0.5, 1.0});
+  specs.push_back(shift);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     specs[i].duration_s = duration_s;

@@ -56,6 +56,7 @@ enum class EpisodeKind : std::uint8_t {
   ClockSkew,
   RateMismatch,
   SupraventricularRun,
+  MorphologyShift,
 };
 
 const char* to_string(EpisodeKind kind);
@@ -66,6 +67,7 @@ const char* to_string(EpisodeKind kind);
 ///   ElectrodeDrop  unused (bursts are scripted by the seed)
 ///   ClockSkew      fractional skew (0.03 = clock 3% fast)
 ///   RateMismatch   resample factor (0.833 = 300 Hz data on a 360 Hz link)
+///   MorphologyShift  blend amplitude of the fused novel wavefront
 ///   others         unused
 struct Episode {
   EpisodeKind kind = EpisodeKind::ArtefactStorm;

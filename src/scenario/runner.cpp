@@ -63,7 +63,8 @@ std::vector<Verdict> run_direct(const embedded::EmbeddedClassifier& clf,
 WireRunResult run_wire(const embedded::EmbeddedClassifier& clf,
                        const ScenarioStream& stream, net::TxPolicy policy,
                        const ChaosConfig* chaos, std::size_t threads,
-                       std::size_t shards, int drain_budget_ms) {
+                       std::size_t shards, int drain_budget_ms,
+                       const net::NodeConfig* node_template) {
   net::GatewayConfig gcfg;
   gcfg.fleet.threads = threads;
   gcfg.fleet.shards = shards;
@@ -81,7 +82,8 @@ WireRunResult run_wire(const embedded::EmbeddedClassifier& clf,
 
   WireRunResult out;
   {
-    net::NodeConfig ncfg;
+    net::NodeConfig ncfg =
+        node_template != nullptr ? *node_template : net::NodeConfig{};
     ncfg.port = proxy ? proxy->port() : gw.port();
     ncfg.policy = policy;
     net::SensorNodeClient client(clf, ncfg);
@@ -120,6 +122,7 @@ WireRunResult run_wire(const embedded::EmbeddedClassifier& clf,
   gw.stop();
   gw_thread.join();
   out.gateway_full_beat_dups = gw.stats().full_beat_dups.load();
+  out.gateway_drift_escalations = gw.stats().drift_escalations_rx.load();
   return out;
 }
 

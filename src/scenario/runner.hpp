@@ -52,6 +52,7 @@ struct WireRunResult {
   net::TxStats tx;
   std::vector<std::uint8_t> local_log;  ///< selective: 1-byte beat records
   std::uint64_t gateway_full_beat_dups = 0;
+  std::uint64_t gateway_drift_escalations = 0;  ///< unique, dedup-guarded
   std::uint64_t chaos_kills = 0;
   std::uint64_t chaos_bit_flips = 0;
   /// Client drained (all uploads verdict-confirmed) and closed cleanly.
@@ -61,11 +62,15 @@ struct WireRunResult {
 /// `chaos` = nullptr wires the client straight to the gateway. With chaos,
 /// cfg.upstream_port is filled in by the runner. `drain_budget_ms` bounds
 /// the retransmission endgame under connection-killing chaos.
+/// `node_template`, when given, seeds the client's NodeConfig (drift
+/// escalation, monitor geometry, buffer caps...) — the runner still
+/// overwrites port and policy.
 WireRunResult run_wire(const embedded::EmbeddedClassifier& clf,
                        const ScenarioStream& stream, net::TxPolicy policy,
                        const ChaosConfig* chaos = nullptr,
                        std::size_t threads = 1, std::size_t shards = 1,
-                       int drain_budget_ms = 30000);
+                       int drain_budget_ms = 30000,
+                       const net::NodeConfig* node_template = nullptr);
 
 /// AAMI-class outcome of one verdict stream against one truth track.
 struct ScenarioScore {

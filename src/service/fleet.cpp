@@ -151,10 +151,21 @@ std::size_t FleetEngine::pump() {
   queued_samples_.fetch_sub(drained.load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
 
-  // Phase 3: serial in-order delivery, sessions in id order.
+  // Phase 3: serial in-order delivery, sessions in id order. The shard
+  // scratch still holds this round's row-major integer projections, so
+  // drift-enabled sessions observe them here at zero extra projection
+  // cost — and in delivery order, keeping tracker state bit-identical
+  // across thread/shard counts.
+  const std::size_t k = classifier_.projector().coefficients();
   std::size_t beats = 0;
-  for (std::size_t i = 0; i < active.size(); ++i)
-    beats += active[i]->deliver(shards_[i % nshards].classes);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const Shard& shard = shards_[i % nshards];
+    beats += active[i]->deliver(
+        shard.classes,
+        std::span<const std::int32_t>(shard.scratch.u.data(),
+                                      shard.scratch.u.size()),
+        k);
+  }
 
   for (std::size_t s = 0; s < nshards; ++s) {
     if (shards_[s].batch.empty()) continue;
@@ -192,10 +203,28 @@ const SessionTelemetry* FleetEngine::session_telemetry(SessionId id) const {
   return it == sessions_.end() ? nullptr : &it->second->telemetry();
 }
 
+const drift::DriftTracker* FleetEngine::session_drift(SessionId id) const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second->drift_tracker();
+}
+
 std::string FleetEngine::telemetry_json() const {
   const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  // Fleet-level novel-morphology rollup, aggregated from the per-session
+  // mirrors (relaxed atomics — never the live trackers, which belong to
+  // the pump thread).
+  std::uint64_t alarm_sessions = 0;
+  std::uint64_t novel_beats = 0;
+  for (const auto& [id, session] : sessions_) {
+    const SessionTelemetry& t = session->telemetry();
+    alarm_sessions +=
+        t.drift_alarm_active.load(std::memory_order_relaxed) != 0 ? 1 : 0;
+    novel_beats += t.drift_novel_beats.load(std::memory_order_relaxed);
+  }
   std::string out = "{\n  \"fleet\": ";
-  out += fleet_.json(sessions_.size(), queued_samples());
+  out += fleet_.json(sessions_.size(), queued_samples(), alarm_sessions,
+                     novel_beats);
   out += ",\n  \"sessions\": [";
   bool first = true;
   for (const auto& [id, session] : sessions_) {

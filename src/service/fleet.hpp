@@ -113,6 +113,10 @@ class FleetEngine {
   /// Live per-session counters; nullptr if unknown. The pointer is valid
   /// until the session is closed.
   const SessionTelemetry* session_telemetry(SessionId id) const;
+  /// The session's drift tracker (nullptr when unknown or tracking is
+  /// off). Safe to *read* only while no pump()/drain()/close is running —
+  /// it is live pump-thread state, unlike the mirrored telemetry.
+  const drift::DriftTracker* session_drift(SessionId id) const;
   /// Full snapshot: {"fleet": {...}, "sessions": [{...}, ...]}.
   std::string telemetry_json() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ecg/types.hpp"
 #include "math/check.hpp"
 
 namespace hbrp::service {
@@ -24,6 +25,13 @@ Session::Session(SessionId id, const embedded::EmbeddedClassifier& classifier,
   HBRP_REQUIRE(cfg_.queue_capacity >= 1, "Session: queue_capacity must be >= 1");
   HBRP_REQUIRE(cfg_.max_samples_per_pump >= 1,
                "Session: max_samples_per_pump must be >= 1");
+  if (cfg_.drift_centroids != nullptr) {
+    drift_.emplace(*cfg_.drift_centroids, cfg_.drift);
+    // The hook only fires on the monitor's own classifying path — the
+    // close() tail here. Pump-round beats go through the PendingBeatSink
+    // and are observed in deliver(), so no beat is counted twice.
+    monitor_.set_drift_tracker(&*drift_);
+  }
 }
 
 std::size_t Session::queued() const {
@@ -169,14 +177,28 @@ void Session::process_drained(core::BeatBatch& shard_batch) {
   drain_buf_.clear();
 }
 
-std::size_t Session::deliver(std::span<const ecg::BeatClass> shard_classes) {
+std::size_t Session::deliver(std::span<const ecg::BeatClass> shard_classes,
+                             std::span<const std::int32_t> shard_u,
+                             std::size_t coefficients) {
   for (Pending& p : pending_) {
-    if (p.needs_classification) p.beat.predicted = shard_classes[p.slot];
+    if (p.needs_classification) {
+      p.beat.predicted = shard_classes[p.slot];
+      if (drift_.has_value()) {
+        // The shard batch's projections are observed here, in the serial
+        // delivery phase, so the tracker sees beats in per-session
+        // sequence order regardless of how the parallel classify phase
+        // was sharded. Suspect beats (needs_classification == false)
+        // carry no projection and are skipped.
+        drift_->observe(shard_u.subspan(p.slot * coefficients, coefficients),
+                        !ecg::is_pathological(p.beat.predicted));
+      }
+    }
     deliver_one(p.beat, p.enqueued_at);
   }
   const std::size_t n = pending_.size();
   pending_.clear();
   mirror_monitor_stats();
+  mirror_drift();
   return n;
 }
 
@@ -208,6 +230,22 @@ void Session::mirror_monitor_stats() {
                                       std::memory_order_relaxed);
 }
 
+void Session::mirror_drift() {
+  if (!drift_.has_value()) return;
+  const drift::DriftTracker& t = *drift_;
+  telemetry_.drift_beats.store(t.beats(), std::memory_order_relaxed);
+  telemetry_.drift_novel_beats.store(t.novel_beats(),
+                                     std::memory_order_relaxed);
+  telemetry_.drift_alarms.store(t.alarms(), std::memory_order_relaxed);
+  telemetry_.drift_alarm_active.store(t.alarm_active() ? 1 : 0,
+                                      std::memory_order_relaxed);
+  telemetry_.drift_clusters.store(t.cluster_count(),
+                                  std::memory_order_relaxed);
+  telemetry_.drift_score_ppm.store(
+      static_cast<std::uint64_t>(t.score() * 1e6 + 0.5),
+      std::memory_order_relaxed);
+}
+
 std::size_t Session::close() {
   std::size_t removed = 0;
   {
@@ -230,6 +268,7 @@ std::size_t Session::close() {
   drain_buf_.clear();
   monitor_.flush(sink);
   mirror_monitor_stats();
+  mirror_drift();
   return removed;
 }
 

@@ -31,12 +31,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/batch.hpp"
 #include "core/streaming.hpp"
+#include "drift/tracker.hpp"
 #include "service/telemetry.hpp"
 
 namespace hbrp::service {
@@ -56,6 +59,17 @@ struct SessionConfig {
   /// per FleetEngine::pump() round, so one chatty node cannot starve the
   /// rest of its shard.
   std::size_t max_samples_per_pump = 1u << 13;
+  /// Opt-in RP-space morphology drift tracking: when `drift_centroids` is
+  /// set, the session owns a drift::DriftTracker seeded from it and
+  /// observes every classified beat's projection — batch-classified beats
+  /// during the serial delivery phase (so the observation order equals the
+  /// delivery order and the tracker state is bit-identical for any
+  /// thread/shard count), monitor-classified beats (the close() tail) via
+  /// the monitor hook. Tracker state is mirrored into SessionTelemetry
+  /// after every pump round. Shared (not copied) so a fleet of sessions
+  /// references one centroid export.
+  std::shared_ptr<const drift::TrainingCentroids> drift_centroids;
+  drift::DriftConfig drift;
 };
 
 /// What happened to the `n` samples of one offer: accepted + deferred +
@@ -92,6 +106,11 @@ class Session {
   std::size_t queued() const;
   /// Results delivered so far (single-writer: pump/close thread).
   std::uint64_t delivered() const { return next_sequence_; }
+  /// The session's drift tracker, or nullptr when tracking is disabled.
+  /// Read it only between pump rounds (single-writer: the pump thread).
+  const drift::DriftTracker* drift_tracker() const {
+    return drift_.has_value() ? &*drift_ : nullptr;
+  }
 
  private:
   friend class FleetEngine;
@@ -126,9 +145,15 @@ class Session {
   /// finalized beat. Called from the owning pump shard only.
   void process_drained(core::BeatBatch& shard_batch);
   /// Delivers this round's pending beats in order, patching predictions
-  /// from `shard_classes` (the shard batch's classify_batch output).
-  /// Serial phase; returns the number of beats delivered.
-  std::size_t deliver(std::span<const ecg::BeatClass> shard_classes);
+  /// from `shard_classes` (the shard batch's classify_batch output) and —
+  /// when drift tracking is on — observing each batch-classified beat's
+  /// projection out of `shard_u` (the shard scratch's count x
+  /// `coefficients` row-major integer coefficients, still valid in the
+  /// serial phase; row index = Pending::slot). Returns the number of
+  /// beats delivered.
+  std::size_t deliver(std::span<const ecg::BeatClass> shard_classes,
+                      std::span<const std::int32_t> shard_u,
+                      std::size_t coefficients);
   /// Drains whatever is still queued through the classifying path, flushes
   /// the monitor tail and delivers everything; returns the number of
   /// queued samples consumed (for the fleet-wide gauge).
@@ -136,9 +161,11 @@ class Session {
 
   void deliver_one(const core::MonitorBeat& beat, Clock::time_point enq);
   void mirror_monitor_stats();
+  void mirror_drift();
 
   const SessionId id_;
   const SessionConfig cfg_;
+  std::optional<drift::DriftTracker> drift_;  // before monitor_: hook target
   core::StreamingBeatMonitor monitor_;
   ResultSink sink_;
   SessionTelemetry telemetry_;

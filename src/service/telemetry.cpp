@@ -73,7 +73,9 @@ std::string SessionTelemetry::json(std::uint64_t id,
     return a.load(std::memory_order_relaxed);
   };
   std::string out = "{";
-  append_field(out, "id", id, /*first=*/true);
+  append_field(out, "schema_version", kTelemetrySchemaVersion,
+               /*first=*/true);
+  append_field(out, "id", id);
   append_field(out, "samples_offered", load(samples_offered));
   append_field(out, "samples_accepted", load(samples_accepted));
   append_field(out, "samples_deferred", load(samples_deferred));
@@ -87,6 +89,13 @@ std::string SessionTelemetry::json(std::uint64_t id,
   append_field(out, "sqi_degradations", load(sqi_degradations));
   append_field(out, "sqi_recoveries", load(sqi_recoveries));
   append_field(out, "nonfinite_rejected", load(nonfinite_rejected));
+  append_field(out, "drift_beats", load(drift_beats));
+  append_field(out, "drift_novel_beats", load(drift_novel_beats));
+  append_field(out, "drift_alarms", load(drift_alarms));
+  append_field(out, "drift_alarm_active", load(drift_alarm_active));
+  append_field(out, "drift_clusters", load(drift_clusters));
+  append_field(out, "drift_score",
+               static_cast<double>(load(drift_score_ppm)) / 1e6);
   append_field(out, "queue_depth", queue_depth);
   append_field(out, "queue_high_water", queue_high_water.value());
   append_field(out, "beat_latency_count", latency.count());
@@ -98,12 +107,16 @@ std::string SessionTelemetry::json(std::uint64_t id,
 }
 
 std::string FleetTelemetry::json(std::uint64_t sessions_open,
-                                 std::uint64_t queued_samples) const {
+                                 std::uint64_t queued_samples,
+                                 std::uint64_t drift_alarm_sessions,
+                                 std::uint64_t drift_novel_beats) const {
   const auto load = [](const std::atomic<std::uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
   std::string out = "{";
-  append_field(out, "sessions_open", sessions_open, /*first=*/true);
+  append_field(out, "schema_version", kTelemetrySchemaVersion,
+               /*first=*/true);
+  append_field(out, "sessions_open", sessions_open);
   append_field(out, "sessions_opened", load(sessions_opened));
   append_field(out, "sessions_closed", load(sessions_closed));
   append_field(out, "sessions_rejected", load(sessions_rejected));
@@ -113,6 +126,8 @@ std::string FleetTelemetry::json(std::uint64_t sessions_open,
   append_field(out, "batches", load(batches));
   append_field(out, "batched_beats", load(batched_beats));
   append_field(out, "beats_out", load(beats_out));
+  append_field(out, "drift_alarm_sessions", drift_alarm_sessions);
+  append_field(out, "drift_novel_beats", drift_novel_beats);
   out += "}";
   return out;
 }

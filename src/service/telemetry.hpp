@@ -75,6 +75,14 @@ struct SessionTelemetry {
   std::atomic<std::uint64_t> sqi_degradations{0};
   std::atomic<std::uint64_t> sqi_recoveries{0};
   std::atomic<std::uint64_t> nonfinite_rejected{0};
+  /// Mirrored from the session's drift::DriftTracker after each pump
+  /// round; all zero when drift tracking is disabled.
+  std::atomic<std::uint64_t> drift_beats{0};
+  std::atomic<std::uint64_t> drift_novel_beats{0};
+  std::atomic<std::uint64_t> drift_alarms{0};       ///< rising edges
+  std::atomic<std::uint64_t> drift_alarm_active{0};  ///< 0/1 latch
+  std::atomic<std::uint64_t> drift_clusters{0};
+  std::atomic<std::uint64_t> drift_score_ppm{0};  ///< windowed score * 1e6
   AtomicMax queue_high_water;
   LatencyHistogram latency;  ///< sample-ingest to result-delivery, per beat
 
@@ -96,8 +104,18 @@ struct FleetTelemetry {
   std::atomic<std::uint64_t> batched_beats{0};  ///< windows classified in batch
   std::atomic<std::uint64_t> beats_out{0};
 
-  std::string json(std::uint64_t sessions_open,
-                   std::uint64_t queued_samples) const;
+  /// The drift arguments are the fleet-level novel-morphology rollup,
+  /// aggregated over live sessions by the engine at snapshot time (they
+  /// are per-session tracker state, not fleet counters).
+  std::string json(std::uint64_t sessions_open, std::uint64_t queued_samples,
+                   std::uint64_t drift_alarm_sessions = 0,
+                   std::uint64_t drift_novel_beats = 0) const;
 };
+
+/// Version stamp for every telemetry/stats JSON snapshot this layer (and
+/// the gateway) emits. Bump when fields change shape or meaning — readers
+/// warn-skip keys they do not know, but use this to detect a format they
+/// should not silently reinterpret. Version 2 added the drift_* fields.
+inline constexpr std::uint64_t kTelemetrySchemaVersion = 2;
 
 }  // namespace hbrp::service

@@ -1,0 +1,373 @@
+// drift::DriftTracker unit tests — pure clustering mechanics, no signal
+// chain. Geometry used throughout: k = 4 coefficients, scale = 10, so a
+// point r "training sigmas" along one axis is r * 20 integer units
+// (normalization divides by scale * sqrt(k) = 20).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "drift/tracker.hpp"
+#include "math/check.hpp"
+
+namespace {
+
+using hbrp::drift::DriftConfig;
+using hbrp::drift::DriftObservation;
+using hbrp::drift::DriftTracker;
+using hbrp::drift::TrainingCentroids;
+
+constexpr double kUnit = 20.0;  ///< integer units per training sigma
+
+TrainingCentroids two_seed_centroids() {
+  TrainingCentroids tc;
+  tc.coefficients = 4;
+  tc.scale = 10.0;
+  tc.centroids.push_back({{0.0, 0.0, 0.0, 0.0}, 100.0});
+  tc.centroids.push_back({{100.0, 100.0, 100.0, 100.0}, 50.0});
+  return tc;
+}
+
+TrainingCentroids one_seed_centroids(double mass = 100.0) {
+  TrainingCentroids tc;
+  tc.coefficients = 4;
+  tc.scale = 10.0;
+  tc.centroids.push_back({{0.0, 0.0, 0.0, 0.0}, mass});
+  return tc;
+}
+
+std::array<std::int32_t, 4> axis0(double sigmas) {
+  return {static_cast<std::int32_t>(sigmas * kUnit), 0, 0, 0};
+}
+
+TEST(DriftTracker, SeedsAreLiveClusters) {
+  DriftTracker t(two_seed_centroids());
+  EXPECT_EQ(t.coefficients(), 4u);
+  ASSERT_EQ(t.cluster_count(), 2u);
+  EXPECT_TRUE(t.cluster(0).seeded);
+  EXPECT_TRUE(t.cluster(1).seeded);
+  EXPECT_DOUBLE_EQ(t.cluster(0).mass, 100.0);
+  EXPECT_DOUBLE_EQ(t.cluster(1).mass, 50.0);
+  EXPECT_EQ(t.beats(), 0u);
+  EXPECT_DOUBLE_EQ(t.score(), 0.0);
+}
+
+TEST(DriftTracker, ConstructorRejectsBudgetAtSeedCount) {
+  DriftConfig cfg;
+  cfg.max_clusters = 2;  // == seed count: no room to discover
+  EXPECT_THROW(DriftTracker(two_seed_centroids(), cfg), hbrp::Error);
+}
+
+TEST(DriftTracker, NearbyBeatAssignsWithoutNovelty) {
+  DriftTracker t(two_seed_centroids());
+  const auto u = axis0(0.4);  // inside the default assign radius (0.5)
+  const DriftObservation obs = t.observe(u);
+  EXPECT_FALSE(obs.novel);
+  EXPECT_NEAR(obs.distance, 0.4, 1e-12);
+  EXPECT_EQ(t.cluster_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.cluster(0).mass, 101.0);
+  EXPECT_EQ(t.novel_beats(), 0u);
+}
+
+TEST(DriftTracker, WelfordMatchesBatchMoments) {
+  // Seed mass 100 at mean 0 with zero M2 is exactly equivalent to having
+  // already seen 100 points at the origin, so the cluster's running
+  // moments must equal the batch moments of {100 zeros} ∪ {observations}.
+  DriftConfig cfg;
+  cfg.assign_threshold = 3.0;  // wide: every observation joins the seed
+  DriftTracker t(one_seed_centroids(100.0), cfg);
+  const std::vector<double> xs = {10, -14, 33, 5, -21, 44, 0, 17};
+  for (const double x : xs) {
+    const std::array<std::int32_t, 4> u = {static_cast<std::int32_t>(x), 0,
+                                           0, 0};
+    t.observe(u);
+  }
+  ASSERT_EQ(t.cluster_count(), 1u);
+  const auto c = t.cluster(0);
+  const double n = 100.0 + static_cast<double>(xs.size());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  const double mean = sum / n;
+  double m2 = 100.0 * mean * mean;  // the 100 origin points
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_DOUBLE_EQ(c.mass, n);
+  EXPECT_NEAR(c.mean[0], mean, 1e-9);
+  EXPECT_NEAR(c.m2[0], m2, 1e-7);
+  EXPECT_NEAR(c.mean[1], 0.0, 1e-12);
+  EXPECT_NEAR(c.m2[1], 0.0, 1e-12);
+}
+
+TEST(DriftTracker, DistantBeatFoundsClusterAndStaysNovel) {
+  DriftTracker t(two_seed_centroids());
+  const auto u = axis0(5.0);
+  const DriftObservation first = t.observe(u);
+  EXPECT_TRUE(first.novel);
+  EXPECT_NEAR(first.distance, 5.0, 1e-12);
+  ASSERT_EQ(t.cluster_count(), 3u);
+  EXPECT_FALSE(t.cluster(2).seeded);
+  EXPECT_DOUBLE_EQ(t.cluster(2).mass, 1.0);
+
+  // Repeats join the discovered cluster but are still novel: discovered
+  // clusters never launder novelty.
+  const DriftObservation second = t.observe(u);
+  EXPECT_TRUE(second.novel);
+  EXPECT_EQ(t.cluster_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.cluster(2).mass, 2.0);
+  EXPECT_EQ(t.novel_beats(), 2u);
+}
+
+TEST(DriftTracker, PristineSeedsAnchorNovelty) {
+  // A wide assign radius lets a sustained 2-sigma shift drag the live
+  // seeded cluster toward itself — but novelty is judged against the
+  // pristine training centroid, so the shift stays novel forever.
+  DriftConfig cfg;
+  cfg.max_clusters = 4;
+  cfg.assign_threshold = 3.0;
+  cfg.novelty_threshold = 0.6;
+  DriftTracker t(one_seed_centroids(10.0), cfg);
+  const auto shifted = axis0(2.0);
+  DriftObservation obs;
+  for (int i = 0; i < 50; ++i) obs = t.observe(shifted);
+  // The live cluster has all but converged on the shift...
+  EXPECT_GT(t.cluster(0).mean[0], 0.8 * 2.0 * kUnit);
+  // ...yet the beat still reads as 2 sigmas from the pristine seed.
+  EXPECT_NEAR(obs.distance, 2.0, 1e-12);
+  EXPECT_TRUE(obs.novel);
+  EXPECT_EQ(t.novel_beats(), 50u);
+}
+
+TEST(DriftTracker, BudgetEvictsLeastMassUnseeded) {
+  DriftConfig cfg;
+  cfg.max_clusters = 4;  // 2 seeds + 2 discoverable
+  DriftTracker t(two_seed_centroids(), cfg);
+
+  const auto c_loc = axis0(5.0);   // cluster C, observed twice -> mass 2
+  const auto d_loc = axis0(-5.0);  // cluster D, observed once  -> mass 1
+  t.observe(c_loc);
+  t.observe(c_loc);
+  t.observe(d_loc);
+  ASSERT_EQ(t.cluster_count(), 4u);
+
+  // A fifth distinct shape must evict D (least-mass unseeded), not a seed.
+  const std::array<std::int32_t, 4> e_loc = {0, 100, 0, 0};
+  t.observe(e_loc);
+  EXPECT_EQ(t.evictions(), 1u);
+  ASSERT_EQ(t.cluster_count(), 4u);
+  bool saw_c = false, saw_d = false, saw_e = false;
+  std::size_t seeded = 0;
+  for (std::size_t i = 0; i < t.cluster_count(); ++i) {
+    const auto c = t.cluster(i);
+    if (c.seeded) ++seeded;
+    if (c.mean[0] > 50.0 && c.mean[1] < 50.0 && !c.seeded) saw_c = true;
+    if (c.mean[0] < -50.0) saw_d = true;
+    if (c.mean[1] > 50.0 && c.mean[0] < 50.0 && !c.seeded) saw_e = true;
+  }
+  EXPECT_EQ(seeded, 2u);
+  EXPECT_TRUE(saw_c);
+  EXPECT_FALSE(saw_d);
+  EXPECT_TRUE(saw_e);
+}
+
+TEST(DriftTracker, SeedsSurviveEvictionPressure) {
+  DriftConfig cfg;
+  cfg.max_clusters = 4;
+  DriftTracker t(two_seed_centroids(), cfg);
+  // A parade of mutually distant shapes (4 sigmas apart) churns the
+  // discovered slots; the seeds must never be squeezed out.
+  for (int j = 0; j < 10; ++j) {
+    const std::array<std::int32_t, 4> u = {0, 0, 200 + 80 * j, 0};
+    t.observe(u);
+  }
+  EXPECT_GE(t.evictions(), 8u);
+  ASSERT_EQ(t.cluster_count(), 4u);
+  std::size_t seeded = 0;
+  for (std::size_t i = 0; i < t.cluster_count(); ++i)
+    if (t.cluster(i).seeded) ++seeded;
+  EXPECT_EQ(seeded, 2u);
+  // Untouched seeds keep their exact training means.
+  EXPECT_DOUBLE_EQ(t.cluster(0).mean[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.cluster(1).mean[0], 100.0);
+}
+
+TEST(DriftTracker, MergeUsesPooledMoments) {
+  DriftConfig cfg;
+  cfg.max_clusters = 4;
+  cfg.assign_threshold = 1.0;  // the 2-sigma beat founds...
+  cfg.merge_threshold = 5.0;   // ...then immediately merges into the seed
+  DriftTracker t(one_seed_centroids(100.0), cfg);
+  t.observe(axis0(2.0));
+  EXPECT_EQ(t.merges(), 1u);
+  ASSERT_EQ(t.cluster_count(), 1u);
+  const auto c = t.cluster(0);
+  EXPECT_TRUE(c.seeded);
+  EXPECT_DOUBLE_EQ(c.mass, 101.0);
+  // Chan's pooled combine: mean = 40/101, M2 = 40^2 * (100*1)/101.
+  EXPECT_NEAR(c.mean[0], 40.0 / 101.0, 1e-12);
+  EXPECT_NEAR(c.m2[0], 1600.0 * 100.0 / 101.0, 1e-9);
+}
+
+TEST(DriftTracker, WindowScoreAlarmLatchAndRearm) {
+  DriftConfig cfg;
+  cfg.max_clusters = 4;
+  cfg.window_beats = 8;
+  cfg.alarm_threshold = 0.5;
+  cfg.min_beats = 8;
+  DriftTracker t(one_seed_centroids(), cfg);
+
+  const auto novel = axis0(5.0);
+  const auto familiar = axis0(0.0);
+  DriftObservation obs;
+  for (int i = 0; i < 8; ++i) obs = t.observe(novel);
+  EXPECT_DOUBLE_EQ(obs.score, 1.0);
+  EXPECT_TRUE(obs.alarm);
+  EXPECT_TRUE(t.alarm_active());
+  EXPECT_EQ(t.alarms(), 1u);
+
+  // Familiar beats wash the window; the alarm drops below threshold and
+  // clears (latched only while score >= threshold).
+  for (int i = 0; i < 5; ++i) obs = t.observe(familiar);
+  EXPECT_DOUBLE_EQ(obs.score, 3.0 / 8.0);
+  EXPECT_FALSE(t.alarm_active());
+  EXPECT_EQ(t.alarms(), 1u);
+
+  // A second burst re-arms: the rising edge counts again.
+  for (int i = 0; i < 8; ++i) obs = t.observe(novel);
+  EXPECT_TRUE(t.alarm_active());
+  EXPECT_EQ(t.alarms(), 2u);
+}
+
+TEST(DriftTracker, MinBeatsSuppressesEarlyAlarm) {
+  DriftConfig cfg;
+  cfg.max_clusters = 4;
+  cfg.window_beats = 4;
+  cfg.alarm_threshold = 0.5;
+  cfg.min_beats = 32;
+  DriftTracker t(one_seed_centroids(), cfg);
+  const auto novel = axis0(5.0);
+  for (int i = 0; i < 31; ++i) {
+    const auto obs = t.observe(novel);
+    EXPECT_FALSE(obs.alarm) << "beat " << i;
+  }
+  const auto obs = t.observe(novel);  // beat 32 crosses min_beats
+  EXPECT_TRUE(obs.alarm);
+  EXPECT_EQ(t.alarms(), 1u);
+}
+
+TEST(DriftTracker, DigestIsDeterministicAndSensitive) {
+  DriftTracker a(two_seed_centroids());
+  DriftTracker b(two_seed_centroids());
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  for (int i = 0; i < 20; ++i) {
+    const std::array<std::int32_t, 4> u = {i * 13 - 50, i * 7, 0, 0};
+    a.observe(u);
+    b.observe(u);
+    ASSERT_EQ(a.state_digest(), b.state_digest()) << "beat " << i;
+  }
+  a.observe(axis0(1.0));
+  b.observe(axis0(1.1));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(DriftTracker, ResetSessionRestoresSeedsKeepsCounters) {
+  DriftConfig cfg;
+  cfg.max_clusters = 6;
+  cfg.window_beats = 8;
+  cfg.min_beats = 4;
+  DriftTracker t(two_seed_centroids(), cfg);
+  for (int i = 0; i < 10; ++i) t.observe(axis0(5.0));
+  const std::uint64_t beats = t.beats();
+  const std::uint64_t novels = t.novel_beats();
+  EXPECT_GT(t.cluster_count(), 2u);
+  EXPECT_GT(t.score(), 0.0);
+
+  t.reset_session();
+  ASSERT_EQ(t.cluster_count(), 2u);
+  EXPECT_TRUE(t.cluster(0).seeded);
+  EXPECT_DOUBLE_EQ(t.cluster(0).mass, 100.0);
+  EXPECT_DOUBLE_EQ(t.cluster(1).mass, 50.0);
+  EXPECT_DOUBLE_EQ(t.score(), 0.0);
+  EXPECT_FALSE(t.alarm_active());
+  EXPECT_EQ(t.beats(), beats);
+  EXPECT_EQ(t.novel_beats(), novels);
+
+  // The tracker is fully usable after reset (pool invariant intact).
+  for (int i = 0; i < 10; ++i) t.observe(axis0(5.0));
+  EXPECT_GT(t.cluster_count(), 2u);
+}
+
+TEST(DriftTracker, ObserveRejectsWrongWidth) {
+  DriftTracker t(two_seed_centroids());
+  const std::array<std::int32_t, 3> narrow = {0, 0, 0};
+  EXPECT_THROW(t.observe(narrow), hbrp::Error);
+}
+
+TEST(DriftTracker, PathologicalBeatsAreNeverNovel) {
+  // A pathological verdict gates novelty off no matter how far the beat
+  // sits: the classifier already escalates those, so they must neither
+  // raise novel_beats nor contribute to the score's numerator or
+  // denominator — 40 far V beats followed by near normals stay silent.
+  DriftConfig cfg;
+  cfg.window_beats = 8;
+  cfg.min_beats = 1;
+  DriftTracker t(one_seed_centroids(), cfg);
+  for (int i = 0; i < 40; ++i) {
+    const DriftObservation obs =
+        t.observe(axis0(6.0), /*normal_classified=*/false);
+    EXPECT_FALSE(obs.novel);
+    EXPECT_DOUBLE_EQ(obs.score, 0.0);
+    EXPECT_FALSE(obs.alarm);
+  }
+  EXPECT_EQ(t.novel_beats(), 0u);
+  EXPECT_EQ(t.alarms(), 0u);
+
+  // The same geometry marked normal flips novel immediately.
+  const DriftObservation obs = t.observe(axis0(6.0));
+  EXPECT_TRUE(obs.novel);
+  EXPECT_EQ(t.novel_beats(), 1u);
+}
+
+TEST(DriftTracker, ScoreDenominatorFlooredAtHalfWindow) {
+  // Window 8 -> denominator floor 4. One novel normal in a window whose
+  // other beats were all pathological scores 1/4, not 1/1: a lone normal
+  // beat mid-VT cannot alarm the tracker by itself.
+  DriftConfig cfg;
+  cfg.window_beats = 8;
+  cfg.min_beats = 1;
+  DriftTracker t(one_seed_centroids(), cfg);
+  for (int i = 0; i < 7; ++i)
+    t.observe(axis0(6.0), /*normal_classified=*/false);
+  const DriftObservation obs = t.observe(axis0(6.0));
+  EXPECT_TRUE(obs.novel);
+  EXPECT_DOUBLE_EQ(obs.score, 0.25);
+  EXPECT_FALSE(obs.alarm);
+}
+
+TEST(DriftTracker, PerSeedSigmaNormalizesNoveltyDistance) {
+  // Seed B carries its own sigma (40 = 4x the global scale), so a beat
+  // 60 units from B measures 60 / (40 * sqrt(4)) = 0.75 of B's sigmas —
+  // not the 1.5 the global scale would report. Seed A has no sigma and
+  // keeps the global fallback.
+  TrainingCentroids tc;
+  tc.coefficients = 4;
+  tc.scale = 10.0;
+  tc.centroids.push_back({{0.0, 0.0, 0.0, 0.0}, 100.0});
+  tc.centroids.push_back({{1000.0, 0.0, 0.0, 0.0}, 50.0, 40.0});
+  DriftConfig cfg;
+  cfg.novelty_threshold = 1.0;
+  DriftTracker t(tc, cfg);
+
+  const std::array<std::int32_t, 4> near_b = {1060, 0, 0, 0};
+  const DriftObservation wide = t.observe(near_b);
+  EXPECT_NEAR(wide.distance, 0.75, 1e-12);
+  EXPECT_FALSE(wide.novel);
+
+  // The same offset from the sigma-less seed A uses the global unit:
+  // 60 / (10 * sqrt(4)) = 3.0 sigmas, well past the threshold.
+  const std::array<std::int32_t, 4> near_a = {60, 0, 0, 0};
+  const DriftObservation tight = t.observe(near_a);
+  EXPECT_NEAR(tight.distance, 3.0, 1e-12);
+  EXPECT_TRUE(tight.novel);
+}
+
+}  // namespace

@@ -171,7 +171,7 @@ TEST(ScenarioBuild, RateMismatchWarpsOnlyItsSegment) {
 
 TEST(ScenarioSuite, StandardScenariosCoverEveryKindOnce) {
   const auto specs = scenario::standard_scenarios(60.0, 9000);
-  ASSERT_EQ(specs.size(), 9u);
+  ASSERT_EQ(specs.size(), 10u);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     EXPECT_EQ(specs[i].seed, 9000 + i);
     EXPECT_DOUBLE_EQ(specs[i].duration_s, 60.0);
@@ -183,7 +183,8 @@ TEST(ScenarioSuite, StandardScenariosCoverEveryKindOnce) {
        {EpisodeKind::AfibIrregularRr, EpisodeKind::SustainedVt,
         EpisodeKind::PacedRhythm, EpisodeKind::ArtefactStorm,
         EpisodeKind::ElectrodeDrop, EpisodeKind::ClockSkew,
-        EpisodeKind::RateMismatch, EpisodeKind::SupraventricularRun}) {
+        EpisodeKind::RateMismatch, EpisodeKind::SupraventricularRun,
+        EpisodeKind::MorphologyShift}) {
     const bool found = std::any_of(
         specs.begin(), specs.end(), [k](const ScenarioSpec& s) {
           return std::any_of(
