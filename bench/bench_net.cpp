@@ -6,10 +6,15 @@
 // net::GatewayServer on loopback TCP:
 //
 //   stream      every node in StreamEverything: all codes cross the wire,
-//               the gateway's FleetEngine classifies. The per-node verdict
-//               sequences are *gated* against direct in-process ingest of
-//               the identical codes (exit 1 on any divergence) — the wire
-//               must be invisible to the results, for any thread count.
+//               the gateway's FleetEngine classifies. Run once per point of
+//               a reactor-count axis ({1,2,4}; quick {1,2}) — the gateway
+//               shards connections across that many epoll reactor threads.
+//               Every run's per-node verdict sequences are *gated* against
+//               direct in-process ingest of the identical codes (exit 1 on
+//               any divergence) — the wire must be invisible to the
+//               results, for any reactor/thread count. Each run also
+//               reports the engine's per-phase pump timing
+//               (drain/classify/deliver) and the reactors' idle wakeups.
 //   selective   every node classifies locally and uploads only
 //               pathological/Unknown windows (plus 0-sample Suspect
 //               escalations). No identity gate applies (verdicts here are
@@ -104,21 +109,28 @@ struct RunTotals {
   std::uint64_t beats_uploaded = 0;
   std::uint64_t frames_dropped = 0;
   std::uint64_t verdict_seq_gaps = 0;
+  // Gateway-side pump phase breakdown (summed over shard bodies) and
+  // reactor idle accounting for this run.
+  double drain_s = 0.0;
+  double classify_s = 0.0;
+  double deliver_s = 0.0;
+  std::uint64_t idle_wakeups = 0;
   std::vector<std::vector<VerdictSig>> per_node;
 };
 
 /// One ward replay: every node drives its own client thread against a
-/// fresh gateway, pushes its code stream in radio-packet chunks, then
-/// closes gracefully (finish + drain + BYE + verdict tail).
+/// fresh gateway with `reactors` reactor threads, pushes its code stream
+/// in radio-packet chunks, then closes gracefully (finish + drain + BYE +
+/// verdict tail).
 RunTotals run_ward(const embedded::EmbeddedClassifier& classifier,
                    const std::vector<std::vector<dsp::Sample>>& codes,
-                   net::TxPolicy policy, std::size_t threads) {
+                   net::TxPolicy policy, std::size_t reactors) {
   const std::size_t nodes = codes.size();
   RunTotals totals;
   totals.per_node.resize(nodes);
 
   net::GatewayConfig gcfg;
-  gcfg.fleet.threads = threads;
+  gcfg.reactors = reactors;
   gcfg.fleet.max_sessions = nodes;
   net::GatewayServer gateway(classifier, gcfg);
   std::thread serve_thread([&gateway] { gateway.serve(); });
@@ -157,6 +169,12 @@ RunTotals run_ward(const embedded::EmbeddedClassifier& classifier,
   totals.wall_s = timer.seconds();
   gateway.stop();
   serve_thread.join();
+
+  const service::FleetTelemetry& ft = gateway.engine().telemetry();
+  totals.drain_s = static_cast<double>(ft.drain_ns.load()) / 1e9;
+  totals.classify_s = static_cast<double>(ft.classify_ns.load()) / 1e9;
+  totals.deliver_s = static_cast<double>(ft.deliver_ns.load()) / 1e9;
+  totals.idle_wakeups = gateway.stats().idle_wakeups.load();
 
   for (const net::TxStats& s : stats) {
     totals.bytes_tx += s.bytes_tx;
@@ -217,31 +235,47 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < nodes; ++i)
     reference[i] = direct_ingest(classifier, codes[i], threads);
 
-  // --- run 1: stream everything, gated on bit-identity -------------------
-  std::printf("# stream-everything ward replay\n");
-  const RunTotals stream =
-      run_ward(classifier, codes, net::TxPolicy::StreamEverything, threads);
+  // --- run 1: stream everything across the reactor axis, each point gated
+  // on bit-identity against the direct-ingest reference ------------------
+  const std::vector<std::size_t> reactor_axis =
+      args.quick ? std::vector<std::size_t>{1, 2}
+                 : std::vector<std::size_t>{1, 2, 4};
   std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < nodes; ++i) {
-    if (stream.per_node[i] != reference[i]) {
+  std::vector<RunTotals> stream_runs;
+  for (const std::size_t reactors : reactor_axis) {
+    std::printf("# stream-everything ward replay (%zu reactor(s))\n",
+                reactors);
+    stream_runs.push_back(run_ward(classifier, codes,
+                                   net::TxPolicy::StreamEverything, reactors));
+    const RunTotals& run = stream_runs.back();
+    for (std::size_t i = 0; i < nodes; ++i) {
+      if (run.per_node[i] != reference[i]) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "IDENTITY VIOLATION: %zu reactors, node %zu wire "
+                     "verdicts diverge from direct ingest (%zu vs %zu "
+                     "beats)\n",
+                     reactors, i, run.per_node[i].size(), reference[i].size());
+      }
+    }
+    if (run.frames_dropped != 0 || run.verdict_seq_gaps != 0) {
       ++mismatches;
       std::fprintf(stderr,
-                   "IDENTITY VIOLATION: node %zu wire verdicts diverge from "
-                   "direct ingest (%zu vs %zu beats)\n",
-                   i, stream.per_node[i].size(), reference[i].size());
+                   "lossless replay violated at %zu reactors: %llu drops, "
+                   "%llu gaps\n",
+                   reactors,
+                   static_cast<unsigned long long>(run.frames_dropped),
+                   static_cast<unsigned long long>(run.verdict_seq_gaps));
     }
   }
-  if (stream.frames_dropped != 0 || stream.verdict_seq_gaps != 0) {
-    ++mismatches;
-    std::fprintf(stderr, "lossless replay violated: %llu drops, %llu gaps\n",
-                 static_cast<unsigned long long>(stream.frames_dropped),
-                 static_cast<unsigned long long>(stream.verdict_seq_gaps));
-  }
+  // The byte/energy headline numbers keep using the single-reactor run so
+  // they stay comparable across report generations.
+  const RunTotals& stream = stream_runs.front();
 
   // --- run 2: selective transmission over the same ward ------------------
   std::printf("# selective ward replay\n");
   const RunTotals selective =
-      run_ward(classifier, codes, net::TxPolicy::Selective, threads);
+      run_ward(classifier, codes, net::TxPolicy::Selective, /*reactors=*/1);
 
   const platform::PowerModel power;
   const double stream_rate =
@@ -271,12 +305,41 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(selective.beats_local));
   std::printf("%-22s %12.3f %12.3f\n", "radio energy (mJ)", stream_mj,
               selective_mj);
+  std::printf("\n%9s %10s %14s %10s %12s %11s %13s\n", "reactors", "wall (s)",
+              "samples/s", "drain (s)", "classify (s)", "deliver (s)",
+              "idle wakeups");
+  for (std::size_t ri = 0; ri < reactor_axis.size(); ++ri) {
+    const RunTotals& run = stream_runs[ri];
+    const double rate =
+        run.wall_s > 0.0 ? static_cast<double>(samples_total) / run.wall_s
+                         : 0.0;
+    std::printf("%9zu %10.3f %14.0f %10.4f %12.4f %11.4f %13llu\n",
+                reactor_axis[ri], run.wall_s, rate, run.drain_s,
+                run.classify_s, run.deliver_s,
+                static_cast<unsigned long long>(run.idle_wakeups));
+  }
+
   std::printf("\ningest throughput (stream): %.0f samples/s over the wire\n",
               stream_rate);
   std::printf("bytes-on-wire reduction: %.1f%% (%.3f mJ saved)\n",
               100.0 * reduction, stream_mj - selective_mj);
   std::printf("bit-identity vs direct ingest: %s\n",
               mismatches == 0 ? "PASS" : "FAIL");
+
+  std::vector<double> r_axis, r_wall, r_rate, r_drain, r_classify, r_deliver,
+      r_idle;
+  for (std::size_t ri = 0; ri < reactor_axis.size(); ++ri) {
+    const RunTotals& run = stream_runs[ri];
+    r_axis.push_back(static_cast<double>(reactor_axis[ri]));
+    r_wall.push_back(run.wall_s);
+    r_rate.push_back(run.wall_s > 0.0
+                         ? static_cast<double>(samples_total) / run.wall_s
+                         : 0.0);
+    r_drain.push_back(run.drain_s);
+    r_classify.push_back(run.classify_s);
+    r_deliver.push_back(run.deliver_s);
+    r_idle.push_back(static_cast<double>(run.idle_wakeups));
+  }
 
   report.set("quick", args.quick);
   report.set("threads", threads);
@@ -288,6 +351,14 @@ int main(int argc, char** argv) {
   report.set("stream_bytes_tx", stream.bytes_tx);
   report.set("stream_bytes_rx", stream.bytes_rx);
   report.set("stream_verdicts", stream.verdicts);
+  report.set("stream_reactors", std::span<const double>(r_axis));
+  report.set("stream_reactor_wall_s", std::span<const double>(r_wall));
+  report.set("stream_reactor_samples_per_s", std::span<const double>(r_rate));
+  report.set("stream_reactor_drain_s", std::span<const double>(r_drain));
+  report.set("stream_reactor_classify_s",
+             std::span<const double>(r_classify));
+  report.set("stream_reactor_deliver_s", std::span<const double>(r_deliver));
+  report.set("stream_reactor_idle_wakeups", std::span<const double>(r_idle));
   report.set("selective_wall_s", selective.wall_s);
   report.set("selective_bytes_tx", selective.bytes_tx);
   report.set("selective_beats_local", selective.beats_local);

@@ -15,8 +15,8 @@
 // baseline for the same samples, followed by the gateway's stats and the
 // fleet telemetry snapshot.
 //
-// Usage: gateway_ward [nodes] [seconds] [threads]   (default 8 nodes, 30 s,
-//                                                    hardware threads)
+// Usage: gateway_ward [nodes] [seconds] [reactors]  (default 8 nodes, 30 s,
+//                                                    hardware reactors)
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   const std::size_t nodes =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 30.0;
-  const std::size_t threads =
+  const std::size_t reactors =
       argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 0;
 
   std::printf("Training classifier...\n");
@@ -127,17 +127,16 @@ int main(int argc, char** argv) {
 
   // --- gateway on an ephemeral loopback port -----------------------------
   net::GatewayConfig gcfg;
-  gcfg.fleet.threads = threads;
+  gcfg.reactors = reactors;
   gcfg.fleet.max_sessions = nodes;
   // Ward liveness: a node silent for 5 s (no samples, no heartbeat — the
   // client default heartbeats at 1 s) is presumed dead and evicted, so a
   // crashed sensor can never pin a fleet session forever.
   gcfg.idle_timeout_ms = 5000;
   net::GatewayServer gateway(classifier, gcfg);
-  std::printf("\nGateway on 127.0.0.1:%u — %zu executor threads, %zu "
-              "shards\n",
-              gateway.port(), gateway.engine().executor().threads(),
-              gateway.engine().shard_count());
+  std::printf("\nGateway on 127.0.0.1:%u — %zu reactor threads, one fleet "
+              "shard each\n",
+              gateway.port(), gateway.reactor_count());
   std::thread serve_thread([&gateway] { gateway.serve(); });
 
   // --- one client thread per node, alternating transmission policies -----

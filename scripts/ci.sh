@@ -11,14 +11,20 @@
 #      fan-out, the chunked metric merges, the fleet engine's producer/pump
 #      concurrency and the gateway/client loopback traffic would surface
 #      here;
-#   4. fleet soak smoke: bench_fleet --quick --threads=0 — the scaling grid
-#      with its serial-vs-sharded bit-identity gate (exits non-zero on any
-#      per-session sequence divergence);
+#   4. fleet soak smoke: bench_fleet --quick --threads=0 — the
+#      sessions x reactors scaling grid with its serial-vs-sharded
+#      bit-identity gate (exits non-zero on any per-session sequence
+#      divergence), then perf_gate.py compares its identity/speedup keys
+#      against the committed BENCH_fleet.json (the full-run-only
+#      fleet_widest_speedup key warn-skips on quick grids by design);
 #   5. gateway loopback soak smoke: gateway_ward (8 concurrent sensor
 #      clients over real loopback TCP, one with an injected flaky
 #      electrode; exits non-zero on an unclean close or a verdict sequence
-#      gap) plus bench_net --quick, whose stream run gates wire verdicts
-#      against direct in-process ingest bit-for-bit;
+#      gap), bench_net --quick, whose stream runs gate wire verdicts
+#      against direct in-process ingest bit-for-bit across the reactor
+#      axis (plus the same perf_gate comparison vs BENCH_net.json), and
+#      fleet_soak — 10k concurrent loopback sessions through a 2-reactor
+#      gateway with a 1.5 GB peak-RSS ceiling;
 #   6. perf gate: a quick bench_microkernels pass compared against the
 #      committed BENCH_microkernels.json by scripts/perf_gate.py — fails on
 #      >15% per-op CPU-time regression (tolerance doubled on virtualized
@@ -82,12 +88,26 @@ HBRP_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
 # (the committed BENCH_*.json are full-run baselines, written deliberately).
 echo "==== fleet soak smoke (bench_fleet --quick)"
 ./build/bench/bench_fleet --quick --threads=0 --json=build/BENCH_fleet_quick.json
+echo "==== fleet gate (identity/speedup keys vs BENCH_fleet.json)"
+# The quick grid deliberately omits the full-run fleet_widest_speedup key,
+# so that comparison warn-skips; identity_pass is gated hard.
+python3 scripts/perf_gate.py BENCH_fleet.json build/BENCH_fleet_quick.json
 
 # --- 1c. gateway loopback soak smoke --------------------------------------
 echo "==== gateway soak smoke (gateway_ward: 8 clients + fault injection)"
 ./build/examples/gateway_ward 8 20 0
 echo "==== net identity gate (bench_net --quick)"
 ./build/bench/bench_net --quick --threads=0 --json=build/BENCH_net_quick.json
+python3 scripts/perf_gate.py BENCH_net.json build/BENCH_net_quick.json
+
+# --- 1c2. 10k-session loopback soak smoke ---------------------------------
+# Ramps 10k concurrent SensorNodeClients (2 s of signal each) against a
+# 2-reactor gateway and fails on any unestablished node, unclean close,
+# verdict gap, or a peak RSS above 1.5 GB. Where the host's hard fd limit
+# cannot hold 2 fds per node the driver self-scales the node count down
+# and says so — the pass criteria then apply to the scaled count.
+echo "==== fleet soak smoke (fleet_soak: 10k sessions, RSS-capped)"
+./build/examples/fleet_soak 10000 2 2 1536
 
 # --- 1d. perf gate: microkernels vs committed baseline --------------------
 echo "==== perf gate (bench_microkernels vs BENCH_microkernels.json)"
@@ -158,6 +178,6 @@ ctest --test-dir build-asan --output-on-failure -j
 # job count and silently runs the full suite.
 run_suite build-tsan -DENABLE_TSAN=ON
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Wire|Scenario|KernelsDsp|DetectorEquivalence|Drift' -j
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Reactor|Gateway|Wire|Scenario|KernelsDsp|DetectorEquivalence|Drift' -j
 
 echo "==== CI sweep complete"

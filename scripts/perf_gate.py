@@ -7,6 +7,16 @@ Compares every ``*_ns_per_op`` key the two reports share (per-op CPU time,
 written by bench_microkernels --json=...) and fails when any fresh number is
 more than ``tolerance`` slower than the committed baseline.
 
+Also gated, with the same warn-skip policy for missing keys:
+  - ``*_speedup`` keys (higher is better — parallel/SIMD speedup ratios,
+    e.g. bench_fleet's ``fleet_widest_speedup``): a regression is a fresh
+    value below baseline*(1 - tol), where tol is floored at 50% because
+    speedups fold in scheduler and core-count noise that per-op CPU time
+    does not;
+  - ``*identity_pass`` booleans (bit-identity gates): FAIL if the baseline
+    says true and the fresh run says false — determinism is never allowed
+    to regress, whatever the timing noise.
+
 Comparability rules (the gate must never fail on numbers that were never
 comparable in the first place):
   - if either report's ``cpu_model`` is missing or "unknown", or the two
@@ -15,8 +25,8 @@ comparable in the first place):
   - if either report says ``virtualized: true`` the tolerance is doubled and
     a notice is printed — VM timing is noisy even for CPU time;
   - keys present in only one report are listed but never fatal, so adding or
-    retiring a benchmark does not require regenerating the baseline in the
-    same commit.
+    retiring a benchmark (or a quick run that intentionally omits full-grid
+    keys) does not require regenerating the baseline in the same commit.
 
 Exit codes: 0 pass/skip, 1 regression, 2 usage or unreadable input.
 """
@@ -82,31 +92,36 @@ def main(argv):
         print(f"perf_gate: virtualized host — tolerance widened to "
               f"{tolerance:.0%}")
 
-    keys = sorted(k for k in base if k.endswith("_ns_per_op"))
-    shared = [k for k in keys if k in fresh]
-    only_base = [k for k in keys if k not in fresh]
-    only_fresh = sorted(k for k in fresh
-                        if k.endswith("_ns_per_op") and k not in base)
-    if only_base:
-        # Warn-and-skip, never fail: a quick/partial fresh run (or a retired
-        # benchmark) legitimately lacks baseline keys.
-        print(f"perf_gate: WARNING — {len(only_base)} baseline key(s) "
-              f"missing from fresh run, skipped: {', '.join(only_base)}")
-    if only_fresh:
-        print(f"perf_gate: note — {len(only_fresh)} new key(s) not in "
-              f"baseline yet: {', '.join(only_fresh)}")
-    if not shared:
-        print("perf_gate: SKIP — no shared *_ns_per_op keys to compare")
-        return 0
+    def shared_keys(suffix):
+        keys = sorted(k for k in base if k.endswith(suffix))
+        in_both = [k for k in keys if k in fresh]
+        only_base = [k for k in keys if k not in fresh]
+        only_fresh = sorted(k for k in fresh
+                            if k.endswith(suffix) and k not in base)
+        if only_base:
+            # Warn-and-skip, never fail: a quick/partial fresh run (or a
+            # retired benchmark) legitimately lacks baseline keys.
+            print(f"perf_gate: WARNING — {len(only_base)} baseline key(s) "
+                  f"missing from fresh run, skipped: {', '.join(only_base)}")
+        if only_fresh:
+            print(f"perf_gate: note — {len(only_fresh)} new key(s) not in "
+                  f"baseline yet: {', '.join(only_fresh)}")
+        return in_both
 
-    regressions = []
-    for key in shared:
-        b, f = base[key], fresh[key]
+    def comparable(key, b, f):
         if isinstance(b, bool) or isinstance(f, bool) or not (
                 isinstance(b, (int, float)) and isinstance(f, (int, float))
                 and b > 0):
             print(f"perf_gate: WARNING — {key} is not a comparable pair "
                   f"({b!r} vs {f!r}), skipped")
+            return False
+        return True
+
+    shared = shared_keys("_ns_per_op")
+    regressions = []
+    for key in shared:
+        b, f = base[key], fresh[key]
+        if not comparable(key, b, f):
             continue
         ratio = f / b
         marker = ""
@@ -115,6 +130,49 @@ def main(argv):
             marker = "  <-- REGRESSION"
         print(f"  {key:<40} {b:>12.1f} -> {f:>12.1f} ns/op "
               f"({ratio - 1.0:+7.1%}){marker}")
+
+    # Speedup ratios: higher is better, tolerance floored at 50% (parallel
+    # speedups carry scheduler/core-count noise per-op CPU time does not).
+    speedup_tol = max(tolerance, 0.5)
+    speedups = shared_keys("_speedup")
+    for key in speedups:
+        b, f = base[key], fresh[key]
+        if not comparable(key, b, f):
+            continue
+        ratio = f / b
+        marker = ""
+        if ratio < 1.0 - speedup_tol:
+            regressions.append((key, b, f, ratio))
+            marker = "  <-- REGRESSION"
+        print(f"  {key:<40} {b:>11.2f}x -> {f:>11.2f}x speedup "
+              f"({ratio - 1.0:+7.1%}){marker}")
+
+    # Bit-identity booleans: a true baseline must never turn false.
+    identity_failures = []
+    identities = shared_keys("identity_pass")
+    for key in identities:
+        b, f = base[key], fresh[key]
+        if not (isinstance(b, bool) and isinstance(f, bool)):
+            print(f"perf_gate: WARNING — {key} is not a boolean pair "
+                  f"({b!r} vs {f!r}), skipped")
+            continue
+        marker = ""
+        if b and not f:
+            identity_failures.append(key)
+            marker = "  <-- IDENTITY BROKEN"
+        print(f"  {key:<40} {str(b):>12} -> {str(f):>12}{marker}")
+
+    if not shared and not speedups and not identities:
+        print("perf_gate: SKIP — no shared gated keys to compare")
+        return 0
+
+    if identity_failures:
+        print(f"\nperf_gate: FAIL — bit-identity regressed on: "
+              f"{', '.join(identity_failures)}\n"
+              "A true baseline identity gate turned false; this is a "
+              "determinism bug, not timing noise — fix it, do not "
+              "regenerate the baseline.")
+        return 1
 
     if regressions:
         print(f"\nperf_gate: FAIL — {len(regressions)} benchmark(s) more "
@@ -126,8 +184,9 @@ def main(argv):
               "and commit it with the change that explains it.")
         return 1
 
-    print(f"perf_gate: PASS — {len(shared)} benchmark(s) within "
-          f"{tolerance:.0%} of {paths[0]}")
+    compared = len(shared) + len(speedups) + len(identities)
+    print(f"perf_gate: PASS — {compared} gated key(s) within tolerance "
+          f"of {paths[0]}")
     return 0
 
 

@@ -1,9 +1,9 @@
 #include "net/gateway.hpp"
 
-#include <poll.h>
-
 #include <algorithm>
 #include <chrono>
+#include <thread>
+#include <unordered_map>
 
 #include "math/check.hpp"
 
@@ -12,6 +12,13 @@ namespace hbrp::net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Adaptive reactor backoff: a step that moves frames resets the wait to
+/// the base; every fruitless step doubles it up to the cap. Any readiness
+/// event (or a wake-pipe notify) still interrupts the wait immediately, so
+/// the cap costs nothing in latency for socket-driven work.
+constexpr int kBaseWaitMs = 5;
+constexpr int kMaxWaitMs = 320;
 
 void append_field(std::string& out, const char* key, std::uint64_t v,
                   bool first = false) {
@@ -29,6 +36,16 @@ GatewayConfig sanitize_config(GatewayConfig cfg) {
   // Reject/DropOldest would silently shed samples the node believes were
   // delivered.
   cfg.fleet.session.backpressure = service::BackpressurePolicy::Block;
+  if (cfg.reactors == 0)
+    cfg.reactors = std::max(1u, std::thread::hardware_concurrency());
+  // Reactor r owns engine shard r outright — every session it opens is
+  // pinned there and only it calls pump_shard(r), so sinks always run on
+  // the reactor that owns the connection they write to. The engine's own
+  // executor is never used by the gateway (reactor threads ARE the
+  // parallelism), so it stays at one thread.
+  cfg.fleet.shards = cfg.reactors;
+  cfg.fleet.threads = 1;
+  if (cfg.listen_backlog < 1) cfg.listen_backlog = 1;
   return cfg;
 }
 
@@ -60,11 +77,14 @@ std::string GatewayStats::json() const {
   append_field(out, "drift_escalations_rx", load(drift_escalations_rx));
   append_field(out, "verdicts_tx", load(verdicts_tx));
   append_field(out, "heartbeats_rx", load(heartbeats_rx));
+  append_field(out, "wakeups", load(wakeups));
+  append_field(out, "idle_wakeups", load(idle_wakeups));
   out += "}";
   return out;
 }
 
 struct GatewayServer::Conn {
+  Reactor* owner = nullptr;
   Socket sock;
   FrameParser parser;
   std::vector<unsigned char> out;
@@ -86,22 +106,75 @@ struct GatewayServer::Conn {
   Clock::time_point last_rx;
 };
 
+/// One event loop. Everything here is owned by the one thread running the
+/// loop (or, in poll_once() mode, by the single calling thread) — except
+/// the locked handoff inbox, the wake pipe, and the stats atomics.
+struct GatewayServer::Reactor {
+  std::size_t index = 0;
+  EventPoller poller;
+  WakePipe wake;
+  std::mutex inbox_mutex;
+  std::vector<Socket> inbox;  ///< connections handed over by reactor 0
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::unordered_map<int, Conn*> by_fd;
+  embedded::ClassifyScratch full_beat_scratch;
+  std::vector<PollEvent> events;
+  // Per-reactor rollup, single-writer (the loop), read by reactors_json().
+  std::atomic<std::uint64_t> frames_rx{0};
+  std::atomic<std::uint64_t> frames_tx{0};
+  std::atomic<std::uint64_t> wakeups{0};
+  std::atomic<std::uint64_t> idle_wakeups{0};
+  std::atomic<std::uint64_t> conns_open{0};
+};
+
 GatewayServer::GatewayServer(embedded::EmbeddedClassifier classifier,
                              GatewayConfig cfg)
     : classifier_(std::move(classifier)),
       cfg_(sanitize_config(std::move(cfg))),
       engine_(classifier_, cfg_.fleet),
-      listener_(cfg_.port) {}
+      listener_(cfg_.port, cfg_.listen_backlog) {
+  reactors_.reserve(cfg_.reactors);
+  for (std::size_t i = 0; i < cfg_.reactors; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>());
+    reactors_.back()->index = i;
+  }
+}
 
 GatewayServer::~GatewayServer() {
   // Abrupt teardown: no tails, no flushes. The engine's destructor closes
   // the remaining sessions with their sinks disabled, so the Conn pointers
   // captured there are never dereferenced.
-  for (auto& c : conns_) {
-    c->accept_verdicts = false;
-    c->alive = false;
-    c->sock.close();
+  for (auto& r : reactors_) {
+    for (auto& c : r->conns) {
+      c->accept_verdicts = false;
+      c->alive = false;
+      c->sock.close();
+    }
   }
+}
+
+std::string GatewayServer::reactors_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < reactors_.size(); ++i) {
+    const Reactor& r = *reactors_[i];
+    out += i == 0 ? "{" : ", {";
+    append_field(out, "reactor", i, /*first=*/true);
+    out += ", \"backend\": \"";
+    out += r.poller.backend();
+    out += '"';
+    append_field(out, "conns_open",
+                 r.conns_open.load(std::memory_order_relaxed));
+    append_field(out, "frames_rx",
+                 r.frames_rx.load(std::memory_order_relaxed));
+    append_field(out, "frames_tx",
+                 r.frames_tx.load(std::memory_order_relaxed));
+    append_field(out, "wakeups", r.wakeups.load(std::memory_order_relaxed));
+    append_field(out, "idle_wakeups",
+                 r.idle_wakeups.load(std::memory_order_relaxed));
+    out += "}";
+  }
+  out += "]";
+  return out;
 }
 
 void GatewayServer::enqueue_frame(Conn& c, FrameType type, std::uint64_t seq,
@@ -109,7 +182,18 @@ void GatewayServer::enqueue_frame(Conn& c, FrameType type, std::uint64_t seq,
   if (!c.alive) return;
   append_frame(c.out, type, seq, payload);
   stats_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  c.owner->frames_tx.fetch_add(1, std::memory_order_relaxed);
   if (c.out.size() - c.out_head > cfg_.send_buffer_cap) c.overflowed = true;
+}
+
+void GatewayServer::finalize_close(Conn& c) {
+  c.alive = false;
+  c.owner->poller.unwatch(c.sock.fd());
+  c.owner->by_fd.erase(c.sock.fd());
+  c.sock.close();
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  stats_.conns_closed.fetch_add(1, std::memory_order_relaxed);
+  c.owner->conns_open.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void GatewayServer::close_conn(Conn& c, bool deliver_tail) {
@@ -126,10 +210,26 @@ void GatewayServer::close_conn(Conn& c, bool deliver_tail) {
     c.draining = true;
     return;
   }
-  c.alive = false;
-  c.sock.close();
-  open_conns_.fetch_sub(1, std::memory_order_relaxed);
-  stats_.conns_closed.fetch_add(1, std::memory_order_relaxed);
+  finalize_close(c);
+}
+
+void GatewayServer::adopt_conn(Reactor& r, Socket s) {
+  auto c = std::make_unique<Conn>();
+  c->owner = &r;
+  c->sock = std::move(s);
+  c->last_rx = Clock::now();
+  r.by_fd.emplace(c->sock.fd(), c.get());
+  r.conns.push_back(std::move(c));
+  r.conns_open.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GatewayServer::adopt_inbox(Reactor& r) {
+  std::vector<Socket> handed;
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mutex);
+    handed.swap(r.inbox);
+  }
+  for (Socket& s : handed) adopt_conn(r, std::move(s));
 }
 
 void GatewayServer::accept_pending() {
@@ -140,12 +240,20 @@ void GatewayServer::accept_pending() {
       stats_.conns_refused_capacity.fetch_add(1, std::memory_order_relaxed);
       continue;  // Socket destructor closes the refused connection
     }
-    auto c = std::make_unique<Conn>();
-    c->sock = std::move(s);
-    c->last_rx = Clock::now();
-    conns_.push_back(std::move(c));
     open_conns_.fetch_add(1, std::memory_order_relaxed);
     stats_.conns_accepted.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t target = next_reactor_;
+    next_reactor_ = (next_reactor_ + 1) % reactors_.size();
+    if (target == 0) {
+      adopt_conn(*reactors_[0], std::move(s));
+    } else {
+      Reactor& r = *reactors_[target];
+      {
+        const std::lock_guard<std::mutex> lock(r.inbox_mutex);
+        r.inbox.push_back(std::move(s));
+      }
+      r.wake.notify();
+    }
   }
 }
 
@@ -164,9 +272,12 @@ void GatewayServer::on_hello(Conn& c, const FrameView& f) {
   if (hello->policy == TxPolicy::Selective && hello->window != expected) {
     ack.status = HelloStatus::BadWindow;
   } else {
-    Conn* cp = &c;  // stable: conns_ holds unique_ptrs
-    const auto id =
-        engine_.open_session([this, cp](const service::SessionResult& r) {
+    Conn* cp = &c;  // stable: the reactor's conns vector holds unique_ptrs
+    // The session is pinned to this reactor's shard, so the sink below
+    // only ever runs on the thread stepping this reactor (its pump_shard
+    // or its close_conn) — never concurrently with the conn's owner.
+    const auto id = engine_.open_session(
+        [this, cp](const service::SessionResult& r) {
           if (!cp->accept_verdicts) return;
           BeatVerdictMsg v;
           v.r_peak = r.beat.r_peak;
@@ -175,7 +286,8 @@ void GatewayServer::on_hello(Conn& c, const FrameView& f) {
           enqueue_frame(*cp, FrameType::BeatVerdict, r.sequence,
                         encode_beat_verdict(v));
           stats_.verdicts_tx.fetch_add(1, std::memory_order_relaxed);
-        });
+        },
+        cfg_.fleet.session, c.owner->index);
     if (id.has_value()) {
       c.session = *id;
       c.accept_verdicts = true;
@@ -269,9 +381,10 @@ void GatewayServer::on_full_beat(Conn& c, const FrameView& f) {
       // The per-connection dup guard above forgets its high-water when a
       // killed connection is replaced, so a retransmitted escalation can
       // reach this branch looking fresh. The per-node map remembers what
-      // was already counted across reconnects (the client's upload seq
-      // space is connection-independent), keeping the fleet rollup
+      // was already counted across reconnects — which may land on a
+      // different reactor, hence the mutex — keeping the fleet rollup
       // exactly-once.
+      const std::lock_guard<std::mutex> lock(drift_mutex_);
       const auto [it, inserted] =
           drift_counted_high_.try_emplace(c.node_id, f.seq);
       if (inserted || f.seq > it->second) {
@@ -282,7 +395,9 @@ void GatewayServer::on_full_beat(Conn& c, const FrameView& f) {
   }
   // Re-classify the uploaded window with the gateway's model — the check
   // pass before the detailed delineation stage. A 0-sample escalation
-  // (Suspect signal on the node) has no trustworthy window: Unknown.
+  // (Suspect signal on the node) has no trustworthy window: Unknown. The
+  // scratch is per-reactor, so concurrent FULL_BEATs on different
+  // reactors never share it.
   BeatVerdictMsg v;
   v.r_peak = m.r_peak;
   v.quality = m.quality;
@@ -290,7 +405,7 @@ void GatewayServer::on_full_beat(Conn& c, const FrameView& f) {
       m.count == 0 ? ecg::BeatClass::Unknown
                    : classifier_.classify_window(
                          std::span<const dsp::Sample>(c.window_scratch),
-                         full_beat_scratch_));
+                         c.owner->full_beat_scratch));
   enqueue_frame(c, FrameType::BeatVerdict, f.seq, encode_beat_verdict(v));
   stats_.verdicts_tx.fetch_add(1, std::memory_order_relaxed);
 }
@@ -326,7 +441,8 @@ void GatewayServer::dispatch(Conn& c, const FrameView& f) {
 
 void GatewayServer::read_conn(Conn& c) {
   unsigned char buf[16384];
-  // Bounded reads per round so one firehose node cannot starve the rest.
+  // Bounded reads per round so one firehose node cannot starve the rest;
+  // level-triggered readiness re-reports anything left for the next round.
   for (int round = 0; round < 4 && c.alive && !c.draining; ++round) {
     if (!c.inbound.empty()) return;  // backpressured: stop reading
     const IoResult r = recv_some(c.sock.fd(), buf);
@@ -345,6 +461,7 @@ void GatewayServer::read_conn(Conn& c) {
         st = c.parser.next(f);
         if (st != FrameParser::Status::Ok) break;
         stats_.frames_rx.fetch_add(1, std::memory_order_relaxed);
+        c.owner->frames_rx.fetch_add(1, std::memory_order_relaxed);
         dispatch(c, f);
       }
       if (!c.alive) return;
@@ -387,50 +504,66 @@ void GatewayServer::flush_conn(Conn& c) {
   }
 }
 
-std::size_t GatewayServer::poll_once(int timeout_ms) {
+std::size_t GatewayServer::step_reactor(Reactor& r, int timeout_ms) {
   const std::uint64_t frames_before =
-      stats_.frames_rx.load(std::memory_order_relaxed) +
-      stats_.frames_tx.load(std::memory_order_relaxed);
+      r.frames_rx.load(std::memory_order_relaxed) +
+      r.frames_tx.load(std::memory_order_relaxed);
+  r.wakeups.fetch_add(1, std::memory_order_relaxed);
+  stats_.wakeups.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase -1: adopt connections reactor 0 handed over since last step.
+  adopt_inbox(r);
 
   // Phase 0: retry ingest parked by backpressure (pump freed queue space).
-  for (auto& c : conns_)
-    if (c->alive && !c->inbound.empty()) offer_samples(*c);
-
-  // Phase 1: wait for readiness.
-  std::vector<pollfd> fds;
-  std::vector<Conn*> polled;
-  fds.reserve(conns_.size() + 1);
-  polled.reserve(conns_.size());
-  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
-  for (auto& c : conns_) {
-    if (!c->alive) continue;
-    short events = 0;
-    if (!c->draining && c->inbound.empty()) events |= POLLIN;
-    if (c->out_head < c->out.size()) events |= POLLOUT;
-    fds.push_back(pollfd{c->sock.fd(), events, 0});
-    polled.push_back(c.get());
+  bool parked = false;
+  for (auto& c : r.conns) {
+    if (!c->alive || c->inbound.empty()) continue;
+    offer_samples(*c);
+    if (!c->inbound.empty()) parked = true;
   }
-  (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
 
-  // Phase 2: accept + read + dispatch (which feeds the ingest queues).
-  if ((fds[0].revents & POLLIN) != 0) accept_pending();
-  for (std::size_t i = 0; i < polled.size(); ++i) {
-    Conn& c = *polled[i];
-    const short re = fds[i + 1].revents;
-    if (!c.alive) continue;
-    if ((re & (POLLERR | POLLNVAL)) != 0) {
-      close_conn(c, false);
+  // Phase 1: declare interest and wait for readiness. A reactor with
+  // latent pump work (parked ingest or an undrained shard queue) must not
+  // sleep — its own pump is the only thing that makes progress.
+  if (r.index == 0) r.poller.watch(listener_.fd(), true, false);
+  r.poller.watch(r.wake.fd(), true, false);
+  for (auto& c : r.conns) {
+    if (!c->alive) continue;
+    const bool want_read = !c->draining && c->inbound.empty();
+    const bool want_write = c->out_head < c->out.size();
+    r.poller.watch(c->sock.fd(), want_read, want_write);
+  }
+  const bool pump_pending =
+      parked || engine_.shard_queued_samples(r.index) > 0;
+  (void)r.poller.wait(pump_pending ? 0 : timeout_ms, r.events);
+
+  // Phase 2: accept (reactor 0) + read + dispatch (feeds ingest queues).
+  for (const PollEvent& e : r.events) {
+    if (r.index == 0 && e.fd == listener_.fd()) {
+      if (e.readable) accept_pending();
       continue;
     }
-    if ((re & (POLLIN | POLLHUP)) != 0) read_conn(c);
+    if (e.fd == r.wake.fd()) {
+      r.wake.consume();
+      adopt_inbox(r);
+      continue;
+    }
+    const auto it = r.by_fd.find(e.fd);
+    if (it == r.by_fd.end()) continue;
+    Conn& c = *it->second;
+    if (!c.alive) continue;
+    // A broken fd still reads: the recv drains any final bytes and then
+    // surfaces the EOF/error, which closes the connection properly.
+    if (e.readable || e.broken) read_conn(c);
   }
 
-  // Phase 3: one engine round; sinks append verdict frames in order.
-  if (engine_.session_count() > 0) engine_.pump();
+  // Phase 3: one engine round for this reactor's own shard; the sinks
+  // append verdict frames to this reactor's connections in order.
+  engine_.pump_shard(r.index);
 
   // Phase 4: flush, enforce caps, finalize drains, reap.
   const auto now = Clock::now();
-  for (auto& c : conns_) {
+  for (auto& c : r.conns) {
     if (!c->alive) continue;
     if (c->overflowed) {
       stats_.conns_dropped_overflow.fetch_add(1, std::memory_order_relaxed);
@@ -440,10 +573,7 @@ std::size_t GatewayServer::poll_once(int timeout_ms) {
     flush_conn(*c);
     if (!c->alive) continue;
     if (c->draining && c->out_head >= c->out.size()) {
-      c->alive = false;
-      c->sock.close();
-      open_conns_.fetch_sub(1, std::memory_order_relaxed);
-      stats_.conns_closed.fetch_add(1, std::memory_order_relaxed);
+      finalize_close(*c);
       continue;
     }
     if (cfg_.idle_timeout_ms > 0 && !c->draining &&
@@ -452,17 +582,51 @@ std::size_t GatewayServer::poll_once(int timeout_ms) {
       close_conn(*c, false);
     }
   }
-  std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) {
+  std::erase_if(r.conns, [](const std::unique_ptr<Conn>& c) {
     return !c->alive;
   });
 
   return static_cast<std::size_t>(
-      stats_.frames_rx.load(std::memory_order_relaxed) +
-      stats_.frames_tx.load(std::memory_order_relaxed) - frames_before);
+      r.frames_rx.load(std::memory_order_relaxed) +
+      r.frames_tx.load(std::memory_order_relaxed) - frames_before);
+}
+
+std::size_t GatewayServer::poll_once(int timeout_ms) {
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < reactors_.size(); ++i)
+    moved += step_reactor(*reactors_[i], i == 0 ? timeout_ms : 0);
+  return moved;
+}
+
+void GatewayServer::run_reactor(Reactor& r) {
+  int wait_ms = kBaseWaitMs;
+  int cap_ms = kMaxWaitMs;
+  if (cfg_.idle_timeout_ms > 0)
+    cap_ms = std::clamp(cfg_.idle_timeout_ms / 4, kBaseWaitMs, kMaxWaitMs);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const std::size_t moved = step_reactor(r, wait_ms);
+    if (moved > 0) {
+      wait_ms = kBaseWaitMs;
+    } else {
+      r.idle_wakeups.fetch_add(1, std::memory_order_relaxed);
+      stats_.idle_wakeups.fetch_add(1, std::memory_order_relaxed);
+      wait_ms = std::min(wait_ms * 2, cap_ms);
+    }
+  }
 }
 
 void GatewayServer::serve() {
-  while (!stop_.load(std::memory_order_relaxed)) poll_once(5);
+  std::vector<std::thread> threads;
+  threads.reserve(reactors_.size() - 1);
+  for (std::size_t i = 1; i < reactors_.size(); ++i)
+    threads.emplace_back([this, i] { run_reactor(*reactors_[i]); });
+  run_reactor(*reactors_[0]);
+  for (std::thread& t : threads) t.join();
+}
+
+void GatewayServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& r : reactors_) r->wake.notify();
 }
 
 }  // namespace hbrp::net

@@ -1,6 +1,6 @@
 // net::GatewayServer — the ward-side collector behind the wire protocol.
 //
-// A non-blocking, poll(2)-driven TCP server that terminates the WBSN link
+// An N-reactor, non-blocking TCP server that terminates the WBSN link
 // layer and maps every connection onto one service::FleetEngine session:
 //
 //   socket bytes -> FrameParser -> dispatch:
@@ -19,14 +19,26 @@
 //     BYE          graceful close: the session tail is flushed as verdicts,
 //                  the send buffer drains, then the socket closes
 //
-// One poll_once() round is: retry deferred ingest, read + dispatch, one
-// FleetEngine::pump(), flush writes, reap dead connections. Verdicts are
-// produced by the engine's serial in-order delivery phase, so the frames
+// Reactor sharding: connections are distributed round-robin across
+// `reactors` event loops (epoll(7) on Linux, poll(2) fallback — see
+// EventPoller), each running on its own thread under serve(). Reactor r
+// owns its connections outright — sockets, parsers, send buffers, the
+// FULL_BEAT classify scratch — and pumps exactly FleetEngine shard r,
+// where every one of its sessions is pinned (stable shard affinity at
+// HELLO). One reactor step is: adopt handed-over connections, retry
+// deferred ingest, wait for readiness, accept (reactor 0 only) + read +
+// dispatch, one FleetEngine::pump_shard(r), flush writes, reap dead
+// connections. Reactors never serialize on each other: the engine's
+// in-order delivery phase is serial only *within* a shard.
+//
+// Verdict ordering is unchanged by the reactor count: a session's verdicts
+// are produced by its own shard's serial delivery phase, so the frames
 // appended to each connection's send buffer inherit the per-session dense
-// sequence contract — and because the engine's schedule is deterministic
-// for any thread/shard count, the verdict byte stream a client receives is
-// bit-identical to what direct in-process ingest of the same samples would
-// produce (test_net_loopback and bench_net gate on exactly this).
+// sequence contract — and because each session's schedule is deterministic
+// for any thread/shard/reactor count, the verdict byte stream a client
+// receives is bit-identical to what direct in-process ingest of the same
+// samples would produce (test_net_loopback, test_net_reactor and bench_net
+// gate on exactly this).
 //
 // Backpressure is end-to-end and lossless on the ingest side: when a
 // session's bounded queue defers part of a chunk (Block policy), the
@@ -40,10 +52,23 @@
 // close its session without delivering the tail — the peer is untrusted
 // from that point. Every such event is counted in GatewayStats.
 //
-// Threading: the server is single-threaded (all sockets, the parser, the
-// engine pump and the sinks run on the poll_once()/serve() caller).
-// GatewayStats counters are relaxed atomics so another thread may watch
-// them — and stop() may be called from anywhere — while the loop runs.
+// Idle behavior: a reactor whose step moved no frames backs its wait
+// timeout off exponentially (5 ms up to ~320 ms, bounded by the idle
+// eviction cadence), so an idle gateway burns no measurable CPU; any
+// readiness event (or stop(), via the reactor's wake pipe) interrupts the
+// wait immediately. Idle-expired waits are counted in
+// GatewayStats::idle_wakeups.
+//
+// Threading: serve() runs one thread per reactor (the calling thread is
+// reactor 0) and returns after stop(). poll_once() instead steps every
+// reactor once on the calling thread — the single-threaded mode tests and
+// step-driven drivers use; do not mix it with a live serve(). All
+// cross-reactor state is explicitly synchronized: the per-node FULL_BEAT
+// escalation map (a node may reconnect onto a different reactor) is
+// mutex-guarded, handed-over sockets go through a per-reactor locked
+// inbox, and GatewayStats counters are relaxed atomics so any thread may
+// watch them — and stop() may be called from anywhere — while the loops
+// run.
 #pragma once
 
 #include <atomic>
@@ -51,6 +76,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,13 +99,22 @@ struct GatewayConfig {
   /// Drop a connection silent for longer than this (0 = disabled). The
   /// client's heartbeat interval must be comfortably shorter.
   int idle_timeout_ms = 0;
-  /// Inner engine configuration (threads, shards, admission, per-session
-  /// queue/backpressure defaults).
+  /// Reactor (event-loop) threads. Connections are sharded round-robin
+  /// across reactors and each reactor pumps its own FleetEngine shard
+  /// (fleet.shards is forced to match, fleet.threads to 1 — the reactors
+  /// themselves are the parallelism). 0 = one per hardware thread.
+  std::size_t reactors = 1;
+  /// listen(2) backlog; raise it for soak drivers ramping thousands of
+  /// connections faster than the accept loop turns.
+  int listen_backlog = 128;
+  /// Inner engine configuration (admission, per-session queue/backpressure
+  /// defaults). `shards` and `threads` are overridden as described above.
   service::FleetConfig fleet;
 };
 
-/// Single-writer (the poll thread) relaxed-atomic counters, readable from
-/// any thread while the server runs.
+/// Relaxed-atomic counters, single-writer per field in steady state (the
+/// reactor that owns the connection), readable from any thread while the
+/// server runs.
 struct GatewayStats {
   std::atomic<std::uint64_t> conns_accepted{0};
   std::atomic<std::uint64_t> conns_closed{0};
@@ -106,6 +141,11 @@ struct GatewayStats {
   std::atomic<std::uint64_t> drift_escalations_rx{0};
   std::atomic<std::uint64_t> verdicts_tx{0};
   std::atomic<std::uint64_t> heartbeats_rx{0};
+  /// serve()-loop iterations across all reactors, and the subset whose
+  /// readiness wait expired without moving a single frame — the idle-burn
+  /// metric the adaptive backoff exists to keep small.
+  std::atomic<std::uint64_t> wakeups{0};
+  std::atomic<std::uint64_t> idle_wakeups{0};
 
   std::string json() const;
 };
@@ -124,24 +164,35 @@ class GatewayServer {
 
   std::uint16_t port() const { return listener_.port(); }
 
-  /// One scheduling round (see file header). `timeout_ms` bounds the
-  /// poll(2) wait; returns the number of frames received + sent, so a
-  /// driver can tell progress from idleness.
+  /// Steps every reactor once on the calling thread (reactor 0 gets
+  /// `timeout_ms` for its readiness wait, the rest poll without blocking);
+  /// returns the number of frames received + sent, so a driver can tell
+  /// progress from idleness. Single-threaded mode — do not mix with a
+  /// concurrently running serve().
   std::size_t poll_once(int timeout_ms);
 
-  /// poll_once(5) until stop() is called (from any thread).
+  /// Runs the reactor loops — one thread per reactor, the caller drives
+  /// reactor 0 — until stop() is called (from any thread).
   void serve();
-  void stop() { stop_.store(true, std::memory_order_relaxed); }
+  void stop();
 
   std::size_t connection_count() const {
     return open_conns_.load(std::memory_order_relaxed);
   }
+  std::size_t reactor_count() const { return reactors_.size(); }
   const GatewayStats& stats() const { return stats_; }
   const service::FleetEngine& engine() const { return engine_; }
+  /// Per-reactor counters (connections, frames, wakeups) as a JSON array.
+  std::string reactors_json() const;
 
  private:
   struct Conn;
+  struct Reactor;
 
+  void run_reactor(Reactor& r);
+  std::size_t step_reactor(Reactor& r, int timeout_ms);
+  void adopt_inbox(Reactor& r);
+  void adopt_conn(Reactor& r, Socket s);
   void accept_pending();
   void read_conn(Conn& c);
   void dispatch(Conn& c, const FrameView& f);
@@ -156,19 +207,23 @@ class GatewayServer {
   /// beats into the send buffer first (graceful Bye) — pointless on
   /// protocol errors where the socket is already untrusted/dead.
   void close_conn(Conn& c, bool deliver_tail);
+  /// Unwatches + closes the socket and updates the gauges; the reaper
+  /// frees the Conn at the end of the round.
+  void finalize_close(Conn& c);
 
   embedded::EmbeddedClassifier classifier_;
-  embedded::ClassifyScratch full_beat_scratch_;
   GatewayConfig cfg_;
   service::FleetEngine engine_;
   TcpListener listener_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  ///< round-robin handoff; reactor 0 only
   /// Highest FULL_BEAT seq already counted as a drift escalation, per
   /// node_id. Unlike Conn::last_full_seq this survives reconnects: the
   /// client keeps its upload seq space across reconnects, so a
-  /// retransmitted escalation arriving on a fresh connection is still
-  /// recognized and the fleet rollup is counted exactly once. (Poll-thread
-  /// only, like Conn state.)
+  /// retransmitted escalation arriving on a fresh connection — possibly
+  /// on a *different reactor* — is still recognized and the fleet rollup
+  /// is counted exactly once. Mutex-guarded for exactly that reason.
+  std::mutex drift_mutex_;
   std::map<std::uint32_t, std::uint64_t> drift_counted_high_;
   GatewayStats stats_;
   std::atomic<bool> stop_{false};

@@ -15,8 +15,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace hbrp::net {
 
@@ -78,5 +80,73 @@ Socket connect_loopback(std::uint16_t port);
 /// After writability: true if the connect succeeded, false if it failed
 /// (the socket should be closed and retried with backoff).
 bool connect_finished(int fd);
+
+/// One readiness event out of EventPoller::wait().
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// POLLERR/POLLNVAL/EPOLLERR, or POLLHUP/EPOLLHUP: the fd is dead or the
+  /// peer is gone — a reactor should read (to drain the EOF) or close.
+  bool broken = false;
+};
+
+/// Level-triggered readiness multiplexer: epoll(7) on Linux, a poll(2)
+/// fallback elsewhere — and on Linux too when HBRP_NET_POLL=1 is set, so
+/// both backends stay gated by the same tests on one host. The backend is
+/// chosen once at construction.
+///
+/// Single-owner, like everything in a reactor: one thread constructs it,
+/// watches fds, and waits. The O(watched) interest rebuild of the poll
+/// fallback is the thing epoll removes at high session counts; the API is
+/// the intersection of the two so a reactor never branches on backend.
+class EventPoller {
+ public:
+  EventPoller();
+  ~EventPoller();
+  EventPoller(const EventPoller&) = delete;
+  EventPoller& operator=(const EventPoller&) = delete;
+
+  /// Declares (or updates) level-triggered interest in `fd`. With both
+  /// flags false the fd is dropped from the set (same as unwatch()).
+  void watch(int fd, bool read, bool write);
+  void unwatch(int fd);
+
+  /// Blocks up to `timeout_ms` (0 = poll and return, <0 = wait forever);
+  /// clears and fills `out`; returns out.size(). Spurious empty returns
+  /// are normal (timeout, EINTR).
+  std::size_t wait(int timeout_ms, std::vector<PollEvent>& out);
+
+  std::size_t watched() const { return interest_.size(); }
+  const char* backend() const { return epfd_ >= 0 ? "epoll" : "poll"; }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+  std::map<int, Interest> interest_;
+  int epfd_ = -1;  ///< -1 = poll(2) fallback
+};
+
+/// Self-pipe wakeup for reactor threads: any thread may notify(), the
+/// owning reactor watches fd() for readability and drains pending tokens
+/// with consume(). Lossy by design (a byte per notify, drained in bulk).
+class WakePipe {
+ public:
+  WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  int fd() const { return read_end_.fd(); }
+  /// Async-signal-safe, callable from any thread.
+  void notify();
+  /// Drains every pending wake token (reactor thread only).
+  void consume();
+
+ private:
+  Socket read_end_;
+  Socket write_end_;
+};
 
 }  // namespace hbrp::net

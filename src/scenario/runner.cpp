@@ -66,8 +66,11 @@ WireRunResult run_wire(const embedded::EmbeddedClassifier& clf,
                        std::size_t shards, int drain_budget_ms,
                        const net::NodeConfig* node_template) {
   net::GatewayConfig gcfg;
-  gcfg.fleet.threads = threads;
-  gcfg.fleet.shards = shards;
+  // The gateway's parallelism knob is its reactor count (fleet shards are
+  // pinned 1:1 to reactors by its config sanitizer), so map the wider of
+  // the grid's threads/shards onto it — the sweeps keep varying the wire
+  // path's parallel layout.
+  gcfg.reactors = std::max<std::size_t>(1, std::max(threads, shards));
   net::GatewayServer gw(clf, gcfg);
   std::thread gw_thread([&gw] { gw.serve(); });
 

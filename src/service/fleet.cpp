@@ -1,10 +1,23 @@
 #include "service/fleet.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "math/check.hpp"
 
 namespace hbrp::service {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
 
 FleetEngine::FleetEngine(embedded::EmbeddedClassifier classifier,
                          FleetConfig cfg)
@@ -17,7 +30,8 @@ FleetEngine::FleetEngine(embedded::EmbeddedClassifier classifier,
                                                 : executor_.threads());
   const std::size_t window = classifier_.projector().expected_window();
   shards_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) shards_.emplace_back(window);
+  for (std::size_t s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(window));
 }
 
 FleetEngine::~FleetEngine() {
@@ -30,6 +44,7 @@ FleetEngine::~FleetEngine() {
     fleet_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
   }
   sessions_.clear();
+  for (auto& shard : shards_) shard->members.clear();
 }
 
 std::optional<SessionId> FleetEngine::open_session(ResultSink sink) {
@@ -39,14 +54,34 @@ std::optional<SessionId> FleetEngine::open_session(ResultSink sink) {
 std::optional<SessionId> FleetEngine::open_session(ResultSink sink,
                                                    SessionConfig cfg) {
   const std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+  const std::size_t shard = next_shard_;
+  next_shard_ = (next_shard_ + 1) % shards_.size();
+  return open_session_locked(std::move(sink), std::move(cfg), shard);
+}
+
+std::optional<SessionId> FleetEngine::open_session(ResultSink sink,
+                                                   SessionConfig cfg,
+                                                   std::size_t shard_hint) {
+  const std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+  return open_session_locked(std::move(sink), std::move(cfg),
+                             shard_hint % shards_.size());
+}
+
+std::optional<SessionId> FleetEngine::open_session_locked(ResultSink sink,
+                                                          SessionConfig cfg,
+                                                          std::size_t shard) {
   if (sessions_.size() >= cfg_.max_sessions) {
     fleet_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   const SessionId id = next_id_++;
-  sessions_.emplace(id, std::make_unique<Session>(id, classifier_,
-                                                  std::move(cfg),
-                                                  std::move(sink)));
+  auto session = std::make_unique<Session>(id, classifier_, std::move(cfg),
+                                           std::move(sink));
+  session->fleet_telemetry_ = &fleet_;
+  session->shard_ = shard;
+  // Session ids are monotonic, so push_back keeps the member list id-sorted.
+  shards_[shard]->members.push_back(session.get());
+  sessions_.emplace(id, std::move(session));
   fleet_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -59,12 +94,18 @@ bool FleetEngine::close_session(SessionId id) {
     if (it == sessions_.end()) return false;
     victim = std::move(it->second);
     sessions_.erase(it);
+    auto& members = shards_[victim->shard_]->members;
+    members.erase(std::remove(members.begin(), members.end(), victim.get()),
+                  members.end());
   }
   // The tail flush classifies and delivers on the calling thread, outside
-  // the registry lock so producers and the pump are not stalled by it.
+  // the registry lock so producers and the pumps are not stalled by it. The
+  // victim is already invisible to every shard body, so no pump races it.
   const std::uint64_t before = victim->delivered();
   const std::size_t removed = victim->close();
   queued_samples_.fetch_sub(removed, std::memory_order_relaxed);
+  shards_[victim->shard_]->queued.fetch_sub(removed,
+                                            std::memory_order_relaxed);
   fleet_.beats_out.fetch_add(victim->delivered() - before,
                              std::memory_order_relaxed);
   fleet_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
@@ -94,12 +135,18 @@ OfferOutcome FleetEngine::offer_impl(SessionId id,
   }
   std::ptrdiff_t delta = 0;
   out = session.enqueue(samples, Session::Clock::now(), &delta);
-  if (delta >= 0)
+  std::atomic<std::uint64_t>& shard_gauge = shards_[session.shard_]->queued;
+  if (delta >= 0) {
     queued_samples_.fetch_add(static_cast<std::uint64_t>(delta),
                               std::memory_order_relaxed);
-  else
+    shard_gauge.fetch_add(static_cast<std::uint64_t>(delta),
+                          std::memory_order_relaxed);
+  } else {
     queued_samples_.fetch_sub(static_cast<std::uint64_t>(-delta),
                               std::memory_order_relaxed);
+    shard_gauge.fetch_sub(static_cast<std::uint64_t>(-delta),
+                          std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -113,68 +160,83 @@ OfferOutcome FleetEngine::offer(SessionId id,
   return offer_impl(id, samples);
 }
 
-std::size_t FleetEngine::pump() {
-  const std::lock_guard<std::mutex> pump_lock(pump_mutex_);
-  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
-  fleet_.pumps.fetch_add(1, std::memory_order_relaxed);
+std::size_t FleetEngine::pump_shard_body(std::size_t s) {
+  Shard& shard = *shards_[s];
+  const std::lock_guard<std::mutex> shard_lock(shard.mutex);
+  if (shard.members.empty()) return 0;
+  const SteadyClock::time_point t0 = SteadyClock::now();
 
-  std::vector<Session*> active;
-  active.reserve(sessions_.size());
-  for (auto& [id, session] : sessions_) active.push_back(session.get());
-  if (active.empty()) return 0;
-
-  const std::size_t nshards = std::min(shards_.size(), active.size());
-  for (std::size_t s = 0; s < nshards; ++s) {
-    shards_[s].sessions.clear();
-    shards_[s].batch.clear();
+  // Phase 1: drain + window. Each member session is serviced by exactly
+  // this shard and the shard writes only its own batch and scratch — the
+  // core::Executor single-writer discipline, now held per reactor too.
+  shard.batch.clear();
+  std::uint64_t drained = 0;
+  for (Session* session : shard.members) {
+    drained += session->begin_drain();
+    session->process_drained(shard.batch);
   }
-  for (std::size_t i = 0; i < active.size(); ++i)
-    shards_[i % nshards].sessions.push_back(active[i]);
+  queued_samples_.fetch_sub(drained, std::memory_order_relaxed);
+  shard.queued.fetch_sub(drained, std::memory_order_relaxed);
+  const SteadyClock::time_point t1 = SteadyClock::now();
 
-  // Phases 1 + 2: drain, window, and classify per shard. Each session is
-  // touched by exactly one shard and each shard writes only its own batch
-  // and scratch — the core::Executor single-writer discipline.
-  std::atomic<std::uint64_t> drained{0};
-  executor_.parallel_for(nshards, [&](std::size_t s) {
-    Shard& shard = shards_[s];
-    std::uint64_t shard_drained = 0;
-    for (Session* session : shard.sessions) {
-      shard_drained += session->begin_drain();
-      session->process_drained(shard.batch);
-    }
-    drained.fetch_add(shard_drained, std::memory_order_relaxed);
-    shard.classes.resize(shard.batch.size());
-    if (!shard.batch.empty())
-      classifier_.classify_batch(shard.batch.windows(), shard.batch.size(),
-                                 shard.classes, shard.scratch);
-  });
-  queued_samples_.fetch_sub(drained.load(std::memory_order_relaxed),
-                            std::memory_order_relaxed);
+  // Phase 2: one classify_batch sweep over the cross-session batch.
+  shard.classes.resize(shard.batch.size());
+  if (!shard.batch.empty())
+    classifier_.classify_batch(shard.batch.windows(), shard.batch.size(),
+                               shard.classes, shard.scratch);
+  const SteadyClock::time_point t2 = SteadyClock::now();
 
-  // Phase 3: serial in-order delivery, sessions in id order. The shard
+  // Phase 3: in-order delivery, serial within the shard only. The shard
   // scratch still holds this round's row-major integer projections, so
   // drift-enabled sessions observe them here at zero extra projection
-  // cost — and in delivery order, keeping tracker state bit-identical
-  // across thread/shard counts.
+  // cost — in per-session delivery order, keeping tracker state
+  // bit-identical across thread/shard/reactor counts.
   const std::size_t k = classifier_.projector().coefficients();
   std::size_t beats = 0;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    const Shard& shard = shards_[i % nshards];
-    beats += active[i]->deliver(
+  for (Session* session : shard.members)
+    beats += session->deliver(
         shard.classes,
         std::span<const std::int32_t>(shard.scratch.u.data(),
                                       shard.scratch.u.size()),
         k);
-  }
+  const SteadyClock::time_point t3 = SteadyClock::now();
 
-  for (std::size_t s = 0; s < nshards; ++s) {
-    if (shards_[s].batch.empty()) continue;
+  shard.pumps.fetch_add(1, std::memory_order_relaxed);
+  shard.beats.fetch_add(beats, std::memory_order_relaxed);
+  shard.drain_ns.fetch_add(ns_between(t0, t1), std::memory_order_relaxed);
+  shard.classify_ns.fetch_add(ns_between(t1, t2), std::memory_order_relaxed);
+  shard.deliver_ns.fetch_add(ns_between(t2, t3), std::memory_order_relaxed);
+
+  fleet_.shard_pumps.fetch_add(1, std::memory_order_relaxed);
+  fleet_.drain_ns.fetch_add(ns_between(t0, t1), std::memory_order_relaxed);
+  fleet_.classify_ns.fetch_add(ns_between(t1, t2), std::memory_order_relaxed);
+  fleet_.deliver_ns.fetch_add(ns_between(t2, t3), std::memory_order_relaxed);
+  if (!shard.batch.empty()) {
     fleet_.batches.fetch_add(1, std::memory_order_relaxed);
-    fleet_.batched_beats.fetch_add(shards_[s].batch.size(),
+    fleet_.batched_beats.fetch_add(shard.batch.size(),
                                    std::memory_order_relaxed);
   }
   fleet_.beats_out.fetch_add(beats, std::memory_order_relaxed);
   return beats;
+}
+
+std::size_t FleetEngine::pump_shard(std::size_t shard) {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  HBRP_REQUIRE(shard < shards_.size(), "FleetEngine: shard out of range");
+  return pump_shard_body(shard);
+}
+
+std::size_t FleetEngine::pump() {
+  const std::lock_guard<std::mutex> pump_lock(pump_mutex_);
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  fleet_.pumps.fetch_add(1, std::memory_order_relaxed);
+  if (sessions_.empty()) return 0;
+
+  std::atomic<std::uint64_t> beats{0};
+  executor_.parallel_for(shards_.size(), [&](std::size_t s) {
+    beats.fetch_add(pump_shard_body(s), std::memory_order_relaxed);
+  });
+  return static_cast<std::size_t>(beats.load(std::memory_order_relaxed));
 }
 
 std::size_t FleetEngine::drain() {
@@ -195,6 +257,11 @@ std::size_t FleetEngine::drain() {
 std::size_t FleetEngine::session_count() const {
   const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
   return sessions_.size();
+}
+
+std::size_t FleetEngine::shard_queued_samples(std::size_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard]->queued.load(std::memory_order_relaxed);
 }
 
 const SessionTelemetry* FleetEngine::session_telemetry(SessionId id) const {
@@ -225,6 +292,26 @@ std::string FleetEngine::telemetry_json() const {
   std::string out = "{\n  \"fleet\": ";
   out += fleet_.json(sessions_.size(), queued_samples(), alarm_sessions,
                      novel_beats);
+  out += ",\n  \"shards\": [";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    const auto load = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"shard\": %zu, \"sessions\": %zu, "
+                  "\"pumps\": %llu, \"beats\": %llu, \"drain_s\": %.6g, "
+                  "\"classify_s\": %.6g, \"deliver_s\": %.6g}",
+                  s == 0 ? "" : ",", s, shard.members.size(),
+                  static_cast<unsigned long long>(load(shard.pumps)),
+                  static_cast<unsigned long long>(load(shard.beats)),
+                  static_cast<double>(load(shard.drain_ns)) / 1e9,
+                  static_cast<double>(load(shard.classify_ns)) / 1e9,
+                  static_cast<double>(load(shard.deliver_ns)) / 1e9);
+    out += buf;
+  }
+  out += shards_.empty() ? "]" : "\n  ]";
   out += ",\n  \"sessions\": [";
   bool first = true;
   for (const auto& [id, session] : sessions_) {

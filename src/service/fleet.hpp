@@ -6,24 +6,37 @@
 // each an independent fault-tolerant core::StreamingBeatMonitor with its own
 // SQI/degradation state — over a sharded core::Executor worker pool.
 //
-// One pump() round is a deterministic three-phase schedule:
-//   1. shard fan-out (parallel): every session is assigned to exactly one
-//      shard; the shard drains up to the session's rate cap from its ingest
-//      queue, runs the monitor in deferred-classification mode, and appends
-//      every finalized beat window to the shard's core::BeatBatch — the
-//      cross-session batch that is this layer's throughput headline;
-//   2. batch classification (parallel, same fan-out): each shard classifies
-//      its batch in one embedded::classify_batch sweep with reusable
-//      per-shard scratch — zero per-beat allocation in steady state;
-//   3. in-order delivery (serial): sessions are visited in id order and each
-//      delivers its pending beats to its result sink with a dense,
-//      strictly increasing per-session sequence number.
+// Sessions have *stable shard affinity*: open_session() pins each session
+// to one shard (round-robin by default, or by explicit hint — the gateway
+// pins a connection's session to its owning reactor's shard) and it never
+// migrates. One shard pump body is a deterministic three-phase schedule:
+//   1. drain + window: the shard drains up to each member session's rate
+//      cap from its ingest queue, runs the monitor in
+//      deferred-classification mode, and appends every finalized beat
+//      window to the shard's core::BeatBatch — the cross-session batch
+//      that is this layer's throughput headline;
+//   2. batch classification: the shard classifies its batch in one
+//      embedded::classify_batch sweep with reusable per-shard scratch —
+//      zero per-beat allocation in steady state;
+//   3. in-order delivery (serial *per shard*, not globally): the shard's
+//      sessions are visited in id order and each delivers its pending
+//      beats to its result sink with a dense, strictly increasing
+//      per-session sequence number. Shards never wait on each other's
+//      delivery, which is what lets N reactor threads pump N shards
+//      without serializing.
+//
+// pump() runs every shard body through the executor (one whole-fleet
+// round); pump_shard() runs exactly one shard body on the calling thread —
+// the multi-reactor gateway's path, where reactor r owns shard r. Distinct
+// shards may be pumped concurrently; a per-shard mutex serializes
+// same-shard pumps.
 //
 // Determinism: a session's stream is consumed identically regardless of the
-// shard/thread count (the rate cap and queue state are caller-driven, and
-// each beat's classification depends only on its own window), so per-session
-// result sequences are bit-identical for any threads/shards setting —
-// bench_fleet gates on exactly this.
+// shard/thread/reactor count (the rate cap and queue state are
+// caller-driven, each beat's classification depends only on its own window,
+// and drift observation order is per-session), so per-session result
+// sequences are bit-identical for any threads/shards setting — bench_fleet
+// gates on exactly this.
 //
 // Admission control: open_session() refuses beyond max_sessions; offer()
 // refuses when the fleet-wide queued-sample gauge would exceed
@@ -33,8 +46,11 @@
 // snapshot-able as JSON while the engine runs.
 //
 // Threading contract: offer() is safe from any number of producer threads
-// concurrently with one pump()/drain() driver; open/close are serialized
-// against both. Result sinks run on the pump (or close) thread and must not
+// concurrently with pump()/pump_shard()/drain() drivers; open/close are
+// serialized against both. A session's result sink runs on whichever thread
+// pumps (or closes) that session's shard — serialized per session, but
+// sinks of sessions on *different* shards may run concurrently, so a sink
+// shared across sessions must synchronize its own state. Sinks must not
 // call back into the engine.
 #pragma once
 
@@ -81,9 +97,12 @@ class FleetEngine {
   FleetEngine& operator=(const FleetEngine&) = delete;
 
   /// Admits a new session with the fleet-default SessionConfig; nullopt
-  /// when the fleet is at max_sessions.
+  /// when the fleet is at max_sessions. Shard affinity is round-robin
+  /// unless a hint pins it (hint is taken modulo shard_count()).
   std::optional<SessionId> open_session(ResultSink sink);
   std::optional<SessionId> open_session(ResultSink sink, SessionConfig cfg);
+  std::optional<SessionId> open_session(ResultSink sink, SessionConfig cfg,
+                                        std::size_t shard_hint);
 
   /// Flushes the session's remaining stream through the classifier,
   /// delivers the tail in order, and frees the slot. False if unknown.
@@ -97,8 +116,16 @@ class FleetEngine {
   OfferOutcome offer(SessionId id, std::span<const double> samples);
   OfferOutcome offer(SessionId id, std::span<const dsp::Sample> samples);
 
-  /// Runs one scheduling round (see file header); returns beats delivered.
+  /// Runs one whole-fleet scheduling round — every shard body, through the
+  /// executor (see file header); returns beats delivered.
   std::size_t pump();
+
+  /// Runs one shard's pump body on the calling thread; returns beats
+  /// delivered. Safe to call concurrently for *distinct* shards (the
+  /// multi-reactor gateway pumps shard r from reactor thread r); same-shard
+  /// calls serialize on the shard mutex. The shard's sinks run on the
+  /// calling thread.
+  std::size_t pump_shard(std::size_t shard);
 
   /// Pumps until every ingest queue is empty; returns beats delivered.
   /// Deferred (Block-policy) samples live on the producer side and are not
@@ -109,6 +136,9 @@ class FleetEngine {
   std::size_t queued_samples() const {
     return queued_samples_.load(std::memory_order_relaxed);
   }
+  /// Queued samples across the sessions pinned to one shard (a reactor
+  /// uses this to tell whether its own shard still has pump work).
+  std::size_t shard_queued_samples(std::size_t shard) const;
   const FleetTelemetry& telemetry() const { return fleet_; }
   /// Live per-session counters; nullptr if unknown. The pointer is valid
   /// until the session is closed.
@@ -130,22 +160,46 @@ class FleetEngine {
 
   struct Shard {
     explicit Shard(std::size_t window_length) : batch(window_length) {}
+    /// Serializes pump bodies on this shard (distinct shards run freely).
+    std::mutex mutex;
+    /// Stable membership, id-sorted. Mutated only under the registry
+    /// *unique* lock (open/close), read under the shared lock — so pump
+    /// bodies and snapshots never race the list itself.
+    std::vector<Session*> members;
     core::BeatBatch batch;
     std::vector<ecg::BeatClass> classes;
     embedded::ClassifyScratch scratch;
-    std::vector<Session*> sessions;  // this round's assignment
+    /// Queued-sample gauge across member sessions (same soft-bound
+    /// semantics as the fleet-wide gauge); O(1) for a reactor asking
+    /// whether its own shard still has pump work.
+    std::atomic<std::uint64_t> queued{0};
+    // Rollup counters: written under `mutex`, read lock-free by snapshots.
+    std::atomic<std::uint64_t> pumps{0};
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<std::uint64_t> drain_ns{0};
+    std::atomic<std::uint64_t> classify_ns{0};
+    std::atomic<std::uint64_t> deliver_ns{0};
   };
+
+  /// Shard body: phases 1-3 for one shard. Caller holds the registry
+  /// shared lock; the shard mutex is taken inside.
+  std::size_t pump_shard_body(std::size_t shard);
+  /// Admission + placement under the registry unique lock (held by caller).
+  std::optional<SessionId> open_session_locked(ResultSink sink,
+                                               SessionConfig cfg,
+                                               std::size_t shard);
 
   embedded::EmbeddedClassifier classifier_;
   FleetConfig cfg_;
   core::Executor executor_;
-  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // non-movable: stable slots
 
   mutable std::shared_mutex registry_mutex_;
   std::map<SessionId, std::unique_ptr<Session>> sessions_;  // id order
   SessionId next_id_ = 1;
+  std::size_t next_shard_ = 0;  // round-robin affinity cursor (unique lock)
 
-  std::mutex pump_mutex_;  // one pump round at a time
+  std::mutex pump_mutex_;  // one whole-fleet pump() round at a time
   std::atomic<std::uint64_t> queued_samples_{0};
   FleetTelemetry fleet_;
 };

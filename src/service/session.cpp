@@ -215,6 +215,7 @@ void Session::deliver_one(const core::MonitorBeat& beat,
       std::chrono::duration<double, std::micro>(Clock::now() - enqueued_at)
           .count();
   telemetry_.latency.record_us(us);
+  if (fleet_telemetry_ != nullptr) fleet_telemetry_->latency.record_us(us);
   if (sink_) sink_(result);
 }
 

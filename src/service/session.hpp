@@ -169,6 +169,13 @@ class Session {
   core::StreamingBeatMonitor monitor_;
   ResultSink sink_;
   SessionTelemetry telemetry_;
+  /// Fleet-wide rollup (latency histogram); set by the engine at admission,
+  /// null for a free-standing Session.
+  FleetTelemetry* fleet_telemetry_ = nullptr;
+  /// Stable shard affinity, assigned once at open_session() and never
+  /// migrated, so the same shard (and under the gateway, the same reactor
+  /// thread) services this session on every pump round.
+  std::size_t shard_ = 0;
 
   // Ingest queue. `front_pos_` is the absolute stream index of queue_[0];
   // stamps_ maps absolute index ranges (everything up to `upto`) to the

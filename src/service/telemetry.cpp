@@ -123,9 +123,18 @@ std::string FleetTelemetry::json(std::uint64_t sessions_open,
   append_field(out, "offers_rejected", load(offers_rejected));
   append_field(out, "queued_samples", queued_samples);
   append_field(out, "pumps", load(pumps));
+  append_field(out, "shard_pumps", load(shard_pumps));
   append_field(out, "batches", load(batches));
   append_field(out, "batched_beats", load(batched_beats));
   append_field(out, "beats_out", load(beats_out));
+  append_field(out, "pump_drain_s", static_cast<double>(load(drain_ns)) / 1e9);
+  append_field(out, "pump_classify_s",
+               static_cast<double>(load(classify_ns)) / 1e9);
+  append_field(out, "pump_deliver_s",
+               static_cast<double>(load(deliver_ns)) / 1e9);
+  append_field(out, "beat_latency_count", latency.count());
+  append_field(out, "beat_latency_p50_us", latency.quantile_us(0.50));
+  append_field(out, "beat_latency_p99_us", latency.quantile_us(0.99));
   append_field(out, "drift_alarm_sessions", drift_alarm_sessions);
   append_field(out, "drift_novel_beats", drift_novel_beats);
   out += "}";

@@ -99,10 +99,23 @@ struct FleetTelemetry {
   std::atomic<std::uint64_t> sessions_closed{0};
   std::atomic<std::uint64_t> sessions_rejected{0};  ///< admission: max_sessions
   std::atomic<std::uint64_t> offers_rejected{0};    ///< admission: queue bound
-  std::atomic<std::uint64_t> pumps{0};
+  std::atomic<std::uint64_t> pumps{0};        ///< whole-fleet pump() rounds
+  std::atomic<std::uint64_t> shard_pumps{0};  ///< per-shard pump bodies run
   std::atomic<std::uint64_t> batches{0};        ///< non-empty BeatBatch runs
   std::atomic<std::uint64_t> batched_beats{0};  ///< windows classified in batch
   std::atomic<std::uint64_t> beats_out{0};
+  /// Cumulative wall time spent in each pump phase, summed over shard
+  /// bodies (so with S shards pumping concurrently the totals grow S times
+  /// faster than wall clock — they measure work, not elapsed time). The
+  /// drain/classify phases are the parallel halves of a shard body; the
+  /// deliver phase is the per-shard serial half whose fraction decides how
+  /// far the engine can scale.
+  std::atomic<std::uint64_t> drain_ns{0};
+  std::atomic<std::uint64_t> classify_ns{0};
+  std::atomic<std::uint64_t> deliver_ns{0};
+  /// Fleet-wide beat latency (sample-ingest to result-delivery), the union
+  /// of every session's per-session histogram.
+  LatencyHistogram latency;
 
   /// The drift arguments are the fleet-level novel-morphology rollup,
   /// aggregated over live sessions by the engine at snapshot time (they
@@ -115,7 +128,9 @@ struct FleetTelemetry {
 /// Version stamp for every telemetry/stats JSON snapshot this layer (and
 /// the gateway) emits. Bump when fields change shape or meaning — readers
 /// warn-skip keys they do not know, but use this to detect a format they
-/// should not silently reinterpret. Version 2 added the drift_* fields.
-inline constexpr std::uint64_t kTelemetrySchemaVersion = 2;
+/// should not silently reinterpret. Version 2 added the drift_* fields;
+/// version 3 added the pump phase timers, the per-shard rollup array and
+/// the fleet-wide beat-latency histogram.
+inline constexpr std::uint64_t kTelemetrySchemaVersion = 3;
 
 }  // namespace hbrp::service

@@ -177,7 +177,10 @@ TEST_F(DriftIntegrationTest, TelemetryJsonCarriesSchemaAndDriftFields) {
   }
   engine.drain();
   const std::string json = engine.telemetry_json();
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos) << json;
+  const std::string version_field =
+      "\"schema_version\": " +
+      std::to_string(hbrp::service::kTelemetrySchemaVersion);
+  EXPECT_NE(json.find(version_field), std::string::npos) << json;
   EXPECT_NE(json.find("\"drift_beats\""), std::string::npos);
   EXPECT_NE(json.find("\"drift_novel_beats\""), std::string::npos);
   EXPECT_NE(json.find("\"drift_alarm_sessions\""), std::string::npos);
