@@ -41,7 +41,14 @@
 #   8. drift gate: a quick bench_drift pass (tracker cost, morphology-shift
 #      detection latency, false-alarm sweep, thread/shard identity)
 #      compared against the committed BENCH_drift.json by the same
-#      robustness_gate.py (drift mode), with its own tamper self-check.
+#      robustness_gate.py (drift mode), with its own tamper self-check;
+#   9. lifecycle gate: a quick bench_lifecycle pass (hot-swap verdict-split
+#      identity across thread layouts, MODEL_PUSH throughput + corrupt-push
+#      rejection, stage->apply swap latency, per-A/B-arm scenario metrics)
+#      compared against the committed BENCH_lifecycle.json by the same
+#      robustness_gate.py (lifecycle mode), with its own tamper self-check,
+#      plus an ab_ward smoke run (the per-arm rollout report must build its
+#      table and exit clean).
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -81,7 +88,7 @@ ctest --test-dir build --output-on-failure -j
 # kernels produce — its digests must be dispatch-independent too.
 echo "==== DSP kernel equivalence under HBRP_FORCE_SCALAR=1"
 HBRP_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
-  -R 'KernelsDsp|DetectorEquivalence|Drift' -j
+  -R 'KernelsDsp|DetectorEquivalence|Drift|Lifecycle' -j
 
 # --- 1b. fleet soak smoke: scaling grid + bit-identity gate ---------------
 # Quick-run reports stay under build/ so a CI pass never dirties the tree
@@ -164,6 +171,29 @@ echo "==== drift gate (bench_drift vs BENCH_drift.json)"
 python3 scripts/robustness_gate.py BENCH_drift.json \
   build/BENCH_drift_quick.json
 
+# --- 1g. lifecycle gate: hot-swap/push/A-B vs committed baseline ----------
+echo "==== lifecycle gate self-check (gate must fail on injected regression)"
+./build/bench/bench_lifecycle --quick --threads=0 \
+  --json=build/BENCH_lifecycle_quick.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_lifecycle_quick.json", encoding="utf-8") as f:
+    report = json.load(f)
+report["lifecycle_identity_pass"] = False
+with open("build/BENCH_lifecycle_tampered.json", "w", encoding="utf-8") as f:
+    json.dump(report, f)
+EOF
+if python3 scripts/robustness_gate.py BENCH_lifecycle.json \
+    build/BENCH_lifecycle_tampered.json >/dev/null 2>&1; then
+  echo "lifecycle gate self-check FAILED: tampered report passed the gate" >&2
+  exit 1
+fi
+echo "==== lifecycle gate (bench_lifecycle vs BENCH_lifecycle.json)"
+python3 scripts/robustness_gate.py BENCH_lifecycle.json \
+  build/BENCH_lifecycle_quick.json
+echo "==== A/B rollout report smoke (ab_ward)"
+./build/examples/ab_ward 8 50 42
+
 if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
   echo "==== sanitizer jobs skipped"
   exit 0
@@ -178,6 +208,6 @@ ctest --test-dir build-asan --output-on-failure -j
 # job count and silently runs the full suite.
 run_suite build-tsan -DENABLE_TSAN=ON
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Reactor|Gateway|Wire|Scenario|KernelsDsp|DetectorEquivalence|Drift' -j
+  -R 'Executor|BeatBatch|EngineFixture|Determinism|Ga\.|Fleet|Net|Reactor|Gateway|Wire|Scenario|KernelsDsp|DetectorEquivalence|Drift|Lifecycle' -j
 
 echo "==== CI sweep complete"

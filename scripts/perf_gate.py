@@ -92,6 +92,11 @@ def main(argv):
         print(f"perf_gate: virtualized host — tolerance widened to "
               f"{tolerance:.0%}")
 
+    # Warn-skips accumulated across every shared_keys()/comparable() call,
+    # summarized once at exit so a partial run's coverage gap is visible in
+    # one line instead of scattered warnings.
+    skipped = {"missing": 0, "incomparable": 0}
+
     def shared_keys(suffix):
         keys = sorted(k for k in base if k.endswith(suffix))
         in_both = [k for k in keys if k in fresh]
@@ -101,6 +106,7 @@ def main(argv):
         if only_base:
             # Warn-and-skip, never fail: a quick/partial fresh run (or a
             # retired benchmark) legitimately lacks baseline keys.
+            skipped["missing"] += len(only_base)
             print(f"perf_gate: WARNING — {len(only_base)} baseline key(s) "
                   f"missing from fresh run, skipped: {', '.join(only_base)}")
         if only_fresh:
@@ -112,6 +118,7 @@ def main(argv):
         if isinstance(b, bool) or isinstance(f, bool) or not (
                 isinstance(b, (int, float)) and isinstance(f, (int, float))
                 and b > 0):
+            skipped["incomparable"] += 1
             print(f"perf_gate: WARNING — {key} is not a comparable pair "
                   f"({b!r} vs {f!r}), skipped")
             return False
@@ -161,6 +168,13 @@ def main(argv):
             identity_failures.append(key)
             marker = "  <-- IDENTITY BROKEN"
         print(f"  {key:<40} {str(b):>12} -> {str(f):>12}{marker}")
+
+    total_skipped = skipped["missing"] + skipped["incomparable"]
+    if total_skipped:
+        print(f"perf_gate: {total_skipped} key(s) warn-skipped "
+              f"({skipped['missing']} missing from fresh run, "
+              f"{skipped['incomparable']} not comparable) — these were NOT "
+              f"gated")
 
     if not shared and not speedups and not identities:
         print("perf_gate: SKIP — no shared gated keys to compare")

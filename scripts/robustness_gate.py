@@ -17,6 +17,20 @@ Both inputs are bench reports. When they are BENCH_drift.json reports
     ``beats-tolerance`` beats (fatal);
   - ``all_ok`` false — the bench's own internal gate tripped.
 
+When they are BENCH_lifecycle.json reports (``"bench": "lifecycle"``) the
+lifecycle mode gates:
+
+  - ``lifecycle_identity_pass`` false — a hot-swap failed to split the
+    verdict stream into exact per-model halves (fatal, no tolerance);
+  - ``lifecycle_corrupt_push_nacked`` false — a tampered MODEL_PUSH was
+    not rejected (fatal);
+  - an ``ab_{a,b}_{ndr,arr}`` dropping, or ``ab_{a,b}_{miss,false}_rate``
+    rising, by more than ``tolerance`` (fatal — the suite is seeded, so
+    drift is a real behavior change);
+  - ``all_ok`` false — the bench's own internal gate tripped.
+  - ``swap_latency_*`` / ``push_mb_per_s`` are wall-clock on a shared
+    host: a large drift only WARNS.
+
 Otherwise the inputs are BENCH_scenarios.json reports
 (bench_scenarios --json=...). For every scenario the two reports share,
 the gate FAILS (exit 1) when:
@@ -158,6 +172,68 @@ def gate_drift(base, fresh, base_path, beats_tolerance):
     return 0
 
 
+def gate_lifecycle(base, fresh, base_path, tolerance):
+    """BENCH_lifecycle.json mode: swap identity, push rejection, A/B arms."""
+    failures = []
+
+    for flag, detail in [
+        ("lifecycle_identity_pass",
+         "hot-swap verdict stream no longer splits into exact per-model "
+         "halves"),
+        ("lifecycle_corrupt_push_nacked",
+         "a tampered MODEL_PUSH was not rejected"),
+    ]:
+        if fresh.get(flag) is not True:
+            failures.append((flag, detail))
+
+    for arm in ("a", "b"):
+        for suffix, direction in [("ndr", +1), ("arr", +1),
+                                  ("miss_rate", -1), ("false_rate", -1)]:
+            key = f"ab_{arm}_{suffix}"
+            b, f = base.get(key), fresh.get(key)
+            if not (numeric(b) and numeric(f)):
+                print(f"robustness_gate: WARNING — {key} is not a "
+                      f"comparable pair ({b!r} vs {f!r}), skipped")
+                continue
+            delta = (f - b) * direction  # negative = got worse
+            marker = ""
+            if delta < -tolerance:
+                marker = "  <-- REGRESSION"
+                failures.append((key, f"{b:.3f} -> {f:.3f}"))
+            print(f"  {key:<38} {b:>7.3f} -> {f:>7.3f}{marker}")
+
+    for key in ("swap_latency_p50_us", "swap_latency_p99_us",
+                "push_mb_per_s"):
+        b, f = base.get(key), fresh.get(key)
+        if not (numeric(b) and numeric(f)) or b <= 0:
+            continue
+        ratio = f / b
+        worse = ratio > 3.0 if key.startswith("swap") else ratio < 1.0 / 3.0
+        if worse:
+            print(f"robustness_gate: WARNING — {key} moved {b:.1f} -> "
+                  f"{f:.1f}; wall-clock on a shared host, not fatal, but "
+                  f"check the swap/push path if this persists")
+
+    if fresh.get("all_ok") is False:
+        failures.append(("all_ok",
+                         "bench_lifecycle reported an internal gate "
+                         "failure"))
+
+    if failures:
+        print(f"\nrobustness_gate: FAIL — {len(failures)} lifecycle "
+              f"regression(s) vs {base_path}:")
+        for key, detail in failures:
+            print(f"  {key}: {detail}")
+        print("If the change is intentional, regenerate the baseline with\n"
+              "  ./build/bench/bench_lifecycle --threads=0 "
+              "--json=BENCH_lifecycle.json\nand commit it with the change "
+              "that explains it.")
+        return 1
+    print(f"robustness_gate: PASS — lifecycle identity/push/A-B within "
+          f"bounds of {base_path}")
+    return 0
+
+
 def scenario_names(report):
     names = []
     for key in report:
@@ -208,13 +284,16 @@ def main(argv):
     check_schema(base, paths[0])
     check_schema(fresh, paths[1])
 
-    if base.get("bench") == "drift" or fresh.get("bench") == "drift":
-        if base.get("bench") != fresh.get("bench"):
-            print(f"robustness_gate: cannot compare a '{base.get('bench')}' "
-                  f"report against a '{fresh.get('bench')}' report",
-                  file=sys.stderr)
-            return 2
-        return gate_drift(base, fresh, paths[0], beats_tolerance)
+    for mode in ("drift", "lifecycle"):
+        if base.get("bench") == mode or fresh.get("bench") == mode:
+            if base.get("bench") != fresh.get("bench"):
+                print(f"robustness_gate: cannot compare a "
+                      f"'{base.get('bench')}' report against a "
+                      f"'{fresh.get('bench')}' report", file=sys.stderr)
+                return 2
+            if mode == "drift":
+                return gate_drift(base, fresh, paths[0], beats_tolerance)
+            return gate_lifecycle(base, fresh, paths[0], tolerance)
 
     base_names = scenario_names(base)
     fresh_names = scenario_names(fresh)

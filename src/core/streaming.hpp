@@ -167,6 +167,15 @@ class StreamingBeatMonitor {
     return classifier_;
   }
 
+  /// Swap-safe classifier rebind (model hot-swap): a cold-path copy taken
+  /// between beats by the thread that owns the monitor. Detection and
+  /// conditioning state are untouched — the classifier only maps finalized
+  /// windows to classes — so the replacement must share the incumbent's
+  /// window length and coefficient count for the streams to stay aligned.
+  void set_classifier(const embedded::EmbeddedClassifier& classifier) {
+    classifier_ = classifier;
+  }
+
   /// Opt-in drift hook (non-owning, nullptr detaches): every beat the
   /// monitor classifies itself is observed through the projection already
   /// sitting in the classify scratch — zero extra projection cost. Beats

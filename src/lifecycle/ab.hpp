@@ -1,0 +1,34 @@
+// lifecycle::AbSplit — deterministic A/B arm assignment for a ward.
+//
+// Partitions sessions between two registered model versions by a seeded
+// hash of the node id: the assignment is a pure function of (seed,
+// percent_b, node_id), so every reactor, every restart and every offline
+// scorer agrees on which arm a node belongs to without any shared state —
+// the property that lets examples/ab_ward replay the adversarial suite
+// per-arm and compare against the live gateway's split.
+//
+// The hash is splitmix64 (Steele et al.), a full-period 64-bit mixer with
+// measured near-uniform avalanche — `node_id % 2` style splits would
+// correlate with ward wiring order and silently bias the arms.
+#pragma once
+
+#include <cstdint>
+
+namespace hbrp::lifecycle {
+
+struct AbSplit {
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Percentage of nodes assigned to arm B (the candidate), 0..100.
+  std::uint32_t percent_b = 50;
+
+  /// 0 = arm A (incumbent), 1 = arm B (candidate).
+  std::uint8_t arm(std::uint64_t node_id) const {
+    std::uint64_t z = node_id + seed + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return (z % 100) < percent_b ? 1 : 0;
+  }
+};
+
+}  // namespace hbrp::lifecycle

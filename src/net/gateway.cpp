@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "lifecycle/bundle.hpp"
 #include "math/check.hpp"
 
 namespace hbrp::net {
@@ -77,6 +78,13 @@ std::string GatewayStats::json() const {
   append_field(out, "drift_escalations_rx", load(drift_escalations_rx));
   append_field(out, "verdicts_tx", load(verdicts_tx));
   append_field(out, "heartbeats_rx", load(heartbeats_rx));
+  append_field(out, "model_pushes_rx", load(model_pushes_rx));
+  append_field(out, "model_push_parts_rx", load(model_push_parts_rx));
+  append_field(out, "model_push_bytes_rx", load(model_push_bytes_rx));
+  append_field(out, "model_pushes_ok", load(model_pushes_ok));
+  append_field(out, "model_push_nacks", load(model_push_nacks));
+  append_field(out, "ab_sessions_a", load(ab_sessions_a));
+  append_field(out, "ab_sessions_b", load(ab_sessions_b));
   append_field(out, "wakeups", load(wakeups));
   append_field(out, "idle_wakeups", load(idle_wakeups));
   out += "}";
@@ -99,6 +107,17 @@ struct GatewayServer::Conn {
   bool overflowed = false;
   std::uint64_t next_chunk_seq = 0;
   std::optional<std::uint64_t> last_full_seq;
+  /// Control-connection (MODEL_PUSH) reassembly state. `ctrl` flips on the
+  /// announce frame and is mutually exclusive with hello_done: a pusher
+  /// never carries data traffic and vice versa.
+  bool ctrl = false;
+  std::uint64_t push_version = 0;
+  std::uint64_t push_digest = 0;
+  std::uint64_t push_total = 0;
+  std::uint32_t push_parts = 0;
+  std::uint32_t push_next_part = 0;
+  std::uint32_t push_chunk = 0;
+  std::vector<unsigned char> push_buf;
   /// Decoded samples the session queue has not accepted yet (Block
   /// backpressure); while non-empty the socket is not read.
   std::vector<dsp::Sample> inbound;
@@ -132,12 +151,27 @@ GatewayServer::GatewayServer(embedded::EmbeddedClassifier classifier,
     : classifier_(std::move(classifier)),
       cfg_(sanitize_config(std::move(cfg))),
       engine_(classifier_, cfg_.fleet),
-      listener_(cfg_.port, cfg_.listen_backlog) {
+      listener_(cfg_.port, cfg_.listen_backlog),
+      registry_(cfg_.registry) {
   reactors_.reserve(cfg_.reactors);
   for (std::size_t i = 0; i < cfg_.reactors; ++i) {
     reactors_.push_back(std::make_unique<Reactor>());
     reactors_.back()->index = i;
   }
+  // Seed the registry with the construction-time classifier so pushes have
+  // an incumbent to compare against (geometry, downgrade) and rollback has
+  // a floor. Unlike the engine's internal default model this one carries
+  // the fleet-default drift seeds: sessions opened through HELLO route
+  // their seeds through the model from day one.
+  auto initial = std::make_shared<const service::SessionModel>(
+      service::SessionModel{cfg_.fleet.initial_model_version, classifier_,
+                            cfg_.fleet.session.drift_centroids});
+  const auto admitted = registry_.admit(initial, /*digest=*/0);
+  HBRP_REQUIRE(admitted == lifecycle::AdmitResult::Ok,
+               "GatewayServer: initial model admission failed");
+  registry_.promote(initial->version);
+  arm_model_[0] = initial;
+  arm_model_[1] = std::move(initial);
 }
 
 GatewayServer::~GatewayServer() {
@@ -259,7 +293,7 @@ void GatewayServer::accept_pending() {
 
 void GatewayServer::on_hello(Conn& c, const FrameView& f) {
   const auto hello = decode_hello(f.payload);
-  if (c.hello_done || !hello.has_value()) {
+  if (c.hello_done || c.ctrl || !hello.has_value()) {
     stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
     close_conn(c, false);
     return;
@@ -273,6 +307,17 @@ void GatewayServer::on_hello(Conn& c, const FrameView& f) {
     ack.status = HelloStatus::BadWindow;
   } else {
     Conn* cp = &c;  // stable: the reactor's conns vector holds unique_ptrs
+    // A/B arm assignment: a pure function of (split, node_id), resolved
+    // once at HELLO. The session starts on its arm's current deployment
+    // target and carries the arm tag for stage_swap_arm().
+    service::SessionConfig scfg = cfg_.fleet.session;
+    {
+      const std::lock_guard<std::mutex> lock(models_mutex_);
+      scfg.ab_arm = ab_on_ ? ab_.arm(hello->node_id) : std::uint8_t{0};
+      scfg.model = arm_model_[scfg.ab_arm];
+    }
+    (scfg.ab_arm == 0 ? stats_.ab_sessions_a : stats_.ab_sessions_b)
+        .fetch_add(1, std::memory_order_relaxed);
     // The session is pinned to this reactor's shard, so the sink below
     // only ever runs on the thread stepping this reactor (its pump_shard
     // or its close_conn) — never concurrently with the conn's owner.
@@ -287,7 +332,7 @@ void GatewayServer::on_hello(Conn& c, const FrameView& f) {
                         encode_beat_verdict(v));
           stats_.verdicts_tx.fetch_add(1, std::memory_order_relaxed);
         },
-        cfg_.fleet.session, c.owner->index);
+        std::move(scfg), c.owner->index);
     if (id.has_value()) {
       c.session = *id;
       c.accept_verdicts = true;
@@ -393,17 +438,24 @@ void GatewayServer::on_full_beat(Conn& c, const FrameView& f) {
       }
     }
   }
-  // Re-classify the uploaded window with the gateway's model — the check
-  // pass before the detailed delineation stage. A 0-sample escalation
-  // (Suspect signal on the node) has no trustworthy window: Unknown. The
-  // scratch is per-reactor, so concurrent FULL_BEATs on different
-  // reactors never share it.
+  // Re-classify the uploaded window with this session's *current* model —
+  // the check pass before the detailed delineation stage, and it must
+  // agree with the model the session's streamed beats are classified
+  // under (reading the session model here is safe: dispatch runs on the
+  // reactor thread that owns the session's shard pump). A 0-sample
+  // escalation (Suspect signal on the node) has no trustworthy window:
+  // Unknown. The scratch is per-reactor, so concurrent FULL_BEATs on
+  // different reactors never share it.
+  const service::SessionModel* sm =
+      c.session.has_value() ? engine_.session_model(*c.session) : nullptr;
+  const embedded::EmbeddedClassifier& clf =
+      sm != nullptr ? sm->classifier : classifier_;
   BeatVerdictMsg v;
   v.r_peak = m.r_peak;
   v.quality = m.quality;
   v.beat_class = static_cast<std::uint8_t>(
       m.count == 0 ? ecg::BeatClass::Unknown
-                   : classifier_.classify_window(
+                   : clf.classify_window(
                          std::span<const dsp::Sample>(c.window_scratch),
                          c.owner->full_beat_scratch));
   enqueue_frame(c, FrameType::BeatVerdict, f.seq, encode_beat_verdict(v));
@@ -430,13 +482,189 @@ void GatewayServer::dispatch(Conn& c, const FrameView& f) {
       // Graceful close: flush the session tail as verdicts, drain, close.
       close_conn(c, /*deliver_tail=*/true);
       return;
+    case FrameType::ModelPush:
+      on_model_push(c, f);
+      return;
+    case FrameType::ModelPushPart:
+      on_model_push_part(c, f);
+      return;
     case FrameType::HelloAck:
     case FrameType::BeatVerdict:
     case FrameType::Ack:
+    case FrameType::ModelAck:  // acks flow gateway -> pusher, never back
       stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
       close_conn(c, false);
       return;
   }
+}
+
+void GatewayServer::ack_push(Conn& c, ModelPushStatus status,
+                             std::uint64_t version) {
+  (status == ModelPushStatus::Ok ? stats_.model_pushes_ok
+                                 : stats_.model_push_nacks)
+      .fetch_add(1, std::memory_order_relaxed);
+  enqueue_frame(c, FrameType::ModelAck, 0,
+                encode_model_ack(ModelAckMsg{status, version}));
+  c.push_buf.clear();
+  c.push_buf.shrink_to_fit();
+  // One push per control connection: answer, flush, close. The pusher
+  // reads the verdict and decides whether to retry on a fresh connection.
+  c.draining = true;
+}
+
+void GatewayServer::on_model_push(Conn& c, const FrameView& f) {
+  const auto m = decode_model_push(f.payload);
+  // MODEL_PUSH is only valid as the very first frame: a data connection
+  // (hello_done) or a connection already mid-push cannot announce one.
+  if (c.hello_done || c.ctrl || !m.has_value()) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  c.ctrl = true;
+  stats_.model_pushes_rx.fetch_add(1, std::memory_order_relaxed);
+  if (m->total_bytes == 0 || m->total_bytes > kMaxBundleBytes) {
+    ack_push(c, ModelPushStatus::TooLarge, m->version);
+    return;
+  }
+  const std::uint64_t chunk = m->chunk_bytes;
+  const std::uint64_t want_parts =
+      chunk == 0 ? 0 : (m->total_bytes + chunk - 1) / chunk;
+  if (chunk == 0 || chunk > kMaxPayloadBytes || m->part_count == 0 ||
+      m->part_count != want_parts) {
+    ack_push(c, ModelPushStatus::Malformed, m->version);
+    return;
+  }
+  c.push_version = m->version;
+  c.push_digest = m->digest;
+  c.push_total = m->total_bytes;
+  c.push_parts = m->part_count;
+  c.push_chunk = m->chunk_bytes;
+  c.push_next_part = 0;
+  c.push_buf.clear();
+  c.push_buf.reserve(static_cast<std::size_t>(m->total_bytes));
+}
+
+void GatewayServer::on_model_push_part(Conn& c, const FrameView& f) {
+  // Parts are only valid inside an announced push, in dense order, each
+  // exactly chunk_bytes except a short final part.
+  if (!c.ctrl || c.push_next_part >= c.push_parts ||
+      f.seq != c.push_next_part) {
+    stats_.conns_dropped_protocol.fetch_add(1, std::memory_order_relaxed);
+    close_conn(c, false);
+    return;
+  }
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(c.push_next_part) * c.push_chunk;
+  const std::uint64_t expected =
+      std::min<std::uint64_t>(c.push_chunk, c.push_total - offset);
+  if (f.payload.size() != expected) {
+    ack_push(c, ModelPushStatus::Malformed, c.push_version);
+    return;
+  }
+  c.push_buf.insert(c.push_buf.end(), f.payload.begin(), f.payload.end());
+  ++c.push_next_part;
+  stats_.model_push_parts_rx.fetch_add(1, std::memory_order_relaxed);
+  stats_.model_push_bytes_rx.fetch_add(f.payload.size(),
+                                       std::memory_order_relaxed);
+  if (c.push_next_part == c.push_parts) finish_push(c);
+}
+
+void GatewayServer::finish_push(Conn& c) {
+  // End-to-end integrity first: the announced digest must match the
+  // reassembled image regardless of what the per-frame CRCs said.
+  if (lifecycle::bundle_digest(c.push_buf) != c.push_digest) {
+    ack_push(c, ModelPushStatus::BadDigest, c.push_version);
+    return;
+  }
+  std::shared_ptr<const service::SessionModel> model;
+  try {
+    lifecycle::ModelBundle bundle = lifecycle::decode_bundle(c.push_buf);
+    if (bundle.version != c.push_version) {
+      ack_push(c, ModelPushStatus::Malformed, c.push_version);
+      return;
+    }
+    model = lifecycle::instantiate_bundle(bundle);
+  } catch (const hbrp::Error&) {
+    ack_push(c, ModelPushStatus::Malformed, c.push_version);
+    return;
+  }
+  switch (registry_.admit(model, c.push_digest)) {
+    case lifecycle::AdmitResult::Duplicate:
+      ack_push(c, ModelPushStatus::Duplicate, c.push_version);
+      return;
+    case lifecycle::AdmitResult::Downgrade:
+      ack_push(c, ModelPushStatus::Downgrade, c.push_version);
+      return;
+    case lifecycle::AdmitResult::BadGeometry:
+      ack_push(c, ModelPushStatus::BadGeometry, c.push_version);
+      return;
+    case lifecycle::AdmitResult::RegistryFull:
+      ack_push(c, ModelPushStatus::RegistryFull, c.push_version);
+      return;
+    case lifecycle::AdmitResult::Ok:
+      break;
+  }
+  // Deploy. Staging only sets each session's pending-swap slot; the swap
+  // itself is applied by the session's owning pump thread at its next
+  // round boundary, so in-flight beats finish on the old model and no new
+  // hot-path lock is taken here.
+  {
+    const std::lock_guard<std::mutex> lock(models_mutex_);
+    if (ab_on_) {
+      // Candidate deployment: arm B only, not promoted — graduation to
+      // fleet-wide active is promote_candidate()'s explicit decision.
+      arm_model_[1] = model;
+      engine_.stage_swap_arm(1, model);
+    } else {
+      registry_.promote(model->version);
+      arm_model_[0] = model;
+      arm_model_[1] = model;
+      engine_.stage_swap_all(model);
+    }
+  }
+  ack_push(c, ModelPushStatus::Ok, c.push_version);
+}
+
+void GatewayServer::enable_ab(lifecycle::AbSplit split) {
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  ab_ = split;
+  ab_on_ = true;
+}
+
+void GatewayServer::disable_ab() {
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  ab_on_ = false;
+  // Collapse both arms onto the incumbent; sessions already opened on arm
+  // B keep their tag but future deployments treat the ward as one arm.
+  arm_model_[1] = arm_model_[0];
+}
+
+bool GatewayServer::ab_enabled() const {
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  return ab_on_;
+}
+
+bool GatewayServer::promote_candidate() {
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  const std::shared_ptr<const service::SessionModel> cand = arm_model_[1];
+  if (cand == nullptr || cand->version == registry_.active_version())
+    return false;
+  registry_.promote(cand->version);
+  arm_model_[0] = cand;
+  engine_.stage_swap_all(cand);
+  return true;
+}
+
+bool GatewayServer::rollback_model() {
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  if (!registry_.rollback()) return false;
+  std::shared_ptr<const service::SessionModel> m = registry_.active();
+  HBRP_REQUIRE(m != nullptr, "rollback_model: active version has no slot");
+  arm_model_[0] = m;
+  arm_model_[1] = m;
+  engine_.stage_swap_all(std::move(m));
+  return true;
 }
 
 void GatewayServer::read_conn(Conn& c) {

@@ -18,6 +18,16 @@
 //     HEARTBEAT    ACK echo
 //     BYE          graceful close: the session tail is flushed as verdicts,
 //                  the send buffer drains, then the socket closes
+//     MODEL_PUSH   first frame of a *control* connection (never mixed with
+//                  a data session): announces a versioned ModelBundle that
+//                  then streams in MODEL_PUSH_PART chunks. The reassembled
+//                  image is digest-checked end-to-end, decoded, admitted
+//                  into the BundleRegistry and — on success — hot-swapped
+//                  into the live fleet (every session, or only arm B when
+//                  an A/B split is enabled). Every outcome is answered
+//                  with a MODEL_ACK carrying a ModelPushStatus; a NACKed
+//                  push leaves the active model and all data traffic
+//                  untouched.
 //
 // Reactor sharding: connections are distributed round-robin across
 // `reactors` event loops (epoll(7) on Linux, poll(2) fallback — see
@@ -48,7 +58,8 @@
 // is dropped rather than allowed to grow the gateway without bound.
 //
 // Protocol violations (CRC/magic/version failures, sequence gaps, oversized
-// frames, a first frame that is not HELLO) tear the connection down and
+// frames, a first frame that is neither HELLO nor MODEL_PUSH, control
+// frames on a data connection or vice versa) tear the connection down and
 // close its session without delivering the tail — the peer is untrusted
 // from that point. Every such event is counted in GatewayStats.
 //
@@ -81,6 +92,8 @@
 #include <vector>
 
 #include "embedded/bundle.hpp"
+#include "lifecycle/ab.hpp"
+#include "lifecycle/registry.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "service/fleet.hpp"
@@ -110,6 +123,10 @@ struct GatewayConfig {
   /// Inner engine configuration (admission, per-session queue/backpressure
   /// defaults). `shards` and `threads` are overridden as described above.
   service::FleetConfig fleet;
+  /// Model registry bounds (version slots kept addressable for swap and
+  /// rollback). The construction-time classifier is seeded as version
+  /// `fleet.initial_model_version` and promoted active.
+  lifecycle::RegistryConfig registry;
 };
 
 /// Relaxed-atomic counters, single-writer per field in steady state (the
@@ -141,6 +158,19 @@ struct GatewayStats {
   std::atomic<std::uint64_t> drift_escalations_rx{0};
   std::atomic<std::uint64_t> verdicts_tx{0};
   std::atomic<std::uint64_t> heartbeats_rx{0};
+  /// Model lifecycle: MODEL_PUSH announces received, reassembly parts and
+  /// bytes, accepted pushes (admitted + deployed) and refused ones (any
+  /// non-Ok MODEL_ACK). A NACK is not a protocol drop: the control
+  /// connection is answered and drained cleanly.
+  std::atomic<std::uint64_t> model_pushes_rx{0};
+  std::atomic<std::uint64_t> model_push_parts_rx{0};
+  std::atomic<std::uint64_t> model_push_bytes_rx{0};
+  std::atomic<std::uint64_t> model_pushes_ok{0};
+  std::atomic<std::uint64_t> model_push_nacks{0};
+  /// A/B assignment counters: sessions opened onto each arm since start
+  /// (arm A also counts every session opened with the split disabled).
+  std::atomic<std::uint64_t> ab_sessions_a{0};
+  std::atomic<std::uint64_t> ab_sessions_b{0};
   /// serve()-loop iterations across all reactors, and the subset whose
   /// readiness wait expired without moving a single frame — the idle-burn
   /// metric the adaptive backoff exists to keep small.
@@ -185,6 +215,33 @@ class GatewayServer {
   /// Per-reactor counters (connections, frames, wakeups) as a JSON array.
   std::string reactors_json() const;
 
+  // --- model lifecycle -----------------------------------------------------
+
+  const lifecycle::BundleRegistry& registry() const { return registry_; }
+  std::uint64_t active_model_version() const {
+    return registry_.active_version();
+  }
+
+  /// Turns on deterministic A/B assignment: sessions HELLOing from now on
+  /// land on arm split.arm(node_id); arm B starts on the current active
+  /// model until a push replaces it. With the split enabled, an accepted
+  /// MODEL_PUSH deploys to arm B only (the candidate) and is NOT promoted
+  /// — promote_candidate() graduates it fleet-wide. Callable while the
+  /// server runs (from any thread).
+  void enable_ab(lifecycle::AbSplit split);
+  void disable_ab();
+  bool ab_enabled() const;
+
+  /// Graduates the arm-B candidate: promotes its version in the registry
+  /// and stages it onto every session (both arms). False when arm B runs
+  /// the same version as the registry's active model (nothing to promote).
+  bool promote_candidate();
+
+  /// Reverts to the previously active version and stages it onto every
+  /// session (both arms — a rollback is fleet-wide by definition). False
+  /// when there is no rollback target.
+  bool rollback_model();
+
  private:
   struct Conn;
   struct Reactor;
@@ -199,6 +256,14 @@ class GatewayServer {
   void on_hello(Conn& c, const FrameView& f);
   void on_sample_chunk(Conn& c, const FrameView& f);
   void on_full_beat(Conn& c, const FrameView& f);
+  void on_model_push(Conn& c, const FrameView& f);
+  void on_model_push_part(Conn& c, const FrameView& f);
+  /// Answers the control connection with MODEL_ACK{status, version} and
+  /// puts it into drain (one push per connection); counts ok/nack.
+  void ack_push(Conn& c, ModelPushStatus status, std::uint64_t version);
+  /// Digest-checks, decodes, admits and (on Ok) deploys the reassembled
+  /// bundle image, then acks with the outcome.
+  void finish_push(Conn& c);
   void offer_samples(Conn& c);
   void flush_conn(Conn& c);
   void enqueue_frame(Conn& c, FrameType type, std::uint64_t seq,
@@ -225,6 +290,17 @@ class GatewayServer {
   /// is counted exactly once. Mutex-guarded for exactly that reason.
   std::mutex drift_mutex_;
   std::map<std::uint32_t, std::uint64_t> drift_counted_high_;
+  /// Versioned model store (slots, promote/rollback); internally locked.
+  lifecycle::BundleRegistry registry_;
+  /// Guards the deployment targets below. Pushes and HELLOs may land on
+  /// any reactor, and enable_ab()/rollback_model() on any thread; all of
+  /// them only read/replace shared_ptr handles here — cold path.
+  mutable std::mutex models_mutex_;
+  /// Model new sessions start on, per A/B arm (both point at the active
+  /// model until a split is enabled and a candidate pushed).
+  std::shared_ptr<const service::SessionModel> arm_model_[2];
+  lifecycle::AbSplit ab_;
+  bool ab_on_ = false;
   GatewayStats stats_;
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> open_conns_{0};

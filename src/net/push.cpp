@@ -1,0 +1,134 @@
+#include "net/push.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/socket.hpp"
+
+namespace hbrp::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<long long>(0, left.count()));
+}
+
+}  // namespace
+
+PushResult push_image(std::uint16_t port, std::uint64_t version,
+                      std::span<const unsigned char> image, int timeout_ms,
+                      std::size_t chunk_bytes) {
+  PushResult res;
+  res.version = version;
+  if (image.empty() || image.size() > kMaxBundleBytes) {
+    res.error = "image size out of range";
+    return res;
+  }
+  chunk_bytes = std::clamp<std::size_t>(chunk_bytes, 1, kMaxPayloadBytes);
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  Socket sock = connect_loopback(port);
+  if (!sock.valid()) {
+    res.error = "connect failed";
+    return res;
+  }
+  {
+    // Non-blocking connect: wait for writability, then check the verdict.
+    pollfd p{};
+    p.fd = sock.fd();
+    p.events = POLLOUT;
+    if (::poll(&p, 1, remaining_ms(deadline)) <= 0 ||
+        !connect_finished(sock.fd())) {
+      res.error = "connect failed";
+      return res;
+    }
+  }
+
+  // The whole push is assembled up front: announce frame, then every part
+  // with a dense part counter in the frame seq. The last part is short.
+  const std::size_t parts = (image.size() + chunk_bytes - 1) / chunk_bytes;
+  ModelPushMsg announce;
+  announce.version = version;
+  announce.total_bytes = image.size();
+  announce.digest = lifecycle::bundle_digest(image);
+  announce.part_count = static_cast<std::uint32_t>(parts);
+  announce.chunk_bytes = static_cast<std::uint32_t>(chunk_bytes);
+  std::vector<unsigned char> out;
+  out.reserve(image.size() + parts * 24 + 64);
+  append_frame(out, FrameType::ModelPush, 0, encode_model_push(announce));
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::size_t off = i * chunk_bytes;
+    append_frame(out, FrameType::ModelPushPart, i,
+                 image.subspan(off, std::min(chunk_bytes,
+                                             image.size() - off)));
+  }
+
+  std::size_t head = 0;
+  FrameParser parser;
+  unsigned char buf[16384];
+  while (true) {
+    const int left = remaining_ms(deadline);
+    if (left <= 0) {
+      res.error = "timed out waiting for MODEL_ACK";
+      return res;
+    }
+    pollfd p{};
+    p.fd = sock.fd();
+    p.events =
+        static_cast<short>(POLLIN | (head < out.size() ? POLLOUT : 0));
+    (void)::poll(&p, 1, std::min(left, 50));
+    if ((p.revents & POLLNVAL) != 0) {
+      res.error = "socket died";
+      return res;
+    }
+    if (head < out.size()) {
+      const IoResult w = send_some(
+          sock.fd(),
+          std::span<const unsigned char>(out).subspan(head));
+      if (w.error) {
+        res.error = "send failed";
+        return res;
+      }
+      head += w.n;
+    }
+    const IoResult r = recv_some(sock.fd(), buf);
+    if (r.n > 0) {
+      if (!parser.feed(std::span<const unsigned char>(buf, r.n))) {
+        res.error = "corrupt frame from gateway";
+        return res;
+      }
+      FrameView f;
+      while (parser.next(f) == FrameParser::Status::Ok) {
+        if (f.type != FrameType::ModelAck) continue;
+        const auto ack = decode_model_ack(f.payload);
+        if (!ack.has_value()) {
+          res.error = "malformed MODEL_ACK";
+          return res;
+        }
+        res.delivered = true;
+        res.status = ack->status;
+        res.version = ack->version;
+        return res;
+      }
+    } else if (r.eof || r.error) {
+      res.error = "connection closed before MODEL_ACK";
+      return res;
+    }
+  }
+}
+
+PushResult push_bundle(std::uint16_t port,
+                       const lifecycle::ModelBundle& bundle, int timeout_ms,
+                       std::size_t chunk_bytes) {
+  const std::vector<unsigned char> image = lifecycle::encode_bundle(bundle);
+  return push_image(port, bundle.version, image, timeout_ms, chunk_bytes);
+}
+
+}  // namespace hbrp::net

@@ -1,0 +1,50 @@
+// net::push_bundle — the pusher side of the MODEL_PUSH control protocol.
+//
+// A deployment tool (or test) connects to the gateway, announces a
+// versioned bundle image with MODEL_PUSH, streams it in bounded
+// MODEL_PUSH_PART chunks and waits for the single MODEL_ACK verdict. The
+// call is synchronous and self-contained: one connection, one push, one
+// answer. `delivered` distinguishes "the gateway judged the push" (any
+// ModelPushStatus, including NACKs) from transport failure — a connection
+// killed mid-transfer, a refused connect, or a timeout — where the pusher
+// learned nothing and the gateway is guaranteed (by the protocol's
+// digest + admission discipline) to still run its previous model.
+//
+// push_image() streams a pre-encoded byte image without touching it, so
+// tests and the CI tamper gate can push deliberately corrupted bundles
+// and assert the gateway NACKs them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "lifecycle/bundle.hpp"
+#include "net/wire.hpp"
+
+namespace hbrp::net {
+
+struct PushResult {
+  /// True when the gateway answered with MODEL_ACK — check `status` for
+  /// the verdict. False when the transport died first (see `error`).
+  bool delivered = false;
+  ModelPushStatus status = ModelPushStatus::Malformed;
+  std::uint64_t version = 0;
+  std::string error;
+};
+
+/// Encodes `bundle` and pushes it to the gateway on 127.0.0.1:port.
+PushResult push_bundle(std::uint16_t port,
+                       const lifecycle::ModelBundle& bundle,
+                       int timeout_ms = 10000,
+                       std::size_t chunk_bytes = 16384);
+
+/// Pushes a raw image verbatim, announcing `version` and the image's own
+/// digest. The image is NOT validated locally — that is the point: the
+/// gateway must be the one to reject garbage.
+PushResult push_image(std::uint16_t port, std::uint64_t version,
+                      std::span<const unsigned char> image,
+                      int timeout_ms = 10000,
+                      std::size_t chunk_bytes = 16384);
+
+}  // namespace hbrp::net

@@ -20,7 +20,7 @@ constexpr std::size_t kFullBeatFixedBytes =
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
-         t <= static_cast<std::uint8_t>(FrameType::Bye);
+         t <= static_cast<std::uint8_t>(FrameType::ModelAck);
 }
 
 /// CRC over the first 16 header bytes (magic through seq) continued over
@@ -44,6 +44,23 @@ const char* to_string(FrameType t) {
     case FrameType::Heartbeat: return "HEARTBEAT";
     case FrameType::Ack: return "ACK";
     case FrameType::Bye: return "BYE";
+    case FrameType::ModelPush: return "MODEL_PUSH";
+    case FrameType::ModelPushPart: return "MODEL_PUSH_PART";
+    case FrameType::ModelAck: return "MODEL_ACK";
+  }
+  return "?";
+}
+
+const char* to_string(ModelPushStatus s) {
+  switch (s) {
+    case ModelPushStatus::Ok: return "ok";
+    case ModelPushStatus::Malformed: return "malformed";
+    case ModelPushStatus::BadDigest: return "bad-digest";
+    case ModelPushStatus::Duplicate: return "duplicate-version";
+    case ModelPushStatus::Downgrade: return "downgrade";
+    case ModelPushStatus::BadGeometry: return "bad-geometry";
+    case ModelPushStatus::TooLarge: return "too-large";
+    case ModelPushStatus::RegistryFull: return "registry-full";
   }
   return "?";
 }
@@ -109,6 +126,23 @@ std::vector<unsigned char> encode_beat_verdict(const BeatVerdictMsg& m) {
 std::vector<unsigned char> encode_ack(const AckMsg& m) {
   std::vector<unsigned char> p;
   append_le(p, static_cast<std::uint8_t>(m.acked));
+  return p;
+}
+
+std::vector<unsigned char> encode_model_push(const ModelPushMsg& m) {
+  std::vector<unsigned char> p;
+  append_le(p, m.version);
+  append_le(p, m.total_bytes);
+  append_le(p, m.digest);
+  append_le(p, m.part_count);
+  append_le(p, m.chunk_bytes);
+  return p;
+}
+
+std::vector<unsigned char> encode_model_ack(const ModelAckMsg& m) {
+  std::vector<unsigned char> p;
+  append_le(p, static_cast<std::uint8_t>(m.status));
+  append_le(p, m.version);
   return p;
 }
 
@@ -181,6 +215,32 @@ std::optional<AckMsg> decode_ack(std::span<const unsigned char> payload) {
   if (payload.size() != 1) return std::nullopt;
   if (!valid_type(payload[0])) return std::nullopt;
   return AckMsg{static_cast<FrameType>(payload[0])};
+}
+
+std::optional<ModelPushMsg> decode_model_push(
+    std::span<const unsigned char> payload) {
+  if (payload.size() != 8 + 8 + 8 + 4 + 4) return std::nullopt;
+  ByteReader r(payload.data(), payload.size());
+  ModelPushMsg m;
+  m.version = r.get<std::uint64_t>();
+  m.total_bytes = r.get<std::uint64_t>();
+  m.digest = r.get<std::uint64_t>();
+  m.part_count = r.get<std::uint32_t>();
+  m.chunk_bytes = r.get<std::uint32_t>();
+  return m;
+}
+
+std::optional<ModelAckMsg> decode_model_ack(
+    std::span<const unsigned char> payload) {
+  if (payload.size() != 1 + 8) return std::nullopt;
+  ByteReader r(payload.data(), payload.size());
+  const auto status = r.get<std::uint8_t>();
+  if (status > static_cast<std::uint8_t>(ModelPushStatus::RegistryFull))
+    return std::nullopt;
+  ModelAckMsg m;
+  m.status = static_cast<ModelPushStatus>(status);
+  m.version = r.get<std::uint64_t>();
+  return m;
 }
 
 bool decode_sample_chunk(std::span<const unsigned char> payload,

@@ -41,6 +41,20 @@
 //   Bye          client -> gateway   graceful close: the gateway flushes
 //                                    the session tail as BeatVerdict
 //                                    frames, then closes the connection.
+//   ModelPush    pusher -> gateway   seq 0; ModelPushMsg announces a
+//                                    versioned model bundle upload: total
+//                                    encoded size, content digest, chunk
+//                                    size and part count. Must be the
+//                                    FIRST frame of its connection — the
+//                                    connection becomes a control channel
+//                                    (no session is opened).
+//   ModelPushPart pusher -> gateway  seq = dense part counter from 0; the
+//                                    payload is the next raw slice of the
+//                                    encoded bundle. The gateway rejects
+//                                    any gap, reorder or overrun.
+//   ModelAck     gateway -> pusher   seq 0; ModelAckMsg reports the push
+//                                    outcome (Ok or a NACK reason) and the
+//                                    bundle version it refers to.
 //
 // FrameParser is the receive side: feed() raw socket bytes, then pull
 // complete frames with next(). It is incremental (handles any fragmentation
@@ -71,6 +85,9 @@ inline constexpr std::size_t kMaxPayloadBytes = 1u << 16;
 /// Bounds for the typed payloads (checked by the codecs on both sides).
 inline constexpr std::size_t kMaxChunkSamples = 8192;
 inline constexpr std::size_t kMaxWindowSamples = 4096;
+/// Upper bound on one encoded model bundle streamed via MODEL_PUSH_PART
+/// frames; caps the gateway's reassembly buffer per control connection.
+inline constexpr std::size_t kMaxBundleBytes = 1u << 24;
 
 enum class FrameType : std::uint8_t {
   Hello = 1,
@@ -81,6 +98,9 @@ enum class FrameType : std::uint8_t {
   Heartbeat = 6,
   Ack = 7,
   Bye = 8,
+  ModelPush = 9,
+  ModelPushPart = 10,
+  ModelAck = 11,
 };
 
 const char* to_string(FrameType t);
@@ -139,6 +159,38 @@ struct AckMsg {
   FrameType acked = FrameType::Ack;
 };
 
+/// Announces a model-bundle upload (first frame of a control connection).
+/// `digest` is the FNV-1a 64-bit digest of the full encoded bundle image;
+/// the gateway recomputes it over the reassembled parts before trusting
+/// the payload, independently of the per-frame CRCs.
+struct ModelPushMsg {
+  std::uint64_t version = 0;      ///< bundle's monotonic version
+  std::uint64_t total_bytes = 0;  ///< encoded bundle size (<= kMaxBundleBytes)
+  std::uint64_t digest = 0;       ///< content digest of the encoded image
+  std::uint32_t part_count = 0;   ///< MODEL_PUSH_PART frames that follow
+  std::uint32_t chunk_bytes = 0;  ///< size of every part but the last
+};
+
+/// Push outcome. Everything except Ok is a NACK: the gateway keeps serving
+/// the incumbent model and the pusher must not assume any session swapped.
+enum class ModelPushStatus : std::uint8_t {
+  Ok = 0,
+  Malformed = 1,     ///< announcement/payload failed structural validation
+  BadDigest = 2,     ///< reassembled bytes do not match the announced digest
+  Duplicate = 3,     ///< version already registered with different content
+  Downgrade = 4,     ///< version is older than the active bundle
+  BadGeometry = 5,   ///< window/coefficient shape differs from the incumbent
+  TooLarge = 6,      ///< announced size exceeds kMaxBundleBytes
+  RegistryFull = 7,  ///< all registry slots are pinned or active
+};
+
+const char* to_string(ModelPushStatus s);
+
+struct ModelAckMsg {
+  ModelPushStatus status = ModelPushStatus::Ok;
+  std::uint64_t version = 0;  ///< bundle version the verdict refers to
+};
+
 /// One complete, CRC-verified frame as surfaced by FrameParser::next().
 /// `payload` views the parser's buffer and is valid only until the next
 /// feed()/next() call — decode or copy before continuing.
@@ -158,6 +210,8 @@ std::vector<unsigned char> encode_hello(const HelloMsg& m);
 std::vector<unsigned char> encode_hello_ack(const HelloAckMsg& m);
 std::vector<unsigned char> encode_beat_verdict(const BeatVerdictMsg& m);
 std::vector<unsigned char> encode_ack(const AckMsg& m);
+std::vector<unsigned char> encode_model_push(const ModelPushMsg& m);
+std::vector<unsigned char> encode_model_ack(const ModelAckMsg& m);
 /// SampleChunk payload: `samples.size()` int32 codes (<= kMaxChunkSamples).
 std::vector<unsigned char> encode_sample_chunk(
     std::span<const dsp::Sample> samples);
@@ -177,6 +231,10 @@ std::optional<HelloAckMsg> decode_hello_ack(
 std::optional<BeatVerdictMsg> decode_beat_verdict(
     std::span<const unsigned char> payload);
 std::optional<AckMsg> decode_ack(std::span<const unsigned char> payload);
+std::optional<ModelPushMsg> decode_model_push(
+    std::span<const unsigned char> payload);
+std::optional<ModelAckMsg> decode_model_ack(
+    std::span<const unsigned char> payload);
 /// Appends the chunk's samples to `out`; false on malformed payload.
 bool decode_sample_chunk(std::span<const unsigned char> payload,
                          std::vector<dsp::Sample>& out);

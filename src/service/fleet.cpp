@@ -32,6 +32,12 @@ FleetEngine::FleetEngine(embedded::EmbeddedClassifier classifier,
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s)
     shards_.push_back(std::make_unique<Shard>(window));
+  // No bundled centroids on the default model: sessions opened against it
+  // keep honouring SessionConfig::drift_centroids (the pre-lifecycle path)
+  // unchanged. Bundle-routed centroids arrive only via SessionConfig::model
+  // or a staged swap.
+  default_model_ = std::make_shared<const SessionModel>(
+      SessionModel{cfg_.initial_model_version, classifier_, nullptr});
 }
 
 FleetEngine::~FleetEngine() {
@@ -75,8 +81,15 @@ std::optional<SessionId> FleetEngine::open_session_locked(ResultSink sink,
     return std::nullopt;
   }
   const SessionId id = next_id_++;
-  auto session = std::make_unique<Session>(id, classifier_, std::move(cfg),
-                                           std::move(sink));
+  std::shared_ptr<const SessionModel> model =
+      cfg.model != nullptr ? cfg.model : default_model_;
+  HBRP_REQUIRE(model->classifier.projector().expected_window() ==
+                       classifier_.projector().expected_window() &&
+                   model->classifier.projector().coefficients() ==
+                       classifier_.projector().coefficients(),
+               "FleetEngine: session model geometry differs from the engine");
+  auto session = std::make_unique<Session>(id, std::move(model),
+                                           std::move(cfg), std::move(sink));
   session->fleet_telemetry_ = &fleet_;
   session->shard_ = shard;
   // Session ids are monotonic, so push_back keeps the member list id-sorted.
@@ -110,6 +123,56 @@ bool FleetEngine::close_session(SessionId id) {
                              std::memory_order_relaxed);
   fleet_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+void FleetEngine::stage_on(Session& session,
+                           std::shared_ptr<const SessionModel> model) {
+  HBRP_REQUIRE(model != nullptr, "FleetEngine: staged model must be non-null");
+  HBRP_REQUIRE(model->classifier.projector().expected_window() ==
+                       classifier_.projector().expected_window() &&
+                   model->classifier.projector().coefficients() ==
+                       classifier_.projector().coefficients(),
+               "FleetEngine: staged model geometry differs from the engine");
+  {
+    const std::lock_guard<std::mutex> lock(session.swap_mutex_);
+    session.pending_swap_ = std::move(model);
+  }
+  session.swap_pending_.store(true, std::memory_order_relaxed);
+  fleet_.swaps_staged.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FleetEngine::stage_swap(SessionId id,
+                             std::shared_ptr<const SessionModel> model) {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  stage_on(*it->second, std::move(model));
+  return true;
+}
+
+std::size_t FleetEngine::stage_swap_all(
+    std::shared_ptr<const SessionModel> model) {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  for (auto& [id, session] : sessions_) stage_on(*session, model);
+  return sessions_.size();
+}
+
+std::size_t FleetEngine::stage_swap_arm(
+    std::uint8_t arm, std::shared_ptr<const SessionModel> model) {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  std::size_t staged = 0;
+  for (auto& [id, session] : sessions_) {
+    if (session->config().ab_arm != arm) continue;
+    stage_on(*session, model);
+    ++staged;
+  }
+  return staged;
+}
+
+const SessionModel* FleetEngine::session_model(SessionId id) const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second->model();
 }
 
 template <typename T>
@@ -169,35 +232,70 @@ std::size_t FleetEngine::pump_shard_body(std::size_t s) {
   // Phase 1: drain + window. Each member session is serviced by exactly
   // this shard and the shard writes only its own batch and scratch — the
   // core::Executor single-writer discipline, now held per reactor too.
+  // Staged model swaps are installed first, before any sample of this
+  // round is drained: the pump-round edge is a beat boundary, so every
+  // beat delivered last round carries the old bundle's version and every
+  // beat from here on the new one.
   shard.batch.clear();
+  shard.run_ends.clear();
   std::uint64_t drained = 0;
   for (Session* session : shard.members) {
+    session->apply_pending_swap();
     drained += session->begin_drain();
     session->process_drained(shard.batch);
+    shard.run_ends.push_back(shard.batch.size());
   }
   queued_samples_.fetch_sub(drained, std::memory_order_relaxed);
   shard.queued.fetch_sub(drained, std::memory_order_relaxed);
   const SteadyClock::time_point t1 = SteadyClock::now();
 
-  // Phase 2: one classify_batch sweep over the cross-session batch.
+  // Phase 2: classify the cross-session batch. Members drain in order, so
+  // each session's windows are a contiguous slot run; consecutive members
+  // sharing one SessionModel collapse into a single classify_batch sweep —
+  // with a fleet on one model (the steady state) this is exactly the old
+  // whole-batch call. Per-run projections are gathered into u_all so slot
+  // indexing survives the split.
+  const std::size_t k = classifier_.projector().coefficients();
+  const std::size_t window = classifier_.projector().expected_window();
   shard.classes.resize(shard.batch.size());
-  if (!shard.batch.empty())
-    classifier_.classify_batch(shard.batch.windows(), shard.batch.size(),
-                               shard.classes, shard.scratch);
+  shard.u_all.resize(shard.batch.size() * k);
+  if (!shard.batch.empty()) {
+    const std::span<const dsp::Sample> windows = shard.batch.windows();
+    std::size_t begin_slot = 0;
+    std::size_t m = 0;
+    while (m < shard.members.size()) {
+      const SessionModel* model = &shard.members[m]->model();
+      std::size_t m_end = m + 1;
+      while (m_end < shard.members.size() &&
+             &shard.members[m_end]->model() == model)
+        ++m_end;
+      const std::size_t end_slot = shard.run_ends[m_end - 1];
+      const std::size_t count = end_slot - begin_slot;
+      if (count > 0) {
+        model->classifier.classify_batch(
+            windows.subspan(begin_slot * window, count * window), count,
+            std::span<ecg::BeatClass>(shard.classes.data() + begin_slot,
+                                      count),
+            shard.scratch);
+        std::copy_n(shard.scratch.u.data(), count * k,
+                    shard.u_all.data() + begin_slot * k);
+      }
+      begin_slot = end_slot;
+      m = m_end;
+    }
+  }
   const SteadyClock::time_point t2 = SteadyClock::now();
 
-  // Phase 3: in-order delivery, serial within the shard only. The shard
-  // scratch still holds this round's row-major integer projections, so
+  // Phase 3: in-order delivery, serial within the shard only. u_all holds
+  // this round's row-major integer projections (row = slot), so
   // drift-enabled sessions observe them here at zero extra projection
   // cost — in per-session delivery order, keeping tracker state
   // bit-identical across thread/shard/reactor counts.
-  const std::size_t k = classifier_.projector().coefficients();
   std::size_t beats = 0;
   for (Session* session : shard.members)
     beats += session->deliver(
         shard.classes,
-        std::span<const std::int32_t>(shard.scratch.u.data(),
-                                      shard.scratch.u.size()),
+        std::span<const std::int32_t>(shard.u_all.data(), shard.u_all.size()),
         k);
   const SteadyClock::time_point t3 = SteadyClock::now();
 

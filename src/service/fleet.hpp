@@ -83,6 +83,10 @@ struct FleetConfig {
   /// Per-session defaults for open_session() (queue bound, backpressure
   /// policy, rate cap, monitor geometry).
   SessionConfig session;
+  /// Version stamped on the engine's construction-time classifier (the
+  /// default SessionModel every session starts on unless its SessionConfig
+  /// names another). Hot-swapped bundles must carry a newer version.
+  std::uint64_t initial_model_version = 1;
 };
 
 class FleetEngine {
@@ -132,6 +136,34 @@ class FleetEngine {
   /// waited for.
   std::size_t drain();
 
+  /// The engine's construction-time classifier wrapped as a versioned
+  /// SessionModel (version = FleetConfig::initial_model_version, no
+  /// bundled centroids — sessions fall back to cfg.drift_centroids).
+  const std::shared_ptr<const SessionModel>& default_model() const {
+    return default_model_;
+  }
+
+  // --- model hot-swap ------------------------------------------------------
+  // Staging is thread-safe and non-blocking for the hot path: the new
+  // model lands in a per-session mutex-guarded slot and is *applied* by
+  // the session's owning pump thread at the top of its next pump round (a
+  // beat boundary — in-flight beats finish on the old bundle). The model
+  // must match the engine's geometry (window length and coefficient
+  // count); version ordering is the registry's concern, not the engine's.
+
+  /// Stages `model` onto one session; false when the id is unknown.
+  bool stage_swap(SessionId id, std::shared_ptr<const SessionModel> model);
+  /// Stages `model` onto every open session; returns how many were staged.
+  std::size_t stage_swap_all(std::shared_ptr<const SessionModel> model);
+  /// Stages `model` onto every open session whose SessionConfig::ab_arm
+  /// equals `arm`; returns how many were staged.
+  std::size_t stage_swap_arm(std::uint8_t arm,
+                             std::shared_ptr<const SessionModel> model);
+  /// The session's current model (nullptr when unknown). Single-writer
+  /// pump-thread state: call only from the thread that pumps the
+  /// session's shard, or while no pump is running.
+  const SessionModel* session_model(SessionId id) const;
+
   std::size_t session_count() const;
   std::size_t queued_samples() const {
     return queued_samples_.load(std::memory_order_relaxed);
@@ -169,6 +201,14 @@ class FleetEngine {
     core::BeatBatch batch;
     std::vector<ecg::BeatClass> classes;
     embedded::ClassifyScratch scratch;
+    /// Cumulative batch size after each member's phase-1 drain: member i
+    /// owns batch slots [run_ends[i-1], run_ends[i]). Lets phase 2 classify
+    /// contiguous same-model runs when sessions run different bundles.
+    std::vector<std::size_t> run_ends;
+    /// Row-major integer projections for the whole batch (row = slot),
+    /// gathered across the per-run classify calls so phase 3's drift
+    /// observation indexes by slot exactly as before.
+    std::vector<std::int32_t> u_all;
     /// Queued-sample gauge across member sessions (same soft-bound
     /// semantics as the fleet-wide gauge); O(1) for a reactor asking
     /// whether its own shard still has pump work.
@@ -188,9 +228,12 @@ class FleetEngine {
   std::optional<SessionId> open_session_locked(ResultSink sink,
                                                SessionConfig cfg,
                                                std::size_t shard);
+  /// Geometry guard + per-session staging (caller holds any registry lock).
+  void stage_on(Session& session, std::shared_ptr<const SessionModel> model);
 
   embedded::EmbeddedClassifier classifier_;
   FleetConfig cfg_;
+  std::shared_ptr<const SessionModel> default_model_;
   core::Executor executor_;
   std::vector<std::unique_ptr<Shard>> shards_;  // non-movable: stable slots
 

@@ -16,22 +16,69 @@ const char* to_string(BackpressurePolicy policy) {
   return "?";
 }
 
-Session::Session(SessionId id, const embedded::EmbeddedClassifier& classifier,
+namespace {
+// Checked before monitor_ dereferences the model in the initializer list.
+std::shared_ptr<const SessionModel> require_model(
+    std::shared_ptr<const SessionModel> m) {
+  HBRP_REQUIRE(m != nullptr, "Session: model must be non-null");
+  return m;
+}
+}  // namespace
+
+Session::Session(SessionId id, std::shared_ptr<const SessionModel> model,
                  SessionConfig cfg, ResultSink sink)
     : id_(id),
       cfg_(std::move(cfg)),
-      monitor_(classifier, cfg_.monitor),
+      model_(require_model(std::move(model))),
+      monitor_(model_->classifier, cfg_.monitor),
       sink_(std::move(sink)) {
   HBRP_REQUIRE(cfg_.queue_capacity >= 1, "Session: queue_capacity must be >= 1");
   HBRP_REQUIRE(cfg_.max_samples_per_pump >= 1,
                "Session: max_samples_per_pump must be >= 1");
-  if (cfg_.drift_centroids != nullptr) {
-    drift_.emplace(*cfg_.drift_centroids, cfg_.drift);
+  reseed_drift();
+  telemetry_.model_version.store(model_->version, std::memory_order_relaxed);
+}
+
+void Session::reseed_drift() {
+  const std::shared_ptr<const drift::TrainingCentroids>& seeds =
+      model_->centroids != nullptr ? model_->centroids : cfg_.drift_centroids;
+  if (seeds != nullptr) {
+    drift_.emplace(*seeds, cfg_.drift);
     // The hook only fires on the monitor's own classifying path — the
     // close() tail here. Pump-round beats go through the PendingBeatSink
     // and are observed in deliver(), so no beat is counted twice.
     monitor_.set_drift_tracker(&*drift_);
+  } else {
+    monitor_.set_drift_tracker(nullptr);
+    drift_.reset();
   }
+}
+
+void Session::apply_pending_swap() {
+  if (!swap_pending_.load(std::memory_order_relaxed)) return;
+  std::shared_ptr<const SessionModel> next;
+  {
+    const std::lock_guard<std::mutex> lock(swap_mutex_);
+    next = std::move(pending_swap_);
+    swap_pending_.store(false, std::memory_order_relaxed);
+  }
+  if (next == nullptr || next == model_) return;
+  model_ = std::move(next);
+  // Cold-path classifier copy into the monitor so the close()-tail and
+  // suspect-escalation paths classify with the same bundle as the batch
+  // phase; geometry equality was enforced when the swap was staged.
+  monitor_.set_classifier(model_->classifier);
+  // Fresh tracker, new seeds: the drift baseline is part of the bundle,
+  // so alarms re-arm against the new centroids rather than comparing new
+  // projections to the old model's geometry.
+  reseed_drift();
+  swap_sequence_ = next_sequence_;
+  ++swap_count_;
+  telemetry_.model_version.store(model_->version, std::memory_order_relaxed);
+  telemetry_.swap_count.store(swap_count_, std::memory_order_relaxed);
+  mirror_drift();
+  if (fleet_telemetry_ != nullptr)
+    fleet_telemetry_->swaps_applied.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t Session::queued() const {
@@ -207,6 +254,7 @@ void Session::deliver_one(const core::MonitorBeat& beat,
   SessionResult result;
   result.session = id_;
   result.sequence = next_sequence_++;
+  result.model_version = model_->version;
   result.beat = beat;
   telemetry_.beats_out.fetch_add(1, std::memory_order_relaxed);
   if (ecg::is_pathological(beat.predicted))
@@ -248,6 +296,10 @@ void Session::mirror_drift() {
 }
 
 std::size_t Session::close() {
+  // Close is a beat boundary too: a swap staged after the session's last
+  // pump round still lands before the tail is flushed, so the tail's
+  // verdicts carry the version the fleet believes is deployed.
+  apply_pending_swap();
   std::size_t removed = 0;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);

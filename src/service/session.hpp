@@ -27,6 +27,7 @@
 // rides along until the beat it finalizes is handed to the result sink.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -45,6 +46,21 @@
 namespace hbrp::service {
 
 using SessionId = std::uint64_t;
+
+/// A versioned, immutable deployment unit: the quantized classifier plus
+/// the drift centroid seeds it was exported with, under one monotonic
+/// version. Sessions hold these by shared_ptr so a whole ward references
+/// one instance per version; the lifecycle registry (src/lifecycle) pins
+/// and reclaims them by that same ref-count. Routing the centroids through
+/// the model — instead of a separate SessionConfig field — is what keeps a
+/// classifier and its drift seeds from ever skewing after a hot-swap.
+struct SessionModel {
+  std::uint64_t version = 0;
+  embedded::EmbeddedClassifier classifier;
+  /// Drift seeds exported alongside the classifier; null disables drift
+  /// tracking for sessions running this model.
+  std::shared_ptr<const drift::TrainingCentroids> centroids;
+};
 
 enum class BackpressurePolicy : std::uint8_t { Block, DropOldest, Reject };
 
@@ -67,9 +83,20 @@ struct SessionConfig {
   /// thread/shard count), monitor-classified beats (the close() tail) via
   /// the monitor hook. Tracker state is mirrored into SessionTelemetry
   /// after every pump round. Shared (not copied) so a fleet of sessions
-  /// references one centroid export.
+  /// references one centroid export. Deprecated in favour of routing the
+  /// seeds through `model` (a SessionModel carries its own centroids, so
+  /// classifier and seeds can never skew); still honoured when `model` is
+  /// unset or carries no centroids of its own.
   std::shared_ptr<const drift::TrainingCentroids> drift_centroids;
   drift::DriftConfig drift;
+  /// Versioned model this session starts on; when null the engine's
+  /// default model (its construction-time classifier at version
+  /// `FleetConfig::initial_model_version`) is used.
+  std::shared_ptr<const SessionModel> model;
+  /// A/B arm assignment (0 = incumbent arm). Set by the gateway at HELLO
+  /// from the lifecycle AbSplit; FleetEngine::stage_swap_arm() targets
+  /// sessions by this tag.
+  std::uint8_t ab_arm = 0;
 };
 
 /// What happened to the `n` samples of one offer: accepted + deferred +
@@ -86,6 +113,9 @@ struct OfferOutcome {
 struct SessionResult {
   SessionId session = 0;
   std::uint64_t sequence = 0;
+  /// Version of the SessionModel that classified this beat — the verdict's
+  /// provenance tag (telemetry schema v4).
+  std::uint64_t model_version = 0;
   core::MonitorBeat beat;
 };
 
@@ -93,7 +123,10 @@ using ResultSink = std::function<void(const SessionResult&)>;
 
 class Session {
  public:
-  Session(SessionId id, const embedded::EmbeddedClassifier& classifier,
+  /// `model` must be non-null; its centroids (or, as a deprecated
+  /// fallback when it has none, cfg.drift_centroids) seed the optional
+  /// drift tracker.
+  Session(SessionId id, std::shared_ptr<const SessionModel> model,
           SessionConfig cfg, ResultSink sink);
 
   Session(const Session&) = delete;
@@ -106,6 +139,11 @@ class Session {
   std::size_t queued() const;
   /// Results delivered so far (single-writer: pump/close thread).
   std::uint64_t delivered() const { return next_sequence_; }
+  /// The model currently classifying this session's beats. Read it only
+  /// between pump rounds (single-writer: the pump thread).
+  const SessionModel& model() const { return *model_; }
+  /// Applied hot-swaps so far (single-writer: the pump thread).
+  std::uint64_t swap_count() const { return swap_count_; }
   /// The session's drift tracker, or nullptr when tracking is disabled.
   /// Read it only between pump rounds (single-writer: the pump thread).
   const drift::DriftTracker* drift_tracker() const {
@@ -162,12 +200,36 @@ class Session {
   void deliver_one(const core::MonitorBeat& beat, Clock::time_point enq);
   void mirror_monitor_stats();
   void mirror_drift();
+  /// (Re)seeds the drift tracker from the current model's centroids (or
+  /// the deprecated cfg_.drift_centroids fallback) and re-attaches the
+  /// monitor hook. Owning pump thread only.
+  void reseed_drift();
+  /// If a swap is staged, installs it: rebinds the monitor's classifier,
+  /// re-seeds the drift tracker from the new bundle's centroids, and bumps
+  /// model_version/swap_count telemetry. Called by the owning pump thread
+  /// at the top of its pump round (and by close()), i.e. at a beat
+  /// boundary — every beat delivered before the call carries the old
+  /// version, every beat after it the new one.
+  void apply_pending_swap();
 
   const SessionId id_;
   const SessionConfig cfg_;
+  /// Current model; written only by the owning pump thread (apply), read
+  /// by the same thread during classify/deliver.
+  std::shared_ptr<const SessionModel> model_;
   std::optional<drift::DriftTracker> drift_;  // before monitor_: hook target
   core::StreamingBeatMonitor monitor_;
   ResultSink sink_;
+
+  // Hot-swap staging: any thread may stage (mutex-guarded), only the
+  // owning pump thread applies. The atomic flag is a cheap hint so the
+  // pump round's fast path never takes the mutex.
+  std::mutex swap_mutex_;
+  std::shared_ptr<const SessionModel> pending_swap_;
+  std::atomic<bool> swap_pending_{false};
+  std::uint64_t swap_count_ = 0;
+  /// Verdict sequence at which the last swap took effect (diagnostics).
+  std::uint64_t swap_sequence_ = 0;
   SessionTelemetry telemetry_;
   /// Fleet-wide rollup (latency histogram); set by the engine at admission,
   /// null for a free-standing Session.

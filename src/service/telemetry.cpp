@@ -96,6 +96,8 @@ std::string SessionTelemetry::json(std::uint64_t id,
   append_field(out, "drift_clusters", load(drift_clusters));
   append_field(out, "drift_score",
                static_cast<double>(load(drift_score_ppm)) / 1e6);
+  append_field(out, "model_version", load(model_version));
+  append_field(out, "swap_count", load(swap_count));
   append_field(out, "queue_depth", queue_depth);
   append_field(out, "queue_high_water", queue_high_water.value());
   append_field(out, "beat_latency_count", latency.count());
@@ -132,6 +134,8 @@ std::string FleetTelemetry::json(std::uint64_t sessions_open,
                static_cast<double>(load(classify_ns)) / 1e9);
   append_field(out, "pump_deliver_s",
                static_cast<double>(load(deliver_ns)) / 1e9);
+  append_field(out, "swaps_staged", load(swaps_staged));
+  append_field(out, "swaps_applied", load(swaps_applied));
   append_field(out, "beat_latency_count", latency.count());
   append_field(out, "beat_latency_p50_us", latency.quantile_us(0.50));
   append_field(out, "beat_latency_p99_us", latency.quantile_us(0.99));

@@ -83,6 +83,11 @@ struct SessionTelemetry {
   std::atomic<std::uint64_t> drift_alarm_active{0};  ///< 0/1 latch
   std::atomic<std::uint64_t> drift_clusters{0};
   std::atomic<std::uint64_t> drift_score_ppm{0};  ///< windowed score * 1e6
+  /// Version of the SessionModel currently classifying this session and
+  /// the number of hot-swaps applied so far (schema v4; written by the
+  /// owning pump thread when a staged swap lands at a beat boundary).
+  std::atomic<std::uint64_t> model_version{0};
+  std::atomic<std::uint64_t> swap_count{0};
   AtomicMax queue_high_water;
   LatencyHistogram latency;  ///< sample-ingest to result-delivery, per beat
 
@@ -113,6 +118,10 @@ struct FleetTelemetry {
   std::atomic<std::uint64_t> drain_ns{0};
   std::atomic<std::uint64_t> classify_ns{0};
   std::atomic<std::uint64_t> deliver_ns{0};
+  /// Model-lifecycle rollup: swaps staged (by pushes/rollbacks) and swaps
+  /// actually applied at a beat boundary (schema v4).
+  std::atomic<std::uint64_t> swaps_staged{0};
+  std::atomic<std::uint64_t> swaps_applied{0};
   /// Fleet-wide beat latency (sample-ingest to result-delivery), the union
   /// of every session's per-session histogram.
   LatencyHistogram latency;
@@ -130,7 +139,9 @@ struct FleetTelemetry {
 /// warn-skip keys they do not know, but use this to detect a format they
 /// should not silently reinterpret. Version 2 added the drift_* fields;
 /// version 3 added the pump phase timers, the per-shard rollup array and
-/// the fleet-wide beat-latency histogram.
-inline constexpr std::uint64_t kTelemetrySchemaVersion = 3;
+/// the fleet-wide beat-latency histogram; version 4 added the model
+/// lifecycle fields (per-session model_version/swap_count, fleet
+/// swaps_staged/swaps_applied, gateway bundle-push counters).
+inline constexpr std::uint64_t kTelemetrySchemaVersion = 4;
 
 }  // namespace hbrp::service
